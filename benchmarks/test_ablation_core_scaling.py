@@ -1,0 +1,27 @@
+"""Ablation — core-count scaling of the shared coalescer.
+
+More cores interleave more unrelated traffic through the shared
+miss-handling path. The paper's data-level-parallelism motivation says
+the page-granular streams keep grouping each core's traffic as
+concurrency grows, while the conventional DMC's merge window gets
+crowded out.
+"""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import render_table
+from repro.experiments.ablations import core_scaling_sweep
+
+
+def test_ablation_core_scaling(benchmark, emit):
+    rows = run_once(
+        benchmark,
+        lambda: core_scaling_sweep(n_accesses=BENCH_ACCESSES // 2),
+    )
+    emit(render_table(rows, title="Ablation: Core Count Scaling (GS)"))
+    by_cores = {r["n_cores"]: r for r in rows}
+    # PAC stays clearly ahead of the DMC at every concurrency level...
+    for row in rows:
+        assert row["pac_efficiency"] > row["dmc_efficiency"]
+    # ...and keeps most of its single-core efficiency at 8 cores.
+    assert by_cores[8]["pac_efficiency"] > 0.6 * by_cores[1]["pac_efficiency"]

@@ -1,0 +1,29 @@
+"""Ablation — PAC vs the prior-art sorting-network DMC (Wang et al. [32]).
+
+The paper displaces sorting-network coalescing on scalability grounds
+(Figure 11a: O(N log^2 N) comparators vs PAC's N). This ablation runs
+the sorter as a live fourth arm: functionally it coalesces well (it even
+merges across pages), but its dynamic comparator work dwarfs PAC's while
+its achieved efficiency does not.
+"""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import render_table
+from repro.experiments.ablations import sorting_baseline_sweep
+
+
+def test_ablation_sorting_baseline(benchmark, emit):
+    rows = run_once(
+        benchmark,
+        lambda: sorting_baseline_sweep(n_accesses=BENCH_ACCESSES // 2),
+    )
+    emit(render_table(rows, title="Ablation: Sorting-Network DMC vs PAC"))
+    for row in rows:
+        # PAC's comparator work is far below the sorter's on every suite
+        # (the dynamic counterpart of Figure 11a's static counts).
+        assert row["pac_comparisons"] < row["sort_comparisons"]
+    # And the sorter's extra hardware does not buy more coalescing than
+    # PAC on page-local workloads.
+    by_name = {r["benchmark"]: r for r in rows}
+    assert by_name["gs"]["pac_efficiency"] >= by_name["gs"]["sort_efficiency"] - 0.1

@@ -1,0 +1,25 @@
+"""Ablation — aggregation timeout sweep (Section 5.3.4 design choice).
+
+The 16-cycle timeout bounds request waiting latency. Shorter timeouts
+flush streams before neighbours arrive (less coalescing); longer ones
+add latency for no gain once the window covers the burst structure.
+"""
+
+from conftest import BENCH_ACCESSES, run_once
+
+from repro.experiments import render_table
+from repro.experiments.ablations import timeout_sweep
+
+
+def test_ablation_timeout(benchmark, emit):
+    rows = run_once(
+        benchmark, lambda: timeout_sweep(n_accesses=BENCH_ACCESSES // 2)
+    )
+    emit(render_table(rows, title="Ablation: Timeout Sweep (GS)"))
+    eff = {r["timeout_cycles"]: r["coalescing_efficiency"] for r in rows}
+    lat = {r["timeout_cycles"]: r["mean_latency"] for r in rows}
+    # Longer windows never coalesce less; latency is timeout-bounded.
+    assert eff[16] >= eff[2]
+    assert lat[2] <= lat[64]
+    # Diminishing returns: doubling past 16 buys little.
+    assert eff[64] - eff[16] < eff[16] - eff[2] + 0.05

@@ -1,0 +1,25 @@
+"""Figures 8 and 9 — DBSCAN request-distribution clustering.
+
+Paper: clustering flushed physical addresses with eps = 4KB shows BFS's
+requests sparsely scattered (mostly noise) while SparseLU's cluster
+tightly.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig8_9_request_clustering, render_table
+
+
+def test_fig08_09_request_clustering(benchmark, cache, emit):
+    rows = run_once(
+        benchmark,
+        lambda: fig8_9_request_clustering(
+            cache, benchmarks=("bfs", "sparselu"), window_cycles=10_000
+        ),
+    )
+    emit(render_table(rows, title="Figures 8/9: Request Clustering (DBSCAN, eps=4KB)"))
+    by_name = {r["benchmark"]: r for r in rows}
+    bfs, slu = by_name["bfs"], by_name["sparselu"]
+    # Shape: BFS far noisier than SparseLU.
+    assert bfs["noise_fraction"] > slu["noise_fraction"]
+    assert slu["clustered_fraction"] > 0.5

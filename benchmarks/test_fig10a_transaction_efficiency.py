@@ -1,0 +1,22 @@
+"""Figure 10a — transaction efficiency (Equation 2).
+
+Paper: raw 64B requests are pinned at 66.66% (64B payload / 96B
+transaction); PAC reaches 73.76% on average.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig10a_transaction_efficiency, render_table
+from repro.experiments.reporting import mean_of
+
+
+def test_fig10a_transaction_efficiency(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: fig10a_transaction_efficiency(cache))
+    emit(render_table(rows, title="Figure 10a: Transaction Efficiency"))
+    pac_avg = mean_of(rows, "pac_efficiency")
+    emit(f"measured: raw 66.67% fixed, PAC avg {pac_avg:.1%}  (paper: 73.76%)")
+    for row in rows:
+        assert row["raw_efficiency"] == pytest.approx(2 / 3)
+        assert row["pac_efficiency"] >= row["raw_efficiency"] - 1e-9
+    assert pac_avg > 2 / 3

@@ -1,0 +1,24 @@
+"""Figure 11a — space overhead vs parallel sorting networks.
+
+Paper at N=64: PAC needs 64 comparators where the bitonic sorter needs
+672 and the odd-even merge sorter 543; with 16 streams PAC buffers 384B
+vs 2560B/2016B for the sorters.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11a_space_overhead, render_table
+
+
+def test_fig11a_space_overhead(benchmark, emit):
+    rows = run_once(benchmark, lambda: fig11a_space_overhead((4, 8, 16, 32, 64)))
+    emit(render_table(rows, title="Figure 11a: Space Overhead Comparison"))
+    by_n = {r["n"]: r for r in rows}
+    # Exact closed-form comparator counts from the paper.
+    assert by_n[64]["pac_comparators"] == 64
+    assert by_n[64]["bitonic_comparators"] == 672
+    assert by_n[64]["odd_even_comparators"] == 543
+    for row in rows:
+        assert row["pac_comparators"] <= row["odd_even_comparators"]
+        assert row["odd_even_comparators"] <= row["bitonic_comparators"]
+        assert row["pac_buffer_bytes"] < row["odd_even_buffer_bytes"]

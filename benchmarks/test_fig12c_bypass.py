@@ -1,0 +1,22 @@
+"""Figure 12c — proportion of requests bypassing stages 2-3.
+
+Paper: 25.04% of requests are uncoalescable (C=0 streams) and skip the
+rest of the pipeline; BFS peaks at 45.09%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12c_bypass_proportion, render_table
+from repro.experiments.reporting import mean_of
+
+
+def test_fig12c_bypass(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: fig12c_bypass_proportion(cache))
+    emit(render_table(rows, title="Figure 12c: Requests Bypassing Stages 2-3"))
+    avg = mean_of(rows, "bypass_fraction")
+    by_name = {r["benchmark"]: r["bypass_fraction"] for r in rows}
+    emit(f"measured avg bypass: {avg:.1%}  (paper: 25.04%; BFS 45.09%)")
+    # Shape: sparse BFS bypasses far more than the dense suites.
+    assert by_name["bfs"] > by_name["gs"]
+    assert by_name["bfs"] > by_name["mg"]
+    assert 0 < avg < 1

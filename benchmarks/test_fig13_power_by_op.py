@@ -1,0 +1,24 @@
+"""Figure 13 — energy savings by HMC operation.
+
+Paper: PAC cuts VAULT-RQST-SLOT energy 59.35%, VAULT-RSP-SLOT 48.75%,
+vault control 57.09%, LINK-LOCAL-ROUTE 61.39% and LINK-REMOTE-ROUTE
+53.22% versus the uncoalesced baseline.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_power_by_operation, render_table
+
+
+def test_fig13_power_by_op(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: fig13_power_by_operation(cache))
+    emit(render_table(rows, title="Figure 13: Power Saving by HMC Operation"))
+    by_op = {r["operation"]: r["mean_saving"] for r in rows}
+    # Shape: every paper category shows positive savings; control and
+    # routing savings are substantial.
+    for op in (
+        "VAULT-RQST-SLOT", "VAULT-RSP-SLOT", "VAULT-CTRL",
+        "LINK-LOCAL-ROUTE", "LINK-REMOTE-ROUTE",
+    ):
+        assert by_op[op] > 0, op
+    assert by_op["VAULT-CTRL"] > 0.2

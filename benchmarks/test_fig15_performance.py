@@ -1,0 +1,38 @@
+"""Figure 15 — overall performance improvement.
+
+Paper: PAC improves runtime by 14.35% on average (GS tops at 26.06%,
+SparseLU 22.21%); the MSHR-based DMC manages 8.91%. STREAM gains little
+(its sequential accesses are mostly absorbed by the caches).
+
+Two runtime models are reported. The *latency-bound* model (in-order
+cores blocking per miss — the paper's Spike regime) lands in the paper's
+band; the *throughput-bound* model (open-loop traces) exaggerates gains
+on memory-saturated suites. See EXPERIMENTS.md.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig15_performance, render_table
+from repro.experiments.reporting import mean_of
+
+
+def test_fig15_performance(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: fig15_performance(cache))
+    emit(render_table(rows, title="Figure 15: Performance Improvement"))
+    pac_lb = mean_of(rows, "pac_gain_latency_bound")
+    dmc_lb = mean_of(rows, "dmc_gain_latency_bound")
+    emit(
+        f"measured avg gain (latency-bound): PAC {pac_lb:.1%} vs DMC "
+        f"{dmc_lb:.1%}  (paper: 14.35% vs 8.91%)"
+    )
+    # Both models preserve the ordering; the latency-bound magnitudes
+    # sit in the paper's band.
+    assert pac_lb > dmc_lb > 0
+    assert mean_of(rows, "pac_gain") > mean_of(rows, "dmc_gain")
+    assert 0.05 < pac_lb < 0.6
+    # GS sits in the top tier of PAC gains, as in the paper.
+    ordered = sorted(
+        rows, key=lambda r: r["pac_gain_latency_bound"], reverse=True
+    )
+    top5 = {r["benchmark"] for r in ordered[:5]}
+    assert "gs" in top5

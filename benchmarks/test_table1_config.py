@@ -1,0 +1,13 @@
+"""Table 1 — simulation environment configuration."""
+
+from conftest import run_once
+
+from repro.experiments import render_table, table1_configuration
+
+
+def test_table1_configuration(benchmark, emit):
+    rows = run_once(benchmark, table1_configuration)
+    emit(render_table(rows, title="Table 1: Simulation Environment"))
+    params = {r["parameter"]: r["value"] for r in rows}
+    assert params["Coalescing Streams"] == "16"
+    assert params["MAQ Entries & MSHRs"] == "16 & 16"

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Run every design-choice ablation back to back.
+
+A compact tour of the nine ablation sweeps (see DESIGN.md section 4):
+timeout, stream count, protocol portability, the sorting-network
+baseline, DDR-vs-HMC, prefetch coalescing, shared-vs-private coalescers,
+core scaling, and address interleaving.
+
+Run:  python examples/ablation_tour.py [n_accesses]
+"""
+
+import sys
+import time
+
+from repro.experiments import render_table
+from repro.experiments.ablations import ABLATIONS
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    for name in sorted(ABLATIONS):
+        t0 = time.time()
+        rows = ABLATIONS[name](n_accesses=n)
+        print(render_table(rows, title=f"ablation: {name}"))
+        print(f"({time.time() - t0:.1f}s)\n")
+
+
+if __name__ == "__main__":
+    main()

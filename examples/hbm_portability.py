@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Protocol portability: the same PAC logic on HMC 1.0, HMC 2.1 and HBM.
+
+Section 4.1 argues PAC ports across 3D-stacked device generations by
+swapping the protocol descriptor — block-sequence width and coalescing
+table size — with no change to the coalescing logic. This example runs
+STREAM against all three protocols and shows packet sizes scaling with
+each device's maximum while the pipeline stays identical.
+
+Run:  python examples/hbm_portability.py
+"""
+
+from collections import Counter
+
+from repro.config import TABLE1
+from repro.core.protocols import HBM, HMC1, HMC2
+from repro.engine.system import CoalescerKind, System
+
+N_ACCESSES = 30_000
+
+
+def run(protocol, device, config):
+    system = System(config, CoalescerKind.PAC, protocol=protocol, device=device)
+    trace = system.build_trace(["stream"], N_ACCESSES)
+    raw = system.hierarchy.process(trace)
+    outcome = system.coalescer.process(raw.requests, system.device)
+    sizes = Counter(p.size for p in outcome.issued)
+    return outcome, sizes, system
+
+
+def main() -> None:
+    print("PAC protocol portability (STREAM workload)\n")
+    configs = (
+        (HMC1, "hmc", TABLE1.with_hmc(max_packet_bytes=128)),
+        (HMC2, "hmc", TABLE1),
+        (HBM, "hbm", TABLE1),
+    )
+    for protocol, device, config in configs:
+        outcome, sizes, system = run(protocol, device, config)
+        dist = ", ".join(
+            f"{size}B x {count}" for size, count in sorted(sizes.items())
+        )
+        print(f"{protocol.name:12s} grain={protocol.grain_bytes:>4d}B "
+              f"max_packet={protocol.max_packet_bytes:>5d}B "
+              f"chunk={protocol.chunk_width:>2d} bits")
+        print(f"{'':12s} efficiency={outcome.coalescing_efficiency:.1%} "
+              f"tx_eff={outcome.transaction_efficiency:.1%}")
+        print(f"{'':12s} packets: {dist}")
+        if device == "hbm":
+            remote = system.device.stats.count("remote_routes")
+            print(f"{'':12s} remote crossbar routes: {remote} "
+                  "(HBM channels are directly addressed)")
+        print()
+
+    print("Same aggregator, decoder, and assembler classes in all three"
+          " runs — only the MemoryProtocol object changed, exactly the"
+          " portability claim of Section 4.1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Where do the cycles go? HMC latency telemetry under PAC.
+
+Enables per-packet telemetry on the HMC device and runs GS with and
+without coalescing, then prints the latency component breakdown (link
+wait, crossbar route, vault queueing, DRAM, response) and the vault heat
+map. Shows *mechanistically* where PAC's latency savings come from:
+shorter vault queues and fewer conflicted DRAM activations.
+
+Run:  python examples/latency_breakdown.py
+"""
+
+from repro.config import TABLE1
+from repro.engine.system import CoalescerKind, System
+from repro.hmc.telemetry import Telemetry
+
+N_ACCESSES = 30_000
+
+
+def run(kind):
+    system = System(TABLE1, kind)
+    system.device.telemetry = Telemetry()
+    trace = system.build_trace(["gs"], N_ACCESSES)
+    raw = system.hierarchy.process(trace)
+    system.coalescer.process(raw.requests, system.device)
+    return system.device.telemetry
+
+
+def main() -> None:
+    base = run(CoalescerKind.NONE)
+    pac = run(CoalescerKind.PAC)
+
+    print("HMC latency breakdown on GS (cycles per packet)\n")
+    print(f"{'component':12s} {'no coalescing':>14s} {'PAC':>10s}")
+    print("-" * 38)
+    base_means = base.component_means()
+    pac_means = pac.component_means()
+    for comp in Telemetry.COMPONENTS:
+        print(f"{comp:12s} {base_means[comp]:>14.1f} {pac_means[comp]:>10.1f}")
+
+    print(f"\n{'percentile':12s} {'no coalescing':>14s} {'PAC':>10s}")
+    print("-" * 38)
+    bp, pp = base.latency_percentiles(), pac.latency_percentiles()
+    for q in ("p50", "p95", "p99"):
+        print(f"{q:12s} {bp[q]:>14.0f} {pp[q]:>10.0f}")
+
+    print(f"\npackets: {len(base):,} -> {len(pac):,} "
+          f"(remote-route fraction {base.remote_fraction():.0%} -> "
+          f"{pac.remote_fraction():.0%})")
+
+    heat = sorted(pac.vault_heat().items())
+    peak = max(count for _, count in heat)
+    print("\nPAC vault heat (packets per vault):")
+    for vault, count in heat:
+        bar = "#" * max(1, round(count / peak * 30))
+        print(f"  vault {vault:2d} {count:>6,} |{bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Multiprocessing coalescing study (the paper's Figure 6b scenario).
+
+Co-runs two benchmarks as separate processes — disjoint page tables over
+one shared frame pool, pinned to disjoint core halves — and compares
+coalescing efficiency against the single-process runs for both the
+conventional DMC and PAC.
+
+Run:  python examples/multiprocess_coalescing.py [benchA] [benchB]
+"""
+
+import sys
+
+from repro.engine import CoalescerKind, run_benchmark
+
+N_ACCESSES = 30_000
+
+
+def main() -> None:
+    bench_a = sys.argv[1] if len(sys.argv) > 1 else "hpcg"
+    bench_b = sys.argv[2] if len(sys.argv) > 2 else "ssca2"
+
+    print(f"Single-process vs multiprocess ({bench_a} + {bench_b})\n")
+    print(f"{'configuration':32s} {'dmc':>10s} {'pac':>10s}")
+    print("-" * 54)
+    for label, extras in (
+        (f"{bench_a} alone", ()),
+        (f"{bench_b} alone", None),  # handled below
+        (f"{bench_a} + {bench_b}", (bench_b,)),
+    ):
+        if extras is None:
+            dmc = run_benchmark(bench_b, CoalescerKind.DMC, N_ACCESSES)
+            pac = run_benchmark(bench_b, CoalescerKind.PAC, N_ACCESSES)
+        else:
+            dmc = run_benchmark(
+                bench_a, CoalescerKind.DMC, N_ACCESSES, extra_benchmarks=extras
+            )
+            pac = run_benchmark(
+                bench_a, CoalescerKind.PAC, N_ACCESSES, extra_benchmarks=extras
+            )
+        print(
+            f"{label:32s} {dmc.coalescing_efficiency:>10.1%} "
+            f"{pac.coalescing_efficiency:>10.1%}"
+        )
+
+    print(
+        "\nThe paper's observation (Figure 6b): interleaved processes"
+        " occupy the miss-handling structures with requests to disparate"
+        " physical pages. PAC's page-granular streams keep grouping each"
+        " process's own traffic, so it retains a clear lead over the"
+        " conventional MSHR-based DMC when processes co-run."
+    )
+
+
+if __name__ == "__main__":
+    main()

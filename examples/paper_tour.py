@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""A guided tour of the reproduction: validate every paper claim, then
+show the two figures that tell the story.
+
+Runs the shape-claim checklist (the same one behind
+``python -m repro validate``), then prints Figure 6a (coalescing
+efficiency) and Figure 15 (performance) as ASCII bar charts.
+
+Run:  python examples/paper_tour.py [n_accesses]
+"""
+
+import sys
+
+from repro.experiments import (
+    fig6a_coalescing_efficiency,
+    fig15_performance,
+    render_series,
+)
+from repro.experiments.figures import ResultCache
+from repro.experiments.validation import render_checks, validate
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+
+    print("=" * 70)
+    print("PAC reproduction — paper claim checklist")
+    print("=" * 70)
+    checks = validate(n_accesses=n)
+    print(render_checks(checks))
+
+    cache = ResultCache(n_accesses=n)
+    print()
+    print("=" * 70)
+    print(
+        render_series(
+            fig6a_coalescing_efficiency(cache),
+            x="benchmark",
+            ys=["dmc_ratio", "pac_ratio"],
+            title="Figure 6a: coalescing efficiency (DMC vs PAC)",
+        )
+    )
+    print()
+    print(
+        render_series(
+            fig15_performance(cache),
+            x="benchmark",
+            ys=["pac_gain_latency_bound"],
+            title="Figure 15: PAC performance gain (latency-bound model)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       Run one benchmark through one coalescer arm.
+``compare``   Run the none/dmc/pac arms side by side.
+``suite``     Sweep all 14 benchmarks for one arm.
+``figure``    Regenerate one of the paper's figures (e.g. ``6a``, ``15``).
+``ablation``  Run a design-choice sweep (timeout, streams, ddr, ...).
+``validate``  Check every committed paper shape claim.
+``report``    Regenerate the full EXPERIMENTS.md report to stdout.
+``trace``     Export a benchmark's CPU or raw request stream to .npz.
+``config``    Print the Table 1 configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import TABLE1
+from repro.engine.driver import run_benchmark, run_comparison, run_suite
+from repro.engine.system import CoalescerKind
+from repro.experiments import figures as F
+from repro.experiments.figures import ResultCache
+from repro.experiments.reporting import render_table
+from repro.experiments.tables import table1_configuration
+from repro.workloads import BENCHMARK_NAMES
+
+FIGURES = {
+    "1": ("Figure 1: Ratio of Coalesced Requests", F.fig1_coalesced_ratio),
+    "2": ("Figure 2: Cross-page Coalescing", F.fig2_cross_page),
+    "6a": ("Figure 6a: Coalescing Efficiency", F.fig6a_coalescing_efficiency),
+    "6b": ("Figure 6b: Multiprocessing", F.fig6b_multiprocessing),
+    "6c": ("Figure 6c: Bank Conflict Reductions", F.fig6c_bank_conflicts),
+    "7": ("Figure 7: Comparison Reductions", F.fig7_comparison_reductions),
+    "8": ("Figures 8/9: Request Clustering", F.fig8_9_request_clustering),
+    "10a": ("Figure 10a: Transaction Efficiency",
+            F.fig10a_transaction_efficiency),
+    "10b": ("Figure 10b: HPCG Request Sizes",
+            lambda cache: F.fig10b_request_size_distribution(cache, "hpcg")),
+    "10c": ("Figure 10c: Bandwidth Savings", F.fig10c_bandwidth_savings),
+    "11a": ("Figure 11a: Space Overhead",
+            lambda cache: F.fig11a_space_overhead()),
+    "11b": ("Figure 11b: Stream Occupancy (HPCG)",
+            lambda cache: F.fig11b_stream_occupancy(cache, "hpcg")),
+    "11c": ("Figure 11c: Stream Utilization", F.fig11c_stream_utilization),
+    "12a": ("Figure 12a: Stage Latencies", F.fig12a_stage_latencies),
+    "12b": ("Figure 12b: MAQ Fill Latency", F.fig12b_maq_fill_latency),
+    "12c": ("Figure 12c: Bypass Proportion", F.fig12c_bypass_proportion),
+    "13": ("Figure 13: Power by Operation", F.fig13_power_by_operation),
+    "14": ("Figure 14: Overall Power Saving", F.fig14_overall_power),
+    "15": ("Figure 15: Performance Improvement", F.fig15_performance),
+}
+
+
+def _print_result(result) -> None:
+    for key, value in result.as_row().items():
+        print(f"  {key:28s} {value}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PAC reproduction CLI"
+    )
+    parser.add_argument(
+        "--accesses", type=int, default=24_000,
+        help="trace length per run (default 24000)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one benchmark, one arm")
+    p_run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_run.add_argument(
+        "--coalescer", choices=[k.value for k in CoalescerKind],
+        default="pac",
+    )
+    p_run.add_argument("--device", choices=["hmc", "hbm"], default="hmc")
+    p_run.add_argument(
+        "--scale", default="A",
+        help="size class letter (S/W/A/B/C) or numeric multiplier",
+    )
+    p_run.add_argument(
+        "--json", action="store_true",
+        help="emit the full result as JSON instead of a table",
+    )
+
+    p_cmp = sub.add_parser("compare", help="run all three arms")
+    p_cmp.add_argument("benchmark", choices=BENCHMARK_NAMES)
+
+    p_suite = sub.add_parser("suite", help="sweep all benchmarks")
+    p_suite.add_argument(
+        "--coalescer", choices=[k.value for k in CoalescerKind],
+        default="pac",
+    )
+
+    p_fig = sub.add_parser("figure", help="regenerate one figure")
+    p_fig.add_argument("figure", choices=sorted(FIGURES))
+
+    p_abl = sub.add_parser("ablation", help="run a design-choice sweep")
+    from repro.experiments.ablations import ABLATIONS
+
+    p_abl.add_argument("name", choices=sorted(ABLATIONS))
+
+    sub.add_parser("report", help="full EXPERIMENTS.md report to stdout")
+    sub.add_parser("config", help="print the Table 1 configuration")
+    sub.add_parser(
+        "validate", help="check every committed paper shape claim"
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="export a benchmark's raw request stream to .npz"
+    )
+    p_trace.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_trace.add_argument("output", help="output .npz path")
+    p_trace.add_argument(
+        "--stage", choices=["cpu", "raw"], default="raw",
+        help="'cpu' = translated access trace; 'raw' = LLC miss stream",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "config":
+        print(render_table(table1_configuration(), title="Table 1"))
+        return 0
+
+    if args.command == "run":
+        try:
+            scale = float(args.scale)
+        except ValueError:
+            scale = args.scale
+        result = run_benchmark(
+            args.benchmark,
+            coalescer=CoalescerKind(args.coalescer),
+            n_accesses=args.accesses,
+            seed=args.seed,
+            device=args.device,
+            scale=scale,
+        )
+        if args.json:
+            print(result.to_json(indent=2))
+        else:
+            print(f"{args.benchmark} / {args.coalescer} / {args.device}:")
+            _print_result(result)
+        return 0
+
+    if args.command == "compare":
+        results = run_comparison(
+            args.benchmark, n_accesses=args.accesses, seed=args.seed
+        )
+        rows = [r.as_row() for r in results.values()]
+        keep = ["coalescer", "n_raw", "n_issued", "coalescing_efficiency",
+                "transaction_efficiency", "bank_conflicts",
+                "runtime_cycles", "energy_nj"]
+        print(render_table(rows, title=args.benchmark, columns=keep))
+        return 0
+
+    if args.command == "suite":
+        results = run_suite(
+            CoalescerKind(args.coalescer),
+            n_accesses=args.accesses, seed=args.seed,
+        )
+        rows = [r.as_row() for r in results.values()]
+        keep = ["benchmark", "n_raw", "n_issued", "coalescing_efficiency",
+                "bank_conflicts", "runtime_cycles"]
+        print(render_table(rows, title=f"suite / {args.coalescer}",
+                           columns=keep))
+        return 0
+
+    if args.command == "figure":
+        title, fn = FIGURES[args.figure]
+        cache = ResultCache(n_accesses=args.accesses, seed=args.seed)
+        rows = fn(cache)
+        print(render_table(rows, title=title))
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.summary import generate_report
+
+        sys.stdout.write(
+            generate_report(n_accesses=args.accesses, seed=args.seed)
+        )
+        return 0
+
+    if args.command == "ablation":
+        from repro.experiments.ablations import ABLATIONS
+
+        rows = ABLATIONS[args.name](n_accesses=args.accesses)
+        print(render_table(rows, title=f"ablation: {args.name}"))
+        return 0
+
+    if args.command == "validate":
+        from repro.experiments.validation import render_checks, validate
+
+        checks = validate(n_accesses=args.accesses, seed=args.seed)
+        print(render_checks(checks))
+        return 0 if all(c.passed for c in checks) else 1
+
+    if args.command == "trace":
+        from repro.engine.system import System
+        from repro.mem.trace import AccessTrace
+
+        system = System(TABLE1, CoalescerKind.NONE)
+        trace = system.build_trace(
+            [args.benchmark], args.accesses, seed=args.seed
+        )
+        if args.stage == "cpu":
+            trace.save(args.output)
+            print(f"wrote {len(trace):,} CPU accesses to {args.output}")
+        else:
+            raw = system.hierarchy.process(trace)
+            AccessTrace.from_rows(
+                (r.addr, r.size, int(r.op), r.core_id, r.cycle)
+                for r in raw.requests
+            ).save(args.output)
+            print(
+                f"wrote {len(raw.requests):,} raw requests "
+                f"({raw.miss_rate:.1%} of accesses) to {args.output}"
+            )
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

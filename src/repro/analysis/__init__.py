@@ -1,0 +1,33 @@
+"""Analysis tooling: DBSCAN request clustering, cross-page coalescing
+measurement, and the sorting-network space-overhead models."""
+
+from repro.analysis.dbscan import DBSCAN, dbscan_1d
+from repro.analysis.clustering import cluster_requests, ClusteringSummary
+from repro.analysis.crosspage import cross_page_stats, CrossPageStats
+from repro.analysis.space import (
+    pac_costs,
+    bitonic_costs,
+    odd_even_costs,
+    HardwareCosts,
+)
+from repro.analysis.reuse import (
+    ReuseProfile,
+    reuse_profile,
+    working_set_curve,
+)
+
+__all__ = [
+    "DBSCAN",
+    "dbscan_1d",
+    "cluster_requests",
+    "ClusteringSummary",
+    "cross_page_stats",
+    "CrossPageStats",
+    "pac_costs",
+    "bitonic_costs",
+    "odd_even_costs",
+    "HardwareCosts",
+    "ReuseProfile",
+    "reuse_profile",
+    "working_set_curve",
+]

@@ -1,0 +1,130 @@
+"""Reuse-distance and working-set analysis of access traces.
+
+Classic memory-behaviour characterization used to sanity-check the
+workload generators against their benchmark signatures: dense suites
+show short line-level reuse distances (spatial locality inside lines and
+pages); graph suites show heavy infinite-distance tails (cold, never
+reused probes). Backs the locality claims in DESIGN.md and the workload
+signature tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.types import CACHE_LINE_BYTES, PAGE_BYTES
+from repro.mem.trace import AccessTrace
+
+#: Reuse-distance bucket boundaries (in distinct lines touched since the
+#: previous access to the same line). The final bucket is cold misses.
+DISTANCE_BUCKETS = (0, 4, 16, 64, 256, 1024, 4096)
+COLD = -1
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Reuse-distance histogram plus working-set sizes for one trace."""
+
+    n_accesses: int
+    #: bucket upper bound -> access count; key COLD = never-reused/cold.
+    histogram: Dict[int, int]
+    unique_lines: int
+    unique_pages: int
+
+    @property
+    def cold_fraction(self) -> float:
+        return (
+            self.histogram.get(COLD, 0) / self.n_accesses
+            if self.n_accesses else 0.0
+        )
+
+    def fraction_within(self, distance: int) -> float:
+        """Fraction of accesses with reuse distance <= ``distance``."""
+        if not self.n_accesses:
+            return 0.0
+        total = sum(
+            count for bucket, count in self.histogram.items()
+            if bucket != COLD and bucket <= distance
+        )
+        return total / self.n_accesses
+
+    @property
+    def lines_per_page(self) -> float:
+        """Spatial density: distinct lines touched per distinct page."""
+        return self.unique_lines / self.unique_pages if self.unique_pages else 0.0
+
+
+def reuse_profile(
+    trace: AccessTrace,
+    granularity: int = CACHE_LINE_BYTES,
+    max_tracked: int = 1 << 16,
+) -> ReuseProfile:
+    """Compute the LRU stack-distance profile of a trace.
+
+    ``granularity`` sets the reuse unit (64B lines by default; pass
+    ``PAGE_BYTES`` for page-level reuse). Stack positions beyond
+    ``max_tracked`` are folded into the largest bucket (bounded memory,
+    exact for every distance that matters here).
+    """
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    stack: "OrderedDict[int, None]" = OrderedDict()
+    histogram: Dict[int, int] = {}
+    lines = set()
+    pages = set()
+    addrs = np.asarray(trace.addrs)
+    for addr in addrs:
+        unit = int(addr) // granularity
+        lines.add(int(addr) // CACHE_LINE_BYTES)
+        pages.add(int(addr) // PAGE_BYTES)
+        if unit in stack:
+            # Distance = number of distinct units touched since.
+            distance = 0
+            for key in reversed(stack):
+                if key == unit:
+                    break
+                distance += 1
+            stack.move_to_end(unit)
+            bucket = next(
+                (b for b in DISTANCE_BUCKETS if distance <= b),
+                DISTANCE_BUCKETS[-1],
+            )
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+        else:
+            stack[unit] = None
+            if len(stack) > max_tracked:
+                stack.popitem(last=False)
+            histogram[COLD] = histogram.get(COLD, 0) + 1
+    return ReuseProfile(
+        n_accesses=len(addrs),
+        histogram=histogram,
+        unique_lines=len(lines),
+        unique_pages=len(pages),
+    )
+
+
+def working_set_curve(
+    trace: AccessTrace, window_cycles: int = 10_000
+) -> List[int]:
+    """Distinct pages touched per fixed cycle window (the working-set
+    size over time)."""
+    if window_cycles <= 0:
+        raise ValueError("window must be positive")
+    out: List[int] = []
+    current: set = set()
+    window_end: Optional[int] = None
+    for addr, cycle in zip(trace.addrs, trace.cycles):
+        if window_end is None:
+            window_end = int(cycle) + window_cycles
+        while cycle >= window_end:
+            out.append(len(current))
+            current = set()
+            window_end += window_cycles
+        current.add(int(addr) // PAGE_BYTES)
+    if current:
+        out.append(len(current))
+    return out

@@ -1,0 +1,93 @@
+"""Hardware space-overhead models (Figure 11a).
+
+The paper compares PAC's comparator count and buffer space against the
+parallel bitonic and odd-even merge sorting networks used by prior
+request-sorting DMC designs (Batcher '68). These are closed-form
+counts:
+
+* bitonic sorter over N inputs: ``N/4 * log2(N) * (log2(N)+1)``
+  compare-exchange elements;
+* odd-even merge sorter: ``(N/4) * log2(N) * (log2(N)-1) + N - 1``;
+* PAC: one tag comparator per coalescing stream (N total).
+
+Buffer space: sorting networks buffer a full request descriptor at every
+network stage; PAC needs only the per-stream block-map (8B) and request
+buffer (16B), plus the shared 12B coalescing table (Section 5.3.3:
+"384B of space in total ... including the block-map (128B) and the
+request buffers (256B)" for 16 streams).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes buffered per in-flight request descriptor in a sorting network.
+SORT_DESCRIPTOR_BYTES = 16
+#: Per-stream block-map bytes (64-bit map).
+BLOCKMAP_BYTES = 8
+#: Per-stream request-buffer bytes.
+REQUEST_BUFFER_BYTES = 16
+#: Shared coalescing-table bytes (16 entries x 6 bits, rounded as in the
+#: paper's "12B of buffer space").
+COALESCING_TABLE_BYTES = 12
+
+
+@dataclass(frozen=True)
+class HardwareCosts:
+    """Comparators and buffer bytes for one design point."""
+
+    design: str
+    n_inputs: int
+    comparators: int
+    buffer_bytes: int
+
+
+def _check_n(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise ValueError("input width must be a power of two >= 2")
+    return int(math.log2(n))
+
+
+def bitonic_costs(n: int) -> HardwareCosts:
+    """Batcher bitonic sorting network costs for ``n`` inputs."""
+    log_n = _check_n(n)
+    comparators = (n * log_n * (log_n + 1)) // 4
+    stages = log_n * (log_n + 1) // 2
+    return HardwareCosts(
+        design="bitonic",
+        n_inputs=n,
+        comparators=comparators,
+        buffer_bytes=(stages + 1) * n * SORT_DESCRIPTOR_BYTES // 2,
+    )
+
+
+def odd_even_costs(n: int) -> HardwareCosts:
+    """Batcher odd-even merge sorting network costs for ``n`` inputs."""
+    log_n = _check_n(n)
+    comparators = (n * log_n * (log_n - 1)) // 4 + n - 1
+    stages = log_n * (log_n + 1) // 2
+    return HardwareCosts(
+        design="odd-even",
+        n_inputs=n,
+        comparators=comparators,
+        buffer_bytes=(stages + 1) * n * SORT_DESCRIPTOR_BYTES // 2
+        - n * SORT_DESCRIPTOR_BYTES // 4,
+    )
+
+
+def pac_costs(n_streams: int) -> HardwareCosts:
+    """PAC stage 1-2 costs for ``n_streams`` coalescing streams.
+
+    One parallel tag comparator per stream; buffer = block-maps +
+    request buffers + the shared coalescing table.
+    """
+    if n_streams < 1:
+        raise ValueError("need at least one stream")
+    return HardwareCosts(
+        design="pac",
+        n_inputs=n_streams,
+        comparators=n_streams,
+        buffer_bytes=n_streams * (BLOCKMAP_BYTES + REQUEST_BUFFER_BYTES)
+        + COALESCING_TABLE_BYTES,
+    )

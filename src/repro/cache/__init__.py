@@ -1,0 +1,13 @@
+"""Multi-core cache hierarchy producing the LLC miss/write-back stream."""
+
+from repro.cache.setassoc import AccessResult, SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy, RawStream
+from repro.cache.queues import RequestQueues
+
+__all__ = [
+    "AccessResult",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "RawStream",
+    "RequestQueues",
+]

@@ -1,0 +1,53 @@
+"""The miss queue and write-back queue between the LLC and the coalescer.
+
+Figure 3 buffers LLC misses and write-backs separately before they reach
+the PAC. The queues preserve overall cycle order when drained together.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.common.fifo import BoundedFIFO
+from repro.common.types import MemOp, MemoryRequest
+
+
+class RequestQueues:
+    """Paired miss/WB queues feeding the coalescer in cycle order."""
+
+    def __init__(self, miss_capacity: int = 64, wb_capacity: int = 64) -> None:
+        self.miss_queue: BoundedFIFO[MemoryRequest] = BoundedFIFO(
+            miss_capacity, "miss_queue"
+        )
+        self.wb_queue: BoundedFIFO[MemoryRequest] = BoundedFIFO(
+            wb_capacity, "wb_queue"
+        )
+
+    def push(self, req: MemoryRequest) -> bool:
+        """Route a raw request to the right queue; False when full (stall)."""
+        queue = self.wb_queue if req.op == MemOp.STORE else self.miss_queue
+        return queue.try_push(req)
+
+    def pop_next(self) -> Optional[MemoryRequest]:
+        """Pop whichever queue's head is oldest (global cycle order)."""
+        m = self.miss_queue.peek() if self.miss_queue else None
+        w = self.wb_queue.peek() if self.wb_queue else None
+        if m is None and w is None:
+            return None
+        if w is None or (m is not None and m.cycle <= w.cycle):
+            return self.miss_queue.pop()
+        return self.wb_queue.pop()
+
+    def drain(self) -> Iterator[MemoryRequest]:
+        while True:
+            req = self.pop_next()
+            if req is None:
+                return
+            yield req
+
+    @property
+    def empty(self) -> bool:
+        return self.miss_queue.empty and self.wb_queue.empty
+
+    def __len__(self) -> int:
+        return len(self.miss_queue) + len(self.wb_queue)

@@ -1,0 +1,117 @@
+"""Set-associative cache with LRU replacement and write-back semantics.
+
+Used for both the per-core L1s and the shared LLC (Table 1: 8-way, 16KB
+L1, 8MB L2). The cache operates at line granularity; byte offsets are
+stripped by the hierarchy before lookup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single cache lookup."""
+
+    hit: bool
+    #: Line address of a dirty victim evicted by this access (write-back
+    #: traffic), or None.
+    writeback: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line addresses.
+
+    ``access`` performs lookup + allocate-on-miss in one step
+    (write-allocate for stores, fetch-on-miss for loads). Dirty victims
+    are surfaced to the caller as write-back line addresses.
+    """
+
+    def __init__(
+        self,
+        total_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        if total_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if total_bytes % (ways * line_bytes):
+            raise ValueError("total size must divide into ways * line size")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = total_bytes // (ways * line_bytes)
+        self.name = name
+        # sets[i]: OrderedDict line_addr -> dirty flag, LRU first.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = StatsRegistry(name)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.n_sets
+
+    def access(self, line_addr: int, is_store: bool = False) -> AccessResult:
+        """Look up ``line_addr``; allocate on miss. Returns hit status and
+        any dirty victim's line address."""
+        if line_addr % self.line_bytes:
+            raise ValueError(
+                f"{self.name}: unaligned line address {line_addr:#x}"
+            )
+        cache_set = self._sets[self._set_index(line_addr)]
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            if is_store:
+                cache_set[line_addr] = True
+            self.stats.counter("hits").add()
+            return AccessResult(hit=True)
+
+        self.stats.counter("misses").add()
+        writeback = None
+        if len(cache_set) >= self.ways:
+            victim, dirty = cache_set.popitem(last=False)
+            if dirty:
+                writeback = victim
+                self.stats.counter("dirty_evictions").add()
+        cache_set[line_addr] = is_store
+        return AccessResult(hit=False, writeback=writeback)
+
+    def contains(self, line_addr: int) -> bool:
+        """Non-destructive presence probe (no LRU update)."""
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def install(self, line_addr: int, dirty: bool = False) -> Optional[int]:
+        """Insert a line without counting a demand access (fills from the
+        level below). Returns a dirty victim if one was evicted."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            if dirty:
+                cache_set[line_addr] = True
+            return None
+        writeback = None
+        if len(cache_set) >= self.ways:
+            victim, was_dirty = cache_set.popitem(last=False)
+            if was_dirty:
+                writeback = victim
+        cache_set[line_addr] = dirty
+        return writeback
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present; returns whether it was present."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        return cache_set.pop(line_addr, None) is not None
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.count("hits")
+        misses = self.stats.count("misses")
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,32 @@
+"""Shared low-level substrates: request types, bit manipulation, queues, stats.
+
+Everything in :mod:`repro` is built on the primitives defined here. The
+module is dependency-free (numpy only) and deliberately small; see
+``DESIGN.md`` section 2 for how it fits into the package layout.
+"""
+
+from repro.common.types import (
+    CACHE_LINE_BYTES,
+    PAGE_BYTES,
+    BLOCKS_PER_PAGE,
+    FLIT_BYTES,
+    MemOp,
+    MemoryRequest,
+    CoalescedRequest,
+)
+from repro.common.fifo import BoundedFIFO
+from repro.common.stats import Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "PAGE_BYTES",
+    "BLOCKS_PER_PAGE",
+    "FLIT_BYTES",
+    "MemOp",
+    "MemoryRequest",
+    "CoalescedRequest",
+    "BoundedFIFO",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+]

@@ -1,0 +1,137 @@
+"""Block-map bit manipulation.
+
+A *block-map* is the bitmap held by each coalescing stream: bit *i* set
+means cache block *i* of the page has a pending raw request (Figure 5a).
+With 4KB pages and 64B lines the map is 64 bits wide; the HBM protocol
+variant uses 16-bit sequences over 1KB rows (Section 4.1).
+
+The block-map decoder (stage 2) partitions the map into *chunks* whose
+width equals the maximum packet size of the target device in cache blocks
+(4 for HMC 2.1's 256B limit). The request assembler (stage 3) then turns
+each chunk into one or more contiguous *runs*, each run becoming a single
+coalesced packet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+
+def set_bit(bitmap: int, index: int) -> int:
+    """Return ``bitmap`` with bit ``index`` set."""
+    if index < 0:
+        raise ValueError("bit index must be non-negative")
+    return bitmap | (1 << index)
+
+
+def test_bit(bitmap: int, index: int) -> bool:
+    return bool((bitmap >> index) & 1)
+
+
+def popcount(bitmap: int) -> int:
+    """Number of set bits."""
+    if bitmap < 0:
+        raise ValueError("bitmap must be non-negative")
+    return bin(bitmap).count("1")
+
+
+def iter_set_bits(bitmap: int) -> Iterator[int]:
+    """Yield indices of set bits, lowest first."""
+    index = 0
+    while bitmap:
+        if bitmap & 1:
+            yield index
+        bitmap >>= 1
+        index += 1
+
+
+def chunk_bitmap(bitmap: int, total_bits: int, chunk_bits: int) -> List[int]:
+    """Partition ``bitmap`` into ``total_bits / chunk_bits`` fixed chunks.
+
+    Mirrors the hardware decoder: 16 4-bit chunks for a 64-bit map with
+    HMC 2.1. Chunk 0 covers the lowest-order bits. Raises if the widths do
+    not divide evenly (a misconfigured protocol).
+    """
+    if total_bits % chunk_bits != 0:
+        raise ValueError(
+            f"chunk width {chunk_bits} does not divide map width {total_bits}"
+        )
+    mask = (1 << chunk_bits) - 1
+    return [
+        (bitmap >> shift) & mask for shift in range(0, total_bits, chunk_bits)
+    ]
+
+
+def nonzero_chunks(
+    bitmap: int, total_bits: int, chunk_bits: int
+) -> List[Tuple[int, int]]:
+    """Return ``(chunk_index, chunk_value)`` for every non-empty chunk.
+
+    These are exactly the entries pushed into the block sequence buffer by
+    stage 2 (Section 3.3.2) — empty chunks never enter the buffer.
+    """
+    return [
+        (i, chunk)
+        for i, chunk in enumerate(chunk_bitmap(bitmap, total_bits, chunk_bits))
+        if chunk
+    ]
+
+
+def contiguous_runs(pattern: int, width: int) -> List[Tuple[int, int]]:
+    """Decompose a chunk ``pattern`` into maximal contiguous runs.
+
+    Returns ``(start_bit, run_length)`` pairs in ascending order. E.g. for
+    the 4-bit pattern ``0b0110`` -> ``[(1, 2)]``; ``0b1011`` ->
+    ``[(0, 2), (3, 1)]``.
+    """
+    runs: List[Tuple[int, int]] = []
+    start = None
+    for i in range(width):
+        if (pattern >> i) & 1:
+            if start is None:
+                start = i
+        elif start is not None:
+            runs.append((start, i - start))
+            start = None
+    if start is not None:
+        runs.append((start, width - start))
+    return runs
+
+
+def runs_to_packet_sizes(
+    runs: Sequence[Tuple[int, int]], legal_block_counts: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Split runs into protocol-legal packets.
+
+    ``legal_block_counts`` is the descending list of packet sizes the
+    device accepts, in cache blocks (HMC 2.1: ``[4, 2, 1]`` for
+    256/128/64B — Section 3.3.3 fixes exactly these three sizes). A run of
+    3 blocks therefore becomes a 2-block packet plus a 1-block packet.
+
+    Returns ``(start_bit, n_blocks)`` packets covering every run exactly.
+    """
+    sizes = sorted(set(legal_block_counts), reverse=True)
+    if not sizes or sizes[-1] != 1:
+        raise ValueError("legal block counts must include 1")
+    packets: List[Tuple[int, int]] = []
+    for start, length in runs:
+        offset = start
+        remaining = length
+        while remaining > 0:
+            for size in sizes:
+                if size <= remaining:
+                    packets.append((offset, size))
+                    offset += size
+                    remaining -= size
+                    break
+    return packets
+
+
+def bitmap_from_blocks(blocks: Sequence[int], width: int = 64) -> int:
+    """Build a block-map from a list of block indices (test/constructor aid)."""
+    bitmap = 0
+    for block in blocks:
+        if not 0 <= block < width:
+            raise ValueError(f"block index {block} outside 0..{width - 1}")
+        bitmap = set_bit(bitmap, block)
+    return bitmap

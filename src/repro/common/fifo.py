@@ -1,0 +1,106 @@
+"""Bounded FIFO with explicit stall semantics.
+
+Hardware queues in this model (miss queue, write-back queue, MAQ, vault
+queues) never silently drop entries: a push into a full queue is a caller
+error — callers must check :meth:`BoundedFIFO.full` and stall, exactly as
+the pipeline stalls when the MAQ is full (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueFullError(RuntimeError):
+    """Raised on push into a full bounded queue."""
+
+
+class QueueEmptyError(RuntimeError):
+    """Raised on pop from an empty queue."""
+
+
+class BoundedFIFO(Generic[T]):
+    """A fixed-capacity first-in first-out buffer.
+
+    ``capacity=None`` models an unbounded buffer (used for statistics
+    sinks, never for modeled hardware).
+    """
+
+    __slots__ = ("_items", "_capacity", "name", "peak_occupancy", "total_pushed")
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "fifo") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self._items: Deque[T] = deque()
+        self._capacity = capacity
+        self.name = name
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return self._capacity is not None and len(self._items) >= self._capacity
+
+    @property
+    def free_slots(self) -> Optional[int]:
+        if self._capacity is None:
+            return None
+        return self._capacity - len(self._items)
+
+    def push(self, item: T) -> None:
+        if self.full:
+            raise QueueFullError(f"{self.name}: push into full queue (cap={self._capacity})")
+        self._items.append(item)
+        self.total_pushed += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+
+    def try_push(self, item: T) -> bool:
+        """Push if space is available; return whether the push happened."""
+        if self.full:
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        if not self._items:
+            raise QueueEmptyError(f"{self.name}: pop from empty queue")
+        return self._items.popleft()
+
+    def try_pop(self) -> Optional[T]:
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        if not self._items:
+            raise QueueEmptyError(f"{self.name}: peek at empty queue")
+        return self._items[0]
+
+    def drain(self) -> Iterator[T]:
+        """Pop everything, yielding in FIFO order."""
+        while self._items:
+            yield self._items.popleft()
+
+    def clear(self) -> None:
+        self._items.clear()

@@ -1,0 +1,174 @@
+"""Lightweight statistics primitives shared by every simulated component.
+
+Each hardware model owns a :class:`StatsRegistry`; the engine merges them
+into a :class:`repro.engine.results.RunResult` at the end of a run. The
+primitives avoid numpy in the hot path — they are incremented per event —
+and convert to arrays only when summarized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """Running mean/min/max over a stream of samples (e.g. latencies)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sumsq = 0.0
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        self._sumsq += sample * sample
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self._sumsq / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return f"Accumulator({self.name}: n={self.count}, mean={self.mean:.3f})"
+
+
+class Histogram:
+    """Integer-keyed histogram (e.g. occupied coalescing streams per window)."""
+
+    __slots__ = ("name", "bins")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bins: Dict[int, int] = {}
+
+    def add(self, key: int, count: int = 1) -> None:
+        self.bins[key] = self.bins.get(key, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.bins.values())
+
+    @property
+    def mean(self) -> float:
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in self.bins.items()) / total
+
+    def proportion(self, key: int) -> float:
+        total = self.total
+        return self.bins.get(key, 0) / total if total else 0.0
+
+    def sorted_items(self) -> List[tuple]:
+        return sorted(self.bins.items())
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: {len(self.bins)} bins, n={self.total})"
+
+
+@dataclass
+class StatsRegistry:
+    """Namespaced collection of counters/accumulators/histograms.
+
+    Components create their metrics lazily via :meth:`counter` /
+    :meth:`accumulator` / :meth:`histogram`; repeated calls with the same
+    name return the same object, so producers and reporters can be
+    decoupled.
+    """
+
+    namespace: str = ""
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    accumulators: Dict[str, Accumulator] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(self._qualify(name))
+        return self.counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        if name not in self.accumulators:
+            self.accumulators[name] = Accumulator(self._qualify(name))
+        return self.accumulators[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(self._qualify(name))
+        return self.histograms[name]
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.namespace}.{name}" if self.namespace else name
+
+    def count(self, name: str) -> int:
+        """Value of a counter, 0 if never touched."""
+        counter = self.counters.get(name)
+        return counter.value if counter else 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to scalars for reporting (histograms export their mean)."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[self._qualify(name)] = counter.value
+        for name, acc in self.accumulators.items():
+            out[self._qualify(name) + ".mean"] = acc.mean
+        for name, hist in self.histograms.items():
+            out[self._qualify(name) + ".mean"] = hist.mean
+        return out
+
+    def merge_from(self, other: "StatsRegistry") -> None:
+        """Accumulate another registry's counters into this one."""
+        for name, counter in other.counters.items():
+            self.counter(name).add(counter.value)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name)
+            for key, count in hist.bins.items():
+                mine.add(key, count)
+        for name, acc in other.accumulators.items():
+            mine_acc = self.accumulator(name)
+            # Merging accumulators loses per-sample data; fold in the
+            # moments instead.
+            mine_acc.count += acc.count
+            mine_acc.total += acc.total
+            mine_acc._sumsq += acc._sumsq
+            mine_acc.min = min(mine_acc.min, acc.min)
+            mine_acc.max = max(mine_acc.max, acc.max)

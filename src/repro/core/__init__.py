@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the paged adaptive coalescer."""
+
+from repro.core.protocols import (
+    HBM,
+    HMC1,
+    HMC2,
+    HMC2_FINE,
+    CoalescingTable,
+    MemoryProtocol,
+)
+from repro.core.stream import CoalescingStream, new_stream
+from repro.core.aggregator import PagedRequestAggregator
+from repro.core.decoder import BlockMapDecoder, BlockSequence
+from repro.core.assembler import RequestAssembler
+from repro.core.maq import MemoryAccessQueue
+from repro.core.network import CoalescingNetwork
+from repro.core.pac import PagedAdaptiveCoalescer
+
+__all__ = [
+    "HBM",
+    "HMC1",
+    "HMC2",
+    "HMC2_FINE",
+    "CoalescingTable",
+    "MemoryProtocol",
+    "CoalescingStream",
+    "new_stream",
+    "PagedRequestAggregator",
+    "BlockMapDecoder",
+    "BlockSequence",
+    "RequestAssembler",
+    "MemoryAccessQueue",
+    "CoalescingNetwork",
+    "PagedAdaptiveCoalescer",
+]

@@ -1,0 +1,126 @@
+"""Stage 1 — the paged request aggregator (Section 3.3.1).
+
+Each incoming raw request is compared *simultaneously* against the tags
+of all active coalescing streams (hardware comparators; we count one
+comparison per active stream for the Figure 7 accounting). A match merges
+the request into that stream's block-map; otherwise a new stream is
+allocated. Streams flush to stage 2 when their timeout expires, when a
+fence arrives, or when all slots are busy and a new page needs one (the
+oldest stream is force-flushed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import MemOp, MemoryRequest
+from repro.core.protocols import MemoryProtocol
+from repro.core.stream import CoalescingStream, new_stream
+
+
+class PagedRequestAggregator:
+    """Fixed number of parallel coalescing stream slots."""
+
+    def __init__(
+        self,
+        protocol: MemoryProtocol,
+        n_streams: int = 16,
+        timeout_cycles: int = 16,
+    ) -> None:
+        if n_streams <= 0:
+            raise ValueError("need at least one coalescing stream")
+        if timeout_cycles <= 0:
+            raise ValueError("timeout must be positive")
+        self.protocol = protocol
+        self.n_streams = n_streams
+        self.timeout_cycles = timeout_cycles
+        self.streams: List[CoalescingStream] = []
+        self.stats = StatsRegistry("pra")
+        #: Lower bound on the earliest stream deadline — lets expire()
+        #: early-out without scanning (exact after every expire()).
+        self._min_deadline: Optional[int] = None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.streams)
+
+    @property
+    def full(self) -> bool:
+        return len(self.streams) >= self.n_streams
+
+    def next_deadline(self) -> Optional[int]:
+        """Earliest timeout deadline among active streams."""
+        if not self.streams:
+            return None
+        return min(s.deadline(self.timeout_cycles) for s in self.streams)
+
+    def expire(self, now: int) -> List[CoalescingStream]:
+        """Remove and return every stream whose timeout has passed at
+        ``now`` (deadline <= now), oldest deadline first."""
+        if self._min_deadline is not None and now < self._min_deadline:
+            return []  # nothing can be due yet
+        due = [s for s in self.streams if s.deadline(self.timeout_cycles) <= now]
+        if due:
+            due.sort(key=lambda s: s.deadline(self.timeout_cycles))
+            self.streams = [
+                s for s in self.streams
+                if s.deadline(self.timeout_cycles) > now
+            ]
+        self._min_deadline = self.next_deadline()
+        return due
+
+    def insert(self, req: MemoryRequest, now: int) -> List[CoalescingStream]:
+        """Insert a raw request; returns any streams force-flushed to make
+        room (empty list in the common case).
+
+        Atomics must not reach the aggregator (they bypass PAC entirely,
+        Section 3.3.1) — the caller routes them around.
+        """
+        if req.op not in (MemOp.LOAD, MemOp.STORE):
+            raise ValueError(f"non-coalescable op in aggregator: {req.op}")
+        # One parallel comparator sweep across all active streams.
+        self.stats.counter("comparisons").add(len(self.streams))
+        self.stats.histogram("occupancy_at_insert").add(len(self.streams))
+
+        for stream in self.streams:
+            if stream.matches(req):
+                stream.add(req, now)
+                self.stats.counter("merged_inserts").add()
+                return []
+
+        flushed: List[CoalescingStream] = []
+        if self.full:
+            # All slots busy: force-flush the oldest stream (earliest
+            # allocation) so the new page gets a slot.
+            oldest = min(self.streams, key=lambda s: s.alloc_cycle)
+            self.streams.remove(oldest)
+            flushed.append(oldest)
+            self.stats.counter("forced_flushes").add()
+        self.streams.append(new_stream(req, self.protocol, now))
+        deadline = now + self.timeout_cycles
+        if self._min_deadline is None or deadline < self._min_deadline:
+            self._min_deadline = deadline
+        self.stats.counter("allocations").add()
+        return flushed
+
+    def fence(self, now: int) -> List[CoalescingStream]:
+        """A memory fence monopolizes stage 1 and pushes every previous
+        request to stage 2 (Section 3.3.1)."""
+        flushed = list(self.streams)
+        self.streams.clear()
+        self._min_deadline = None
+        self.stats.counter("fence_flushes").add(len(flushed))
+        return flushed
+
+    def drain(self) -> List[CoalescingStream]:
+        """End-of-run flush of everything still buffered."""
+        flushed = list(self.streams)
+        self.streams.clear()
+        self._min_deadline = None
+        return flushed
+
+    def sample_occupancy(self, now: int) -> None:
+        """Record the number of occupied streams (the paper samples every
+        16 cycles for Figure 11b/11c)."""
+        self.stats.histogram("occupancy_samples").add(len(self.streams))

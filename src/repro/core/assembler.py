@@ -1,0 +1,75 @@
+"""Stage 3 — the request assembler (Section 3.3.3).
+
+Consumes block sequences in FIFO order, references the coalescing table
+(one cycle per sequence) and assembles the coalesced requests (one cycle
+per request): "a coalesced request can be issued every 2 cycles".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import CoalescedRequest, PAGE_BYTES
+from repro.core.decoder import BlockSequence
+from repro.core.protocols import CoalescingTable, MemoryProtocol
+
+#: Table lookup latency per block sequence, cycles.
+LOOKUP_CYCLES = 1
+#: Assembly latency per coalesced request, cycles.
+ASSEMBLE_CYCLES = 1
+
+
+class RequestAssembler:
+    """Turns block sequences into protocol-legal coalesced packets."""
+
+    def __init__(self, protocol: MemoryProtocol, table: CoalescingTable = None) -> None:
+        self.protocol = protocol
+        # The 16-entry coalescing table is shared by all request
+        # assemblers (Section 5.3.3); callers may pass a shared instance.
+        self.table = table if table is not None else CoalescingTable(protocol)
+        self.stats = StatsRegistry("assembler")
+
+    def assemble(
+        self, seq: BlockSequence, start_cycle: int
+    ) -> Tuple[List[CoalescedRequest], int]:
+        """Assemble one block sequence beginning at ``start_cycle``.
+
+        Returns ``(packets, finish_cycle)``; packet ``issue_cycle`` fields
+        carry the per-packet assembly completion times.
+        """
+        proto = self.protocol
+        layout = self.table.lookup(seq.pattern)
+        page_base = seq.stream_ppn * PAGE_BYTES
+        chunk_base = seq.chunk_index * proto.chunk_width
+        cycle = start_cycle + LOOKUP_CYCLES
+        packets: List[CoalescedRequest] = []
+        for grain_offset, n_grains in layout:
+            cycle += ASSEMBLE_CYCLES
+            # A request spanning several grains is recorded on each; keep
+            # the first occurrence only (order-preserving dedupe).
+            constituents: List[int] = list(
+                dict.fromkeys(
+                    rid
+                    for g in range(grain_offset, grain_offset + n_grains)
+                    for rid in seq.grain_requests[g]
+                )
+            )
+            if not constituents:
+                raise AssertionError(
+                    "coalescing table produced a packet over empty grains"
+                )
+            packets.append(
+                CoalescedRequest(
+                    addr=page_base + (chunk_base + grain_offset) * proto.grain_bytes,
+                    size=proto.packet_bytes(n_grains),
+                    op=seq.op,
+                    constituents=tuple(constituents),
+                    issue_cycle=cycle,
+                    source="pac",
+                )
+            )
+        self.stats.counter("sequences_assembled").add()
+        self.stats.counter("packets_produced").add(len(packets))
+        self.stats.accumulator("stage3_cycles").add(cycle - start_cycle)
+        return packets, cycle

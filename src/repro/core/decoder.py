@@ -1,0 +1,86 @@
+"""Stage 2 — the block-map decoder (Section 3.3.2).
+
+Partitions a flushed stream's block-map into chunks of the protocol's
+maximum packet width (16 four-bit chunks for HMC 2.1) and pushes each
+non-empty chunk into the block sequence buffer. Decoding itself takes
+two pipeline cycles (one to decode in parallel OR gates, one to store);
+because the buffer shares a data bus, the chunks are written
+sequentially, one per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common import bitops
+from repro.common.stats import StatsRegistry
+from repro.core.protocols import MemoryProtocol
+from repro.core.stream import CoalescingStream
+
+#: Decode + first store, in cycles (Section 3.3.2: "the latency of the
+#: decoding procedure is restricted to 2 pipeline cycles").
+DECODE_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class BlockSequence:
+    """One entry of the block sequence buffer: a non-empty chunk of a
+    stream's block-map, ready for the request assembler."""
+
+    stream_ppn: int
+    op: object  # MemOp; kept loose to avoid churn in frozen dataclass eq
+    chunk_index: int
+    pattern: int
+    #: Cycle at which this sequence lands in the buffer.
+    ready_cycle: int
+    #: req_ids per grain offset within this chunk (grain order).
+    grain_requests: tuple
+
+
+class BlockMapDecoder:
+    """Decodes flushed streams into block sequences."""
+
+    def __init__(self, protocol: MemoryProtocol) -> None:
+        self.protocol = protocol
+        self.stats = StatsRegistry("decoder")
+
+    def decode(
+        self, stream: CoalescingStream, flush_cycle: int
+    ) -> List[BlockSequence]:
+        """Decode one stream flushed at ``flush_cycle``.
+
+        Returns the block sequences in buffer (FIFO) order, each stamped
+        with the cycle it becomes available — the j-th non-empty chunk
+        lands at ``flush_cycle + DECODE_CYCLES + j`` because writes share
+        the data bus.
+        """
+        proto = self.protocol
+        chunks = bitops.nonzero_chunks(
+            stream.block_map, proto.map_width, proto.chunk_width
+        )
+        sequences: List[BlockSequence] = []
+        for j, (chunk_index, pattern) in enumerate(chunks):
+            base_grain = chunk_index * proto.chunk_width
+            grain_reqs = tuple(
+                tuple(stream.grain_requests.get(base_grain + g, ()))
+                for g in range(proto.chunk_width)
+            )
+            sequences.append(
+                BlockSequence(
+                    stream_ppn=stream.ppn,
+                    op=stream.op,
+                    chunk_index=chunk_index,
+                    pattern=pattern,
+                    ready_cycle=flush_cycle + DECODE_CYCLES + j,
+                    grain_requests=grain_reqs,
+                )
+            )
+        self.stats.counter("streams_decoded").add()
+        self.stats.counter("sequences_produced").add(len(sequences))
+        if sequences:
+            # Stage-2 residency of this stream: decode + serialized stores.
+            self.stats.accumulator("stage2_cycles").add(
+                DECODE_CYCLES + len(sequences) - 1
+            )
+        return sequences

@@ -1,0 +1,73 @@
+"""The memory access queue (Section 3.1.2).
+
+A FIFO between the coalescing network and the adaptive MSHRs, sized
+equal to the MSHR count so the MSHRs can always be replenished without
+exposing coalescing latency. Tracks the Figure 12b metric: the time to
+fill the MAQ from empty to full (a *fill episode*).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.fifo import BoundedFIFO
+from repro.common.stats import StatsRegistry
+from repro.common.types import CoalescedRequest
+
+
+class MemoryAccessQueue:
+    """Bounded FIFO of coalesced packets with fill-latency accounting."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        self._fifo: BoundedFIFO[Tuple[CoalescedRequest, int]] = BoundedFIFO(
+            capacity, "maq"
+        )
+        self.capacity = capacity
+        self.stats = StatsRegistry("maq")
+        self._episode_start: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def empty(self) -> bool:
+        return self._fifo.empty
+
+    @property
+    def full(self) -> bool:
+        return self._fifo.full
+
+    def push(self, packet: CoalescedRequest, ready_cycle: int) -> bool:
+        """Enqueue a packet that became ready at ``ready_cycle``. Returns
+        False when full — the coalescing pipeline must stall (Section 3.2:
+        "If the MAQ is full, the pipeline is stalled and the cache is
+        subsequently blocked")."""
+        if self._fifo.full:
+            self.stats.counter("full_stalls").add()
+            return False
+        if self._fifo.empty:
+            self._episode_start = ready_cycle
+        self._fifo.push((packet, ready_cycle))
+        if self._fifo.full and self._episode_start is not None:
+            # Fill episode complete: empty -> full (Figure 12b).
+            self.stats.accumulator("fill_cycles").add(
+                max(0, ready_cycle - self._episode_start)
+            )
+            self._episode_start = None
+        return True
+
+    def pop(self) -> Tuple[CoalescedRequest, int]:
+        """Dequeue ``(packet, ready_cycle)``."""
+        return self._fifo.pop()
+
+    def peek(self) -> Tuple[CoalescedRequest, int]:
+        return self._fifo.peek()
+
+    def head_ready_cycle(self) -> Optional[int]:
+        if self._fifo.empty:
+            return None
+        return self._fifo.peek()[1]
+
+    @property
+    def mean_fill_cycles(self) -> float:
+        return self.stats.accumulator("fill_cycles").mean

@@ -1,0 +1,85 @@
+"""The three-stage pipelined coalescing network (Section 3.3, Figure 4).
+
+:class:`CoalescingNetwork` wires the block-map decoder (stage 2) and the
+request assembler (stage 3) behind the paged request aggregator. Given a
+stream flushed out of stage 1 at some cycle it produces the coalesced
+packets with their assembly-completion timestamps, honouring:
+
+* the **C-bit bypass** — streams holding a single request skip stages
+  2–3 and head straight for the MAQ with one cycle of latency;
+* the serialized block-sequence-buffer writes between stages 2 and 3;
+* the 1-cycle table lookup + 1-cycle-per-request assembly of stage 3,
+  chained across the sequences of one stream (each coalescing stream has
+  its own pipeline; different streams proceed in parallel).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import CoalescedRequest, PAGE_BYTES
+from repro.core.assembler import RequestAssembler
+from repro.core.decoder import BlockMapDecoder
+from repro.core.protocols import CoalescingTable, MemoryProtocol
+from repro.core.stream import CoalescingStream
+
+#: Exit latency of a C=0 stream that skips stages 2–3.
+BYPASS_CYCLES = 1
+
+
+class CoalescingNetwork:
+    """Stages 2–3 of the pipeline, shared coalescing table included."""
+
+    def __init__(self, protocol: MemoryProtocol) -> None:
+        self.protocol = protocol
+        self.table = CoalescingTable(protocol)
+        self.decoder = BlockMapDecoder(protocol)
+        self.assembler = RequestAssembler(protocol, table=self.table)
+        self.stats = StatsRegistry("network")
+
+    def flush_stream(
+        self, stream: CoalescingStream, flush_cycle: int
+    ) -> List[CoalescedRequest]:
+        """Run a flushed stream through stages 2–3 (or the bypass).
+
+        Returns packets whose ``issue_cycle`` is the cycle each becomes
+        ready for the MAQ.
+        """
+        if not stream.coalescing_bit:
+            # C = 0: single request — skip stages 2-3 (Section 3.3.1).
+            # The packet covers every grain the lone request touched
+            # (one 64B grain on HMC; e.g. two 32B grains on HBM).
+            self.stats.counter("bypassed_streams").add()
+            self.stats.counter("bypassed_requests").add(stream.n_requests)
+            grains = sorted(stream.grain_requests)
+            first, last = grains[0], grains[-1]
+            packet = CoalescedRequest(
+                addr=stream.ppn * PAGE_BYTES + first * self.protocol.grain_bytes,
+                size=(last - first + 1) * self.protocol.grain_bytes,
+                op=stream.op,
+                constituents=tuple(
+                    dict.fromkeys(stream.grain_requests[first])
+                ),
+                issue_cycle=flush_cycle + BYPASS_CYCLES,
+                source="pac-bypass",
+            )
+            return [packet]
+
+        self.stats.counter("coalesced_streams").add()
+        self.stats.counter("coalesced_requests").add(stream.n_requests)
+        sequences = self.decoder.decode(stream, flush_cycle)
+        packets: List[CoalescedRequest] = []
+        # Sequences pop from the block sequence buffer in FIFO order and
+        # feed this stream's assembler serially; buffer writes overlap
+        # with assembly (Section 3.3.2 "the latency between the second and
+        # third stages is eliminated").
+        stage3_free = flush_cycle
+        for seq in sequences:
+            start = max(seq.ready_cycle, stage3_free)
+            seq_packets, stage3_free = self.assembler.assemble(seq, start)
+            packets.extend(seq_packets)
+        self.stats.accumulator("stream_pipeline_cycles").add(
+            stage3_free - flush_cycle
+        )
+        return packets

@@ -1,0 +1,408 @@
+"""The paged adaptive coalescer — end-to-end (Figure 3).
+
+:class:`PagedAdaptiveCoalescer` implements the
+:class:`repro.mshr.dmc.Coalescer` interface: it consumes the LLC's raw
+request stream in cycle order and drives the memory device, modelling
+
+* stage 1 aggregation with the 16-cycle timeout and fence handling,
+* stages 2–3 via :class:`repro.core.network.CoalescingNetwork`,
+* the MAQ between the network and the MSHRs,
+* the adaptive MSHRs (multi-block spans, OP bit, packet merging),
+* the network controller's idle bypass — while the MAQ is empty and
+  MSHRs are free the whole network is disabled and raw requests go
+  straight into the MSHRs; it re-enables once every MSHR is occupied
+  (Section 3.2),
+* atomics routed around the coalescer (Section 3.3.1).
+
+Admission into stage 1 is paced at one request per cycle; structural
+stalls push the *entry clock* back so the backlog bunches into shared
+aggregation windows — the blocked-cache cascade (see ARCHITECTURE.md,
+"Timing model").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.common.types import (
+    CACHE_LINE_BYTES,
+    CoalescedRequest,
+    MemOp,
+    MemoryRequest,
+)
+from repro.config import PACConfig
+from repro.core.aggregator import PagedRequestAggregator
+from repro.core.maq import MemoryAccessQueue
+from repro.core.network import CoalescingNetwork
+from repro.core.protocols import HMC2, HMC2_FINE, MemoryProtocol
+from repro.mshr.adaptive import AdaptiveMSHRFile
+from repro.mshr.dmc import Coalescer, CoalesceOutcome, MemoryDevice
+
+#: Sampling period for coalescing-stream occupancy (Figure 11b: "we
+#: accumulate the number of occupied coalescing streams every 16 cycles").
+OCCUPANCY_SAMPLE_CYCLES = 16
+
+
+class PagedAdaptiveCoalescer(Coalescer):
+    """PAC: stage-1 aggregator + pipelined network + MAQ + adaptive MSHRs."""
+
+    def __init__(
+        self,
+        config: PACConfig = None,
+        protocol: MemoryProtocol = None,
+    ) -> None:
+        super().__init__("pac")
+        self.config = config if config is not None else PACConfig()
+        if protocol is None:
+            protocol = HMC2_FINE if self.config.fine_grain else HMC2
+        self.protocol = protocol
+        self.aggregator = PagedRequestAggregator(
+            protocol,
+            n_streams=self.config.n_streams,
+            timeout_cycles=self.config.timeout_cycles,
+        )
+        self.network = CoalescingNetwork(protocol)
+        self.maq = MemoryAccessQueue(self.config.maq_entries)
+        self.mshrs = AdaptiveMSHRFile(self.config.n_mshrs, name="pac.amshr")
+        #: Network controller state: disabled while idle (Section 3.2).
+        self.network_enabled = not self.config.idle_bypass
+        self._last_sample = 0
+
+    # ------------------------------------------------------------------ #
+    # main loop
+
+    def process(
+        self, raw: Iterable[MemoryRequest], memory: MemoryDevice
+    ) -> CoalesceOutcome:
+        out = CoalesceOutcome()
+        self._out = out
+        self._memory = memory
+        #: Cycle at which stage 1 can next accept a request: one admission
+        #: per cycle, pushed back whenever the MAQ backpressures the
+        #: pipeline. A stalled pipeline makes the backlog *bunch up*, so
+        #: queued requests land in shared aggregation windows — the
+        #: behaviour that lets PAC mine a congested miss queue.
+        self._entry_clock = 0
+        self._arrivals = {}
+        latency_acc = self.stats.accumulator("request_latency")
+
+        for req in raw:
+            out.n_raw += 1
+            now = max(req.cycle, self._entry_clock)
+            # Service accounting measures from *entry* into the miss
+            # path — the moment an in-order core would have issued the
+            # miss — so the open-loop backlog does not inflate it.
+            self._arrivals[req.req_id] = now
+            out.stall_cycles += now - req.cycle
+            self._entry_clock = now + 1
+            self._advance(now)
+
+            if req.op == MemOp.ATOMIC:
+                # Atomics go straight to the memory controller,
+                # uncoalesced, not even via the MSHRs (Section 3.3.1).
+                packet = CoalescedRequest(
+                    addr=req.line_addr, size=max(req.size, 16), op=MemOp.STORE,
+                    constituents=(req.req_id,), issue_cycle=now,
+                    source="atomic",
+                )
+                completion = memory.submit(packet, now)
+                out.issued.append(packet)
+                out.n_issued += 1
+                out.last_completion_cycle = max(
+                    out.last_completion_cycle, completion
+                )
+                out.account_service(now, completion)
+                self.stats.counter("atomics").add()
+                continue
+
+            if req.op == MemOp.FENCE:
+                for stream in self.aggregator.fence(now):
+                    self._flush_stream(stream, now)
+                self.stats.counter("fences").add()
+                continue
+
+            if not self.network_enabled:
+                # Idle bypass: straight into the MSHRs with ~1 cycle of
+                # latency; the network stays off until the MSHRs fill.
+                if self.mshrs.full:
+                    self.network_enabled = True
+                    self.stats.counter("network_enables").add()
+                else:
+                    self._direct_to_mshr(req, now)
+                    latency_acc.add(1.0)
+                    continue
+
+            flushed = self.aggregator.insert(req, now)
+            for stream in flushed:
+                self._flush_stream(stream, now)
+
+        # End of stream: drain everything that is still buffered; each
+        # remaining stream flushes at its own timeout deadline.
+        for stream in sorted(
+            self.aggregator.drain(),
+            key=lambda s: s.deadline(self.config.timeout_cycles),
+        ):
+            self._flush_stream(
+                stream, stream.deadline(self.config.timeout_cycles)
+            )
+        self._drain_maq(until_empty=True)
+
+        # Figure 7 accounting: the comparisons of the *coalescing
+        # procedure* — the stage-1 page-granular CAM (plus the direct
+        # path's CAM, which serves as its aggregation check). The
+        # packet-dispatch MSHR CAM is common to every design and is
+        # tracked separately in ``stats['mshr_cam_comparisons']``.
+        out.comparisons = self.aggregator.stats.count(
+            "comparisons"
+        ) + self.stats.count("direct_cam_comparisons")
+        return out
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _advance(self, now: int) -> None:
+        """Process all timeout flushes due at or before ``now`` and drain
+        the MAQ into the MSHRs; also take occupancy samples."""
+        due = self.aggregator.expire(now)
+        deadlines = sorted(
+            s.deadline(self.config.timeout_cycles) for s in due
+        )
+        self._sample_windows(now, deadlines)
+        for stream in due:
+            self._flush_stream(
+                stream, stream.deadline(self.config.timeout_cycles)
+            )
+        self._drain_maq(now=now)
+        # Apply any memory responses due by now even when the MAQ is
+        # empty — the controller's disable condition reads MSHR occupancy.
+        self.mshrs.advance(now)
+        self._maybe_disable(now)
+
+    def _sample_windows(self, now: int, expired_deadlines) -> None:
+        """Record the per-16-cycle occupancy samples elapsed up to
+        ``now`` (Figure 11b). Occupancy is piecewise constant: the
+        just-expired streams were still resident until their deadlines,
+        so windows before a deadline see them. Windows past the last
+        deadline all sample the same surviving occupancy and are recorded
+        in one shot — long idle gaps stay O(1).
+        """
+        if self._last_sample + OCCUPANCY_SAMPLE_CYCLES > now:
+            return
+        hist = self.aggregator.stats.histogram("occupancy_samples")
+        base = self.aggregator.occupancy  # survivors (already expired out)
+        last_deadline = expired_deadlines[-1] if expired_deadlines else None
+        while (
+            last_deadline is not None
+            and self._last_sample + OCCUPANCY_SAMPLE_CYCLES
+            <= min(now, last_deadline)
+        ):
+            window_start = self._last_sample
+            self._last_sample += OCCUPANCY_SAMPLE_CYCLES
+            # A stream counts for a window if it was still resident when
+            # the window opened.
+            still_resident = sum(
+                1 for d in expired_deadlines if d > window_start
+            )
+            hist.add(base + still_resident)
+        remaining = (now - self._last_sample) // OCCUPANCY_SAMPLE_CYCLES
+        if remaining > 0:
+            hist.add(base, int(remaining))
+            self._last_sample += remaining * OCCUPANCY_SAMPLE_CYCLES
+
+    def _maybe_disable(self, now: int) -> None:
+        if (
+            self.config.idle_bypass
+            and self.network_enabled
+            and self.maq.empty
+            and self.mshrs.has_free
+            and self.aggregator.occupancy == 0
+        ):
+            self.network_enabled = False
+            self.stats.counter("network_disables").add()
+
+    def _flush_stream(self, stream, flush_cycle: int) -> None:
+        """Send a stage-1 stream through the network and into the MAQ."""
+        latency_acc = self.stats.accumulator("request_latency")
+        # Stage-1 residency: the paper reports the overall PAC latency as
+        # timeout-dominated; we record the stream's aggregation residency
+        # per request it carried.
+        latency_acc_value = flush_cycle - stream.alloc_cycle
+        for _ in range(stream.n_requests):
+            latency_acc.add(float(max(1, latency_acc_value)))
+        packets = self.network.flush_stream(stream, flush_cycle)
+        for packet in packets:
+            self._enqueue_packet(packet)
+
+    def _enqueue_packet(self, packet: CoalescedRequest) -> None:
+        ready = packet.issue_cycle
+        if not self.maq.push(packet, ready):
+            # MAQ full: the pipeline stalls and the cache blocks until the
+            # head drains (Section 3.2). Force one drain; stage 1 cannot
+            # admit new requests until then (backpressure).
+            waited = self._drain_one(force=True)
+            self._entry_clock = max(self._entry_clock, waited)
+            self.stats.counter("pipeline_stall_cycles").add(
+                max(0, waited - ready)
+            )
+            if not self.maq.push(packet, max(ready, waited)):
+                raise AssertionError("MAQ still full after forced drain")
+
+
+    def _account_packet(self, packet, completion: int) -> None:
+        """Exact service accounting: every raw request covered by this
+        packet is satisfied when the packet's response returns."""
+        for rid in packet.constituents:
+            arrival = self._arrivals.pop(rid, None)
+            if arrival is not None:
+                self._out.account_service(arrival, completion)
+
+    def _drain_maq(self, now: Optional[int] = None, until_empty: bool = False) -> None:
+        """Pop MAQ entries whose ready time has come and hand them to the
+        adaptive MSHRs (merge or allocate+dispatch). Entries whose turn
+        has come but that find the MSHRs full simply wait in the MAQ —
+        that is the MAQ's purpose (Section 3.1.2)."""
+        while not self.maq.empty:
+            head_ready = self.maq.head_ready_cycle()
+            if not until_empty and now is not None and head_ready > now:
+                break
+            if self._drain_one(now=now, force=until_empty) is None:
+                break
+
+    def _drain_one(
+        self, now: Optional[int] = None, force: bool = False
+    ) -> Optional[int]:
+        """Pop the MAQ head into the MSHRs; returns the cycle at which the
+        pop happened (>= the packet's ready cycle), or None when the
+        MSHRs stay full through ``now`` and ``force`` is False (the
+        packet waits in the MAQ)."""
+        packet, ready = self.maq.peek()
+        self.mshrs.advance(ready)
+
+        # MAQ->MSHR CAM comparison (contiguity by PPN, Section 3.2) —
+        # common to all designs, excluded from the Figure 7 count.
+        self.stats.counter("mshr_cam_comparisons").add(self.mshrs.occupancy)
+
+        merged = self.mshrs.try_merge_packet(packet)
+        if merged is not None:
+            self.maq.pop()
+            self._out.n_merged += packet.n_raw
+            if merged.release_cycle is not None:
+                self._account_packet(packet, merged.release_cycle)
+            self.stats.counter("mshr_packet_merges").add()
+            return ready
+
+        t = ready
+        if self.mshrs.full:
+            # Apply any releases that happened between the packet's ready
+            # time and the present; the pop occurs the moment a slot
+            # freed, not at `now`.
+            horizon = ready if now is None else max(ready, now)
+            released = self.mshrs.advance(horizon)
+            if released:
+                freed_at = min(
+                    e.release_cycle for e in released
+                    if e.release_cycle is not None
+                )
+                t = max(ready, freed_at)
+            elif not force:
+                return None
+            else:
+                release = self.mshrs.next_release_cycle()
+                assert release is not None, (
+                    "full adaptive MSHRs with no releases"
+                )
+                t = max(t, release)
+                self.mshrs.advance(t)
+            merged = self.mshrs.try_merge_packet(packet)
+            if merged is not None:
+                self.maq.pop()
+                self._out.n_merged += packet.n_raw
+                if merged.release_cycle is not None:
+                    self._account_packet(packet, merged.release_cycle)
+                self.stats.counter("mshr_packet_merges").add()
+                return t
+
+        self.maq.pop()
+        slot, _ = self.mshrs.allocate_packet(packet, t)
+        completion = self._memory.submit(packet, t)
+        self.mshrs.schedule_release(slot, completion)
+        self._out.issued.append(packet)
+        self._out.n_issued += 1
+        self._out.last_completion_cycle = max(
+            self._out.last_completion_cycle, completion
+        )
+        self._account_packet(packet, completion)
+        return t
+
+    def _direct_to_mshr(self, req: MemoryRequest, now: int) -> None:
+        """Network-disabled fast path: raw request straight to the MSHRs."""
+        self.mshrs.advance(now)
+        self.stats.counter("direct_requests").add()
+        self.stats.counter("direct_cam_comparisons").add(self.mshrs.occupancy)
+        grain = self.protocol.grain_bytes
+        base = req.addr - (req.addr % grain)
+        packet = CoalescedRequest(
+            addr=base,
+            size=grain,
+            op=MemOp.STORE if req.op == MemOp.STORE else MemOp.LOAD,
+            constituents=(req.req_id,),
+            issue_cycle=now,
+            source="pac-direct",
+        )
+        merged = self.mshrs.try_merge_packet(packet)
+        if merged is not None:
+            self._out.n_merged += 1
+            if merged.release_cycle is not None:
+                self._account_packet(packet, merged.release_cycle)
+            self.stats.counter("mshr_packet_merges").add()
+            return
+        # The caller guarantees a free MSHR (it flips to enabled when
+        # full), so allocation cannot fail here.
+        slot, _ = self.mshrs.allocate_packet(packet, now)
+        completion = self._memory.submit(packet, now)
+        self.mshrs.schedule_release(slot, completion)
+        self._out.issued.append(packet)
+        self._out.n_issued += 1
+        self._out.last_completion_cycle = max(
+            self._out.last_completion_cycle, completion
+        )
+        self._account_packet(packet, completion)
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+
+    @property
+    def bypass_fraction(self) -> float:
+        """Fraction of aggregated raw requests that skipped stages 2–3 via
+        the C-bit bypass (Figure 12c)."""
+        bypassed = self.network.stats.count("bypassed_requests")
+        coalesced = self.network.stats.count("coalesced_requests")
+        total = bypassed + coalesced
+        return bypassed / total if total else 0.0
+
+    @property
+    def mean_active_streams(self) -> float:
+        """Average occupied coalescing streams over non-idle samples
+        (Figure 11c)."""
+        hist = self.aggregator.stats.histogram("occupancy_samples")
+        busy = {k: v for k, v in hist.bins.items() if k > 0}
+        total = sum(busy.values())
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in busy.items()) / total
+
+    @property
+    def mean_request_latency(self) -> float:
+        return self.stats.accumulator("request_latency").mean
+
+    @property
+    def mean_maq_fill_cycles(self) -> float:
+        return self.maq.mean_fill_cycles
+
+    @property
+    def mean_stage2_cycles(self) -> float:
+        return self.network.decoder.stats.accumulator("stage2_cycles").mean
+
+    @property
+    def mean_stage3_cycles(self) -> float:
+        return self.network.assembler.stats.accumulator("stage3_cycles").mean

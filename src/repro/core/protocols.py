@@ -1,0 +1,166 @@
+"""Memory-device protocols the coalescer adapts to (Section 4.1).
+
+A :class:`MemoryProtocol` captures everything PAC needs to know about the
+target 3D-stacked device: the coalescing *grain* (the unit tracked by one
+block-map bit), the legal packet sizes, and the row size. Porting PAC to
+a new device generation means swapping the protocol — "adjusting the size
+of the block sequence buffer and coalescing table" — with no change to
+the coalescing logic, exactly as the paper argues.
+
+Provided instances:
+
+* ``HMC2`` — HMC 2.1 (Table 1): 64B grain, packets {64,128,256}B.
+* ``HMC1`` — HMC 1.0: max packet 128B.
+* ``HBM``  — 32B access granularity (BL4 x 64-bit bus), 1KB rows; PAC
+  "expands the block sequence to 16 bits" so packets reach the row size.
+* ``HMC2_FINE`` — the Figure 10b experiment: coalescing at the CPU's
+  actual data size over 16B FLIT grains, packets down to 16B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common import bitops
+from repro.common.types import PAGE_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryProtocol:
+    """Device-facing coalescing parameters."""
+
+    name: str
+    #: Smallest unit the block-map tracks (bytes per map bit).
+    grain_bytes: int
+    #: Largest packet the device accepts.
+    max_packet_bytes: int
+    #: All packet sizes the device accepts, ascending.
+    legal_packet_bytes: Tuple[int, ...]
+    #: DRAM row size (bank conflict granularity).
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.grain_bytes <= 0 or PAGE_BYTES % self.grain_bytes:
+            raise ValueError("grain must divide the page size")
+        if self.max_packet_bytes % self.grain_bytes:
+            raise ValueError("max packet must be a multiple of the grain")
+        if not self.legal_packet_bytes:
+            raise ValueError("need at least one legal packet size")
+        if self.legal_packet_bytes[0] != self.grain_bytes:
+            raise ValueError("smallest legal packet must equal the grain")
+        if max(self.legal_packet_bytes) != self.max_packet_bytes:
+            raise ValueError("largest legal packet must equal max_packet_bytes")
+        for size in self.legal_packet_bytes:
+            if size % self.grain_bytes:
+                raise ValueError(f"illegal packet size {size}")
+
+    @property
+    def map_width(self) -> int:
+        """Block-map bits per page (64 for HMC 2.1's 64B grain)."""
+        return PAGE_BYTES // self.grain_bytes
+
+    @property
+    def chunk_width(self) -> int:
+        """Bits per decoder chunk = max packet size in grains (4 for
+        HMC 2.1, 16 for HBM row-sized packets)."""
+        return self.max_packet_bytes // self.grain_bytes
+
+    @property
+    def n_chunks(self) -> int:
+        return self.map_width // self.chunk_width
+
+    @property
+    def legal_grain_counts(self) -> Tuple[int, ...]:
+        """Legal packet sizes expressed in grains, descending."""
+        return tuple(
+            sorted((s // self.grain_bytes for s in self.legal_packet_bytes),
+                   reverse=True)
+        )
+
+    def grain_index(self, addr: int) -> int:
+        """Map-bit index of ``addr`` within its page."""
+        return (addr % PAGE_BYTES) // self.grain_bytes
+
+    def packet_bytes(self, n_grains: int) -> int:
+        return n_grains * self.grain_bytes
+
+
+#: HMC 2.1 — the paper's Table 1 device.
+HMC2 = MemoryProtocol(
+    name="hmc2.1",
+    grain_bytes=64,
+    max_packet_bytes=256,
+    legal_packet_bytes=(64, 128, 256),
+    row_bytes=256,
+)
+
+#: HMC 1.0 — 128B maximum request (Section 4.1).
+HMC1 = MemoryProtocol(
+    name="hmc1.0",
+    grain_bytes=64,
+    max_packet_bytes=128,
+    legal_packet_bytes=(64, 128),
+    row_bytes=256,
+)
+
+#: HBM — 32B access granularity, packets up to the 1KB row (Section 4.1).
+HBM = MemoryProtocol(
+    name="hbm",
+    grain_bytes=32,
+    max_packet_bytes=1024,
+    legal_packet_bytes=(32, 64, 128, 256, 512, 1024),
+    row_bytes=1024,
+)
+
+#: HMC 2.1 in fine-grain mode: block-map over 16B FLITs, packets down to
+#: one FLIT (the Figure 10b request-size-distribution experiment).
+HMC2_FINE = MemoryProtocol(
+    name="hmc2.1-fine",
+    grain_bytes=16,
+    max_packet_bytes=256,
+    legal_packet_bytes=(16, 32, 64, 128, 256),
+    row_bytes=256,
+)
+
+
+class CoalescingTable:
+    """The stage-3 look-up table: chunk pattern -> packet layout.
+
+    Maps every possible block-sequence pattern to its list of
+    ``(grain_offset, n_grains)`` packets (Section 3.3.3). For HMC's 4-bit
+    chunks this is the paper's 16-entry table; wider chunks (HBM) are
+    materialized lazily so the 16-bit pattern space never has to be
+    enumerated up front.
+    """
+
+    def __init__(self, protocol: MemoryProtocol) -> None:
+        self.protocol = protocol
+        self._table: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self.lookups = 0
+        if protocol.chunk_width <= 8:
+            for pattern in range(1 << protocol.chunk_width):
+                self._table[pattern] = self._compute(pattern)
+
+    def _compute(self, pattern: int) -> Tuple[Tuple[int, int], ...]:
+        runs = bitops.contiguous_runs(pattern, self.protocol.chunk_width)
+        return tuple(
+            bitops.runs_to_packet_sizes(runs, self.protocol.legal_grain_counts)
+        )
+
+    def lookup(self, pattern: int) -> Tuple[Tuple[int, int], ...]:
+        """Packets for a chunk pattern, each ``(grain_offset, n_grains)``."""
+        if not 0 <= pattern < (1 << self.protocol.chunk_width):
+            raise ValueError(
+                f"pattern {pattern:#x} exceeds chunk width "
+                f"{self.protocol.chunk_width}"
+            )
+        self.lookups += 1
+        cached = self._table.get(pattern)
+        if cached is None:
+            cached = self._compute(pattern)
+            self._table[pattern] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._table)

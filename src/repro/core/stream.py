@@ -1,0 +1,103 @@
+"""Coalescing streams — the per-page aggregation slots of stage 1.
+
+Each stream holds the requests of one (physical page, op) group: the
+PPN tag, the block-map bitmap, the coalescing bit C (more than one
+request -> worth running through stages 2–3), and the type bit T
+(Figure 4, Figure 5a). The T bit is folded into the comparator tag
+exactly as in the paper (Section 3.3.1): store tags sort above all load
+tags so one comparison covers page number and request type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common import bitops
+from repro.common.types import MemOp, MemoryRequest
+from repro.core.protocols import MemoryProtocol
+
+
+@dataclass
+class CoalescingStream:
+    """One active aggregation slot in the paged request aggregator."""
+
+    tag: int  # (T << 52) | PPN — the combined comparator key
+    ppn: int
+    op: MemOp
+    protocol: MemoryProtocol
+    alloc_cycle: int
+    block_map: int = 0
+    #: req_ids per grain index, in arrival order (drives MSHR subentries
+    #: and the packet constituent lists).
+    grain_requests: Dict[int, List[int]] = field(default_factory=dict)
+    n_requests: int = 0
+    first_arrival: int = 0
+    last_arrival: int = 0
+
+    @property
+    def coalescing_bit(self) -> bool:
+        """C bit: set once the stream holds more than one request
+        (Section 3.3.1); C=0 streams bypass stages 2–3."""
+        return self.n_requests > 1
+
+    @property
+    def type_bit(self) -> int:
+        """T bit: 0 = load, 1 = store."""
+        return int(self.op == MemOp.STORE)
+
+    def matches(self, req: MemoryRequest) -> bool:
+        """One hardware comparison: PPN and T together."""
+        return self.tag == req.tag()
+
+    def add(self, req: MemoryRequest, now: int) -> None:
+        """Merge a raw request: set every grain bit it covers, record
+        its id on each (a 64B request covers two 32B HBM grains)."""
+        if req.ppn != self.ppn:
+            raise ValueError(
+                f"request page {req.ppn:#x} does not match stream {self.ppn:#x}"
+            )
+        grain_bytes = self.protocol.grain_bytes
+        first = self.protocol.grain_index(req.addr)
+        last_addr = req.addr + max(req.size, 1) - 1
+        if last_addr // 4096 != req.ppn:
+            last_addr = req.ppn * 4096 + 4095  # clamp at the page edge
+        last = self.protocol.grain_index(last_addr)
+        for grain in range(first, last + 1):
+            self.block_map = bitops.set_bit(self.block_map, grain)
+            self.grain_requests.setdefault(grain, []).append(req.req_id)
+        if self.n_requests == 0:
+            self.first_arrival = now
+        self.n_requests += 1
+        self.last_arrival = now
+
+    def deadline(self, timeout_cycles: int) -> int:
+        """Cycle at which the timeout flushes this stream (Section 3.3.1:
+        an upper bound on the waiting latency of aggregated requests)."""
+        return self.alloc_cycle + timeout_cycles
+
+    @property
+    def n_grains(self) -> int:
+        return bitops.popcount(self.block_map)
+
+    def request_ids(self) -> List[int]:
+        """All merged request ids in grain order (then arrival order)."""
+        out: List[int] = []
+        for grain in sorted(self.grain_requests):
+            out.extend(self.grain_requests[grain])
+        return out
+
+
+def new_stream(
+    req: MemoryRequest, protocol: MemoryProtocol, now: int
+) -> CoalescingStream:
+    """Allocate a stream for ``req``'s page and record the request."""
+    stream = CoalescingStream(
+        tag=req.tag(),
+        ppn=req.ppn,
+        op=MemOp.STORE if req.op == MemOp.STORE else MemOp.LOAD,
+        protocol=protocol,
+        alloc_cycle=now,
+    )
+    stream.add(req, now)
+    return stream

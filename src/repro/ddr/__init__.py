@@ -1,0 +1,11 @@
+"""Conventional JEDEC DDR device model (the paper's Section 2 foil).
+
+DDR4 with an open-page policy and wide (8KB) rows: the row-buffer-hit
+harvesting approach to coalescing that works for DDR but — as the paper
+argues — cannot work for 3D-stacked memory's narrow closed-page rows.
+Used by the ``ddr_vs_hmc`` ablation bench.
+"""
+
+from repro.ddr.device import DDRConfig, DDRDevice
+
+__all__ = ["DDRConfig", "DDRDevice"]

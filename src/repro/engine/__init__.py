@@ -1,0 +1,21 @@
+"""End-to-end simulation engine."""
+
+from repro.engine.system import CoalescerKind, System
+from repro.engine.results import RunResult, build_result
+from repro.engine.driver import (
+    DEFAULT_ACCESSES,
+    run_benchmark,
+    run_comparison,
+    run_suite,
+)
+
+__all__ = [
+    "CoalescerKind",
+    "System",
+    "RunResult",
+    "build_result",
+    "DEFAULT_ACCESSES",
+    "run_benchmark",
+    "run_comparison",
+    "run_suite",
+]

@@ -1,0 +1,106 @@
+"""Run drivers: one-call benchmark execution and suite sweeps.
+
+This is the primary user-facing API::
+
+    from repro.engine.driver import run_benchmark, run_comparison, CoalescerKind
+
+    result = run_benchmark("gs", coalescer=CoalescerKind.PAC)
+    trio = run_comparison("gs")   # none / dmc / pac on the same trace
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.config import SimulationConfig, TABLE1
+from repro.core.protocols import MemoryProtocol
+from repro.engine.results import RunResult
+from repro.engine.system import CoalescerKind, System
+from repro.workloads import BENCHMARK_NAMES
+
+#: Default trace length: long enough for steady-state coalescing
+#: behaviour, short enough for interactive runs.
+DEFAULT_ACCESSES = 60_000
+
+
+def run_benchmark(
+    benchmark: str,
+    coalescer: CoalescerKind = CoalescerKind.PAC,
+    n_accesses: int = DEFAULT_ACCESSES,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+    protocol: Optional[MemoryProtocol] = None,
+    device: str = "hmc",
+    fine_grain: bool = False,
+    extra_benchmarks: Sequence[str] = (),
+    scale=1.0,
+) -> RunResult:
+    """Run one benchmark through one coalescer configuration.
+
+    ``extra_benchmarks`` adds co-running processes (the paper's
+    multiprocessing mode); ``fine_grain`` enables the Figure 10b
+    data-size coalescing mode; ``device`` selects ``"hmc"`` or ``"hbm"``.
+    """
+    system = System(
+        config=config,
+        coalescer=coalescer,
+        protocol=protocol,
+        device=device,
+        fine_grain=fine_grain,
+    )
+    return system.run(
+        benchmark, n_accesses, seed=seed,
+        extra_benchmarks=extra_benchmarks, scale=scale,
+    )
+
+
+def run_comparison(
+    benchmark: str,
+    kinds: Iterable[CoalescerKind] = (
+        CoalescerKind.NONE,
+        CoalescerKind.DMC,
+        CoalescerKind.PAC,
+    ),
+    n_accesses: int = DEFAULT_ACCESSES,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+    device: str = "hmc",
+    extra_benchmarks: Sequence[str] = (),
+) -> Dict[CoalescerKind, RunResult]:
+    """Run the same trace through several coalescer configurations.
+
+    The trace is regenerated identically (same seed) for each arm so the
+    comparison isolates the coalescer.
+    """
+    out: Dict[CoalescerKind, RunResult] = {}
+    for kind in kinds:
+        out[kind] = run_benchmark(
+            benchmark,
+            coalescer=kind,
+            n_accesses=n_accesses,
+            config=config,
+            seed=seed,
+            device=device,
+            extra_benchmarks=extra_benchmarks,
+        )
+    return out
+
+
+def run_suite(
+    coalescer: CoalescerKind = CoalescerKind.PAC,
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    n_accesses: int = DEFAULT_ACCESSES,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+) -> Dict[str, RunResult]:
+    """Run every benchmark through one coalescer configuration."""
+    return {
+        name: run_benchmark(
+            name,
+            coalescer=coalescer,
+            n_accesses=n_accesses,
+            config=config,
+            seed=seed,
+        )
+        for name in benchmarks
+    }

@@ -1,0 +1,65 @@
+"""Parallel suite execution.
+
+A full evaluation is ~50 independent (benchmark, arm) simulations;
+:func:`run_suite_parallel` fans them out over a process pool. Results
+are plain picklable dataclasses, and every run re-derives its RNG from
+``(seed, benchmark)``, so parallel results are bit-identical to serial
+ones.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.config import SimulationConfig, TABLE1
+from repro.engine.driver import DEFAULT_ACCESSES, run_benchmark
+from repro.engine.results import RunResult
+from repro.engine.system import CoalescerKind
+from repro.workloads import BENCHMARK_NAMES
+
+
+def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
+    benchmark, kind_value, n_accesses, config, seed, device = args
+    result = run_benchmark(
+        benchmark,
+        coalescer=CoalescerKind(kind_value),
+        n_accesses=n_accesses,
+        config=config,
+        seed=seed,
+        device=device,
+    )
+    return (benchmark, kind_value), result
+
+
+def run_suite_parallel(
+    kinds: Iterable[CoalescerKind] = (
+        CoalescerKind.NONE, CoalescerKind.DMC, CoalescerKind.PAC
+    ),
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    n_accesses: int = DEFAULT_ACCESSES,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+    device: str = "hmc",
+    max_workers: Optional[int] = None,
+) -> Dict[Tuple[str, str], RunResult]:
+    """Run every (benchmark, kind) pair concurrently.
+
+    Returns ``{(benchmark, kind.value): RunResult}``. ``max_workers``
+    defaults to the CPU count; pass 1 to force serial execution
+    (useful under debuggers and in constrained CI).
+    """
+    jobs = [
+        (bench, kind.value, n_accesses, config, seed, device)
+        for bench in benchmarks
+        for kind in kinds
+    ]
+    if max_workers == 1:
+        return dict(_run_one(job) for job in jobs)
+    workers = max_workers or min(len(jobs), os.cpu_count() or 2)
+    out: Dict[Tuple[str, str], RunResult] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for key, result in pool.map(_run_one, jobs):
+            out[key] = result
+    return out

@@ -1,0 +1,213 @@
+"""Run results and derived metrics.
+
+A :class:`RunResult` bundles everything one simulation produces; the
+experiment harness (:mod:`repro.experiments`) combines results across
+coalescer configurations to regenerate the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hmc.power import EnergyModel
+from repro.mshr.dmc import CoalesceOutcome
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one (workload, coalescer) simulation."""
+
+    benchmark: str
+    coalescer: str
+    n_accesses: int
+    n_raw: int
+    n_issued: int
+    n_merged: int
+    coalescing_efficiency: float
+    transaction_efficiency: float
+    payload_bytes: int
+    transaction_bytes: int
+    bank_conflicts: int
+    bank_activations: int
+    comparisons: int
+    stall_cycles: int
+    runtime_cycles: int
+    mean_memory_latency_cycles: float
+    energy: EnergyModel
+    #: PAC-only extras (None for the baselines).
+    pac_metrics: Optional[Dict[str, float]] = None
+    #: Cache-front-end composition: hit rates and raw-stream mix
+    #: (demand / secondary / prefetch / write-back fractions).
+    cache_metrics: Optional[Dict[str, float]] = None
+
+    #: Trace end cycle (set by build_result; used by the latency-bound
+    #: runtime model).
+    trace_end_cycle: int = 0
+    #: Mean coalescer-added latency per request (PAC's aggregation wait;
+    #: 0 for the baselines).
+    coalescer_latency_cycles: float = 0.0
+    #: Exact mean cycles from a raw request's arrival to its data return
+    #: (covering packet's completion) — measured per raw request by the
+    #: coalescer. 0 when unavailable.
+    mean_raw_service_cycles: float = 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.n_raw / self.n_accesses if self.n_accesses else 0.0
+
+    @property
+    def latency_bound_runtime_cycles(self) -> float:
+        """Runtime under an in-order-core model: each core blocks on each
+        of its own demand misses for the mean memory latency (plus any
+        coalescer aggregation wait), with no overlap across misses of one
+        core. This is the regime the paper's Spike-based evaluation ran
+        in — its modest (≤26%) gains come from *latency* reduction, not
+        throughput. Complements :attr:`runtime_cycles`, which is the
+        throughput-bound (open-loop) view.
+        """
+        n_cores = 8  # Table 1; per-core miss counts are ~uniform
+        # The in-order counterfactual: each miss costs the device's mean
+        # response latency plus the coalescer's aggregation wait. (The
+        # measured open-loop per-request service time,
+        # ``mean_raw_service_cycles``, is NOT used here: under open-loop
+        # drive the arms queue their backlogs in different places —
+        # before entry for the baselines, inside the MAQ for PAC — so it
+        # does not compare like for like.)
+        per_request = (
+            self.mean_memory_latency_cycles + self.coalescer_latency_cycles
+        )
+        return self.trace_end_cycle + (self.n_raw / n_cores) * per_request
+
+    def latency_bound_speedup_over(self, baseline: "RunResult") -> float:
+        """Figure 15 under the in-order (latency-bound) runtime model."""
+        mine = self.latency_bound_runtime_cycles
+        if mine <= 0:
+            return 0.0
+        return baseline.latency_bound_runtime_cycles / mine - 1.0
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        return self.payload_bytes / self.n_issued if self.n_issued else 0.0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Runtime improvement vs a baseline run of the same trace
+        (Figure 15's performance gain): >0 means faster."""
+        if self.runtime_cycles <= 0:
+            return 0.0
+        return baseline.runtime_cycles / self.runtime_cycles - 1.0
+
+    def bank_conflict_reduction(self, baseline: "RunResult") -> float:
+        """Fraction of the baseline's bank conflicts eliminated
+        (Figure 6c)."""
+        if baseline.bank_conflicts == 0:
+            return 0.0
+        return 1.0 - self.bank_conflicts / baseline.bank_conflicts
+
+    def comparison_reduction(self, baseline: "RunResult") -> float:
+        """Fraction of the baseline's comparator work eliminated
+        (Figure 7)."""
+        if baseline.comparisons == 0:
+            return 0.0
+        return 1.0 - self.comparisons / baseline.comparisons
+
+    def bandwidth_saving_bytes(self, baseline: "RunResult") -> int:
+        """Total transaction bytes avoided vs the baseline — redundant
+        same-block transfers plus per-packet control overhead
+        (Figure 10c)."""
+        return baseline.transaction_bytes - self.transaction_bytes
+
+    def energy_saving(self, baseline: "RunResult") -> float:
+        """Fractional total energy saving vs the baseline (Figure 14)."""
+        base = baseline.energy.total_pj
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.energy.total_pj / base
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat scalar view for tabular reporting."""
+        row = {
+            "benchmark": self.benchmark,
+            "coalescer": self.coalescer,
+            "n_accesses": self.n_accesses,
+            "n_raw": self.n_raw,
+            "n_issued": self.n_issued,
+            "coalescing_efficiency": self.coalescing_efficiency,
+            "transaction_efficiency": self.transaction_efficiency,
+            "bank_conflicts": self.bank_conflicts,
+            "runtime_cycles": self.runtime_cycles,
+            "energy_nj": self.energy.total_nj,
+        }
+        if self.pac_metrics:
+            row.update({f"pac.{k}": v for k, v in self.pac_metrics.items()})
+        return row
+
+    def to_dict(self) -> Dict:
+        """Full machine-readable view (JSON-safe)."""
+        out = {
+            **self.as_row(),
+            "n_merged": self.n_merged,
+            "miss_rate": self.miss_rate,
+            "mean_packet_bytes": self.mean_packet_bytes,
+            "payload_bytes": self.payload_bytes,
+            "transaction_bytes": self.transaction_bytes,
+            "bank_activations": self.bank_activations,
+            "comparisons": self.comparisons,
+            "stall_cycles": self.stall_cycles,
+            "mean_memory_latency_cycles": self.mean_memory_latency_cycles,
+            "mean_raw_service_cycles": self.mean_raw_service_cycles,
+            "latency_bound_runtime_cycles": self.latency_bound_runtime_cycles,
+            "energy_pj_by_category": self.energy.by_category(),
+        }
+        if self.cache_metrics:
+            out["cache"] = dict(self.cache_metrics)
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def build_result(
+    benchmark: str,
+    coalescer_name: str,
+    n_accesses: int,
+    outcome: CoalesceOutcome,
+    device,
+    trace_end_cycle: int,
+    pac_metrics: Optional[Dict[str, float]] = None,
+    cache_metrics: Optional[Dict[str, float]] = None,
+) -> RunResult:
+    """Assemble a :class:`RunResult` from a coalescer outcome + device."""
+    # The run ends when the CPU trace ends or the last memory response
+    # arrives, whichever is later; stall_cycles is the *total* queueing
+    # delay across requests (a congestion indicator, not wall time).
+    runtime = max(trace_end_cycle, outcome.last_completion_cycle)
+    coalescer_latency = (
+        pac_metrics.get("mean_request_latency", 0.0) if pac_metrics else 0.0
+    )
+    return RunResult(
+        trace_end_cycle=trace_end_cycle,
+        coalescer_latency_cycles=coalescer_latency,
+        mean_raw_service_cycles=outcome.mean_raw_service_cycles,
+        benchmark=benchmark,
+        coalescer=coalescer_name,
+        n_accesses=n_accesses,
+        n_raw=outcome.n_raw,
+        n_issued=outcome.n_issued,
+        n_merged=outcome.n_merged,
+        coalescing_efficiency=outcome.coalescing_efficiency,
+        transaction_efficiency=outcome.transaction_efficiency,
+        payload_bytes=outcome.payload_bytes,
+        transaction_bytes=outcome.transaction_bytes,
+        bank_conflicts=device.bank_conflicts,
+        bank_activations=device.banks.total_activations,
+        comparisons=outcome.comparisons,
+        stall_cycles=outcome.stall_cycles,
+        runtime_cycles=runtime,
+        mean_memory_latency_cycles=device.mean_latency_cycles,
+        energy=device.energy,
+        pac_metrics=pac_metrics,
+        cache_metrics=cache_metrics,
+    )

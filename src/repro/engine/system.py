@@ -1,0 +1,216 @@
+"""System wiring: workload -> page table -> caches -> coalescer -> HMC.
+
+:class:`System` assembles one simulated machine per the paper's Figure 3
+and runs a workload through it. The coalescer slot takes one of four
+configurations — the paper's three evaluation arms plus the prior-art
+sorting-network design:
+
+* ``CoalescerKind.NONE`` — standard HMC controller, no aggregation;
+* ``CoalescerKind.DMC``  — conventional MSHR-based coalescing;
+* ``CoalescerKind.PAC``  — the paged adaptive coalescer;
+* ``CoalescerKind.SORT`` — the request-sorting coalescer of Wang et
+  al. [32] (the Figure 11a comparison, run live).
+
+Devices: ``"hmc"`` (default), ``"hbm"``, and the conventional ``"ddr"``
+foil.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy, RawStream
+from repro.common.rng import derive_seed
+from repro.config import SimulationConfig, TABLE1
+from repro.core.pac import PagedAdaptiveCoalescer
+from repro.core.protocols import HMC2, HMC2_FINE, MemoryProtocol
+from repro.engine.results import RunResult, build_result
+from repro.hmc.device import HMCDevice
+from repro.hmc.hbm import HBMDevice, hbm_config
+from repro.mem.pagetable import FrameAllocator, PageTable
+from repro.mem.trace import AccessTrace
+from repro.mshr.dmc import Coalescer, MSHRBasedDMC, NullCoalescer
+from repro.workloads import get_workload
+
+
+class CoalescerKind(enum.Enum):
+    """The paper's three evaluation arms plus the prior-art sorting
+    network coalescer (Wang et al. [32]) PAC is contrasted with."""
+
+    NONE = "none"
+    DMC = "dmc"
+    PAC = "pac"
+    SORT = "sortdmc"
+
+
+class System:
+    """One simulated node: cores + caches + coalescer + 3D-stacked memory."""
+
+    def __init__(
+        self,
+        config: SimulationConfig = TABLE1,
+        coalescer: CoalescerKind = CoalescerKind.PAC,
+        protocol: Optional[MemoryProtocol] = None,
+        device: str = "hmc",
+        fine_grain: bool = False,
+    ) -> None:
+        self.config = config
+        self.kind = coalescer
+        self.fine_grain = fine_grain
+        if device == "hmc":
+            self.device = HMCDevice(config.hmc)
+            default_protocol = HMC2_FINE if fine_grain else HMC2
+        elif device == "hbm":
+            self.device = HBMDevice(hbm_config())
+            from repro.core.protocols import HBM as HBM_PROTO
+
+            default_protocol = HBM_PROTO
+        elif device == "ddr":
+            # Conventional DDR4 foil (Section 2): open-page, fixed 64B
+            # bursts. Coalesced packets transfer as consecutive bursts.
+            from repro.ddr.device import DDRDevice
+
+            self.device = DDRDevice()
+            default_protocol = HMC2_FINE if fine_grain else HMC2
+        else:
+            raise ValueError(f"unknown device {device!r}")
+        self.protocol = protocol if protocol is not None else default_protocol
+        device_max = getattr(
+            self.device, "config", None
+        )
+        if device_max is not None and hasattr(device_max, "max_packet_bytes"):
+            if self.protocol.max_packet_bytes > device_max.max_packet_bytes:
+                raise ValueError(
+                    f"protocol {self.protocol.name!r} emits packets up to "
+                    f"{self.protocol.max_packet_bytes}B but the device "
+                    f"accepts at most {device_max.max_packet_bytes}B — "
+                    "pass a matching protocol/device pair"
+                )
+        # Fine-grain mode traces demand accesses at their CPU data size;
+        # line-granular prefetch traffic would drown the Figure 10b
+        # size distribution, so the prefetcher is off there.
+        self.hierarchy = CacheHierarchy(
+            config.cache,
+            n_cores=config.n_cores,
+            prefetch_enabled=not fine_grain,
+        )
+        self.coalescer = self._build_coalescer()
+
+    def _build_coalescer(self) -> Coalescer:
+        if self.kind == CoalescerKind.NONE:
+            return NullCoalescer(self.config.pac.n_mshrs)
+        if self.kind == CoalescerKind.DMC:
+            return MSHRBasedDMC(self.config.pac.n_mshrs)
+        if self.kind == CoalescerKind.SORT:
+            from repro.mshr.sorting import SortingNetworkCoalescer
+
+            return SortingNetworkCoalescer(
+                window=self.config.pac.n_streams,
+                timeout_cycles=self.config.pac.timeout_cycles,
+                n_mshrs=self.config.pac.n_mshrs,
+                protocol=self.protocol,
+            )
+        pac_cfg = self.config.pac
+        if self.fine_grain and not pac_cfg.fine_grain:
+            from dataclasses import replace
+
+            pac_cfg = replace(pac_cfg, fine_grain=True)
+        return PagedAdaptiveCoalescer(pac_cfg, protocol=self.protocol)
+
+    # ------------------------------------------------------------------ #
+
+    def build_trace(
+        self,
+        benchmarks: Sequence[str],
+        n_accesses: int,
+        seed: int = None,
+        scale=1.0,
+    ) -> AccessTrace:
+        """Generate and translate the physical-address trace.
+
+        With multiple benchmark names, each runs as a separate *process*
+        with its own page table over a shared frame pool, pinned to a
+        disjoint core subset and interleaved in time — the paper's
+        multiprocessing mode (Figure 6b).
+        """
+        if not benchmarks:
+            raise ValueError("need at least one benchmark")
+        seed = self.config.seed if seed is None else seed
+        allocator = FrameAllocator(
+            total_frames=self.config.hmc.capacity_bytes // 4096,
+            shuffle=True,
+            seed=derive_seed(seed, "frames"),
+        )
+        n_procs = len(benchmarks)
+        cores_per_proc = max(1, self.config.n_cores // n_procs)
+        merged: Optional[AccessTrace] = None
+        for pid, name in enumerate(benchmarks):
+            generator = get_workload(
+                name, seed=derive_seed(seed, name, str(pid)), scale=scale
+            )
+            share = n_accesses // n_procs + (1 if pid < n_accesses % n_procs else 0)
+            trace = generator.generate(share, n_cores=cores_per_proc)
+            pagetable = PageTable(allocator, pid=pid)
+            trace.addrs = pagetable.translate_array(trace.addrs)
+            # Pin this process to its core subset.
+            trace.cores = trace.cores + pid * cores_per_proc
+            merged = trace if merged is None else merged.concat(trace)
+        return merged.sorted_by_cycle()
+
+    def run_trace(self, trace: AccessTrace, benchmark: str = "custom") -> RunResult:
+        """Push a translated trace through caches, coalescer, and memory."""
+        if self.fine_grain:
+            raw: RawStream = self.hierarchy.fine_grain_stream(trace)
+        else:
+            raw = self.hierarchy.process(trace)
+        outcome = self.coalescer.process(raw.requests, self.device)
+        trace_end = int(trace.cycles[-1]) if len(trace) else 0
+        pac_metrics = None
+        if isinstance(self.coalescer, PagedAdaptiveCoalescer):
+            pac = self.coalescer
+            pac_metrics = {
+                "bypass_fraction": pac.bypass_fraction,
+                "mean_active_streams": pac.mean_active_streams,
+                "mean_request_latency": pac.mean_request_latency,
+                "mean_maq_fill_cycles": pac.mean_maq_fill_cycles,
+                "mean_stage2_cycles": pac.mean_stage2_cycles,
+                "mean_stage3_cycles": pac.mean_stage3_cycles,
+                "direct_requests": float(pac.stats.count("direct_requests")),
+            }
+        h = self.hierarchy
+        n_raw_total = max(1, len(raw.requests))
+        cache_metrics = {
+            "l1_hit_rate": (
+                sum(l1.hit_rate for l1 in h.l1s) / len(h.l1s)
+            ),
+            "llc_hit_rate": h.llc.hit_rate,
+            "secondary_fraction": h.stats.count("secondary_raw") / n_raw_total,
+            "prefetch_fraction": h.stats.count("prefetch_raw") / n_raw_total,
+            "writeback_fraction": h.stats.count("writebacks") / n_raw_total,
+        }
+        return build_result(
+            benchmark=benchmark,
+            coalescer_name=self.kind.value,
+            n_accesses=len(trace),
+            outcome=outcome,
+            device=self.device,
+            trace_end_cycle=trace_end,
+            pac_metrics=pac_metrics,
+            cache_metrics=cache_metrics,
+        )
+
+    def run(
+        self,
+        benchmark: str,
+        n_accesses: int,
+        seed: int = None,
+        extra_benchmarks: Sequence[str] = (),
+        scale=1.0,
+    ) -> RunResult:
+        """Generate + run in one step. ``scale`` selects the NAS-style
+        size class (number or letter; see repro.workloads.SIZE_CLASSES)."""
+        names = [benchmark, *extra_benchmarks]
+        trace = self.build_trace(names, n_accesses, seed=seed, scale=scale)
+        label = "+".join(names)
+        return self.run_trace(trace, benchmark=label)

@@ -1,0 +1,244 @@
+"""Ablation sweeps — the design-choice studies DESIGN.md section 4 lists.
+
+Each function runs a parameter sweep and returns plain rows; the benches
+under ``benchmarks/test_ablation_*.py`` and the CLI (``python -m repro
+ablation <name>``) both call these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.space import pac_costs
+from repro.config import SimulationConfig, TABLE1
+from repro.core.private import PrivateCoalescerArray
+from repro.core.protocols import HBM, HMC1, HMC2
+from repro.engine.system import CoalescerKind, System
+
+
+def timeout_sweep(
+    bench: str = "gs",
+    timeouts: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """Aggregation-timeout sensitivity (Section 5.3.4)."""
+    rows = []
+    for timeout in timeouts:
+        system = System(config.with_pac(timeout_cycles=timeout),
+                        CoalescerKind.PAC)
+        result = system.run(bench, n_accesses)
+        rows.append(
+            {
+                "timeout_cycles": timeout,
+                "coalescing_efficiency": result.coalescing_efficiency,
+                "mean_latency": result.pac_metrics["mean_request_latency"],
+            }
+        )
+    return rows
+
+
+def stream_count_sweep(
+    bench: str = "bfs",
+    counts: Sequence[int] = (2, 4, 8, 16, 32),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """Coalescing-stream budget sensitivity (Section 5.3.3)."""
+    rows = []
+    for n in counts:
+        system = System(config.with_pac(n_streams=n), CoalescerKind.PAC)
+        result = system.run(bench, n_accesses)
+        rows.append(
+            {
+                "n_streams": n,
+                "coalescing_efficiency": result.coalescing_efficiency,
+                "forced_flushes": system.coalescer.aggregator.stats.count(
+                    "forced_flushes"
+                ),
+                "comparators": pac_costs(n).comparators,
+                "buffer_bytes": pac_costs(n).buffer_bytes,
+            }
+        )
+    return rows
+
+
+def protocol_sweep(
+    bench: str = "stream",
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """HMC1.0 / HMC2.1 / HBM portability (Section 4.1)."""
+    rows = []
+    for protocol, device in ((HMC1, "hmc"), (HMC2, "hmc"), (HBM, "hbm")):
+        cfg = config
+        if protocol is HMC1:
+            cfg = config.with_hmc(max_packet_bytes=128)
+        system = System(cfg, CoalescerKind.PAC, protocol=protocol,
+                        device=device)
+        result = system.run(bench, n_accesses)
+        rows.append(
+            {
+                "protocol": protocol.name,
+                "max_packet_bytes": protocol.max_packet_bytes,
+                "coalescing_efficiency": result.coalescing_efficiency,
+                "mean_packet_bytes": result.mean_packet_bytes,
+                "transaction_efficiency": result.transaction_efficiency,
+            }
+        )
+    return rows
+
+
+def sorting_baseline_sweep(
+    benchmarks: Sequence[str] = ("gs", "bfs", "stream", "hpcg"),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """PAC vs the prior-art sorting-network DMC (Figure 11a, live)."""
+    rows = []
+    for bench in benchmarks:
+        row: Dict = {"benchmark": bench}
+        for kind, prefix in (
+            (CoalescerKind.SORT, "sort"), (CoalescerKind.PAC, "pac")
+        ):
+            result = System(config, kind).run(bench, n_accesses)
+            row[f"{prefix}_efficiency"] = result.coalescing_efficiency
+            row[f"{prefix}_comparisons"] = result.comparisons
+        rows.append(row)
+    return rows
+
+
+def ddr_vs_hmc_sweep(
+    benchmarks: Sequence[str] = ("stream", "gs", "bfs"),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """3D-stacked vs conventional DDR (Section 2 motivation)."""
+    rows = []
+    for bench in benchmarks:
+        ddr_system = System(config, CoalescerKind.NONE, device="ddr")
+        ddr_none = ddr_system.run(bench, n_accesses)
+        ddr_pac = System(config, CoalescerKind.PAC, device="ddr").run(
+            bench, n_accesses
+        )
+        hmc_none = System(config, CoalescerKind.NONE).run(bench, n_accesses)
+        hmc_pac = System(config, CoalescerKind.PAC).run(bench, n_accesses)
+        rows.append(
+            {
+                "benchmark": bench,
+                "ddr_row_hit_rate": ddr_system.device.row_hit_rate,
+                "ddr_pac_gain": ddr_pac.speedup_over(ddr_none),
+                "hmc_pac_gain": hmc_pac.speedup_over(hmc_none),
+                "hmc_conflict_reduction": hmc_pac.bank_conflict_reduction(
+                    hmc_none
+                ),
+            }
+        )
+    return rows
+
+
+def prefetch_sweep(
+    bench: str = "stream",
+    regions: Sequence[int] = (0, 1, 2),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """Prefetch-traffic coalescing (Section 4.2)."""
+    rows = []
+    for n_regions in regions:
+        cfg = config.with_cache(prefetch_regions=n_regions)
+        row: Dict = {"prefetch_regions": n_regions}
+        for kind in (CoalescerKind.DMC, CoalescerKind.PAC):
+            system = System(cfg, kind)
+            result = system.run(bench, n_accesses)
+            row[f"{kind.value}_efficiency"] = result.coalescing_efficiency
+            if kind == CoalescerKind.PAC:
+                row["prefetch_raw"] = system.hierarchy.stats.count(
+                    "prefetch_raw"
+                )
+        rows.append(row)
+    return rows
+
+
+def shared_vs_private_sweep(
+    benchmarks: Sequence[str] = ("gs", "hpcg", "stream", "bfs"),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """Shared coalescer vs equal-hardware private per-core coalescers
+    (Section 3.1)."""
+    rows = []
+    for bench in benchmarks:
+        shared = System(config, CoalescerKind.PAC).run(bench, n_accesses)
+        system = System(config, CoalescerKind.PAC)
+        trace = system.build_trace([bench], n_accesses)
+        raw = system.hierarchy.process(trace)
+        private_out = PrivateCoalescerArray(
+            n_cores=config.n_cores, config=config.pac
+        ).process(raw.requests, system.device)
+        rows.append(
+            {
+                "benchmark": bench,
+                "shared_efficiency": shared.coalescing_efficiency,
+                "private_efficiency": private_out.coalescing_efficiency,
+            }
+        )
+    return rows
+
+
+def core_scaling_sweep(
+    bench: str = "gs",
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """Shared-coalescer behaviour as concurrency grows (Section 3.1)."""
+    rows = []
+    for n_cores in core_counts:
+        cfg = replace(config, n_cores=n_cores)
+        row: Dict = {"n_cores": n_cores}
+        for kind in (CoalescerKind.DMC, CoalescerKind.PAC):
+            result = System(cfg, kind).run(bench, n_accesses)
+            row[f"{kind.value}_efficiency"] = result.coalescing_efficiency
+        rows.append(row)
+    return rows
+
+
+def address_mapping_sweep(
+    bench: str = "stream",
+    policies: Sequence[str] = ("vault-first", "bank-first", "row-major"),
+    n_accesses: int = 8000,
+    config: SimulationConfig = TABLE1,
+) -> List[dict]:
+    """Device interleaving policy sensitivity (Section 4.2)."""
+    rows = []
+    for policy in policies:
+        cfg = config.with_hmc(address_policy=policy)
+        row: Dict = {"policy": policy}
+        for kind, label in (
+            (CoalescerKind.NONE, "none"), (CoalescerKind.PAC, "pac")
+        ):
+            result = System(cfg, kind).run(bench, n_accesses)
+            row[f"{label}_conflicts"] = result.bank_conflicts
+            row[f"{label}_latency"] = result.mean_memory_latency_cycles
+        row["pac_reduction"] = (
+            1 - row["pac_conflicts"] / row["none_conflicts"]
+            if row["none_conflicts"] else 0.0
+        )
+        rows.append(row)
+    return rows
+
+
+#: Registry for the CLI.
+ABLATIONS: Dict[str, Callable[..., List[dict]]] = {
+    "timeout": timeout_sweep,
+    "streams": stream_count_sweep,
+    "protocols": protocol_sweep,
+    "sorting": sorting_baseline_sweep,
+    "ddr": ddr_vs_hmc_sweep,
+    "prefetch": prefetch_sweep,
+    "shared-private": shared_vs_private_sweep,
+    "core-scaling": core_scaling_sweep,
+    "address-mapping": address_mapping_sweep,
+}

@@ -1,0 +1,70 @@
+"""ASCII rendering of experiment rows (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if 0 < abs(value) < 1:
+            return f"{value * 100:.2f}%" if abs(value) <= 1 else f"{value:.3f}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict], title: str = "", columns: Optional[List[str]] = None
+) -> str:
+    """Render a list of row dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = columns if columns is not None else list(rows[0].keys())
+    cells = [[_format(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    rows: Sequence[Dict],
+    x: str,
+    ys: Sequence[str],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render one or more numeric series as horizontal ASCII bars."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    lines = [title] if title else []
+    peak = max(
+        (abs(float(row[y])) for row in rows for y in ys if row.get(y) is not None),
+        default=1.0,
+    ) or 1.0
+    label_w = max(len(str(row[x])) for row in rows)
+    for row in rows:
+        for y in ys:
+            value = float(row[y])
+            bar = "#" * max(0, int(round(abs(value) / peak * width)))
+            lines.append(
+                f"{str(row[x]).rjust(label_w)} {y:>12s} "
+                f"{_format(value):>10s} |{bar}"
+            )
+    return "\n".join(lines)
+
+
+def mean_of(rows: Sequence[Dict], key: str) -> float:
+    """Mean of a numeric column (for the 'paper average' comparisons)."""
+    values = [float(r[key]) for r in rows if r.get(key) is not None]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,44 @@
+"""Table regeneration (the paper has one table: the simulation
+configuration)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import SimulationConfig, TABLE1
+
+
+def table1_configuration(config: SimulationConfig = TABLE1) -> List[dict]:
+    """Table 1: simulation environment configuration rows."""
+    cache = config.cache
+    hmc = config.hmc
+    pac = config.pac
+    return [
+        {"parameter": "ISA", "value": "RV64IMAFDC (trace-modeled)"},
+        {"parameter": "Core #", "value": str(config.n_cores)},
+        {"parameter": "CPU Frequency", "value": f"{config.cpu_ghz:g} GHz"},
+        {
+            "parameter": "Cache",
+            "value": (
+                f"{cache.l1_ways}-Way, ({cache.l1_bytes // 1024}K) L1, "
+                f"({cache.llc_bytes // (1024 * 1024)}MB) L2"
+            ),
+        },
+        {"parameter": "Coalescing Streams", "value": str(pac.n_streams)},
+        {"parameter": "Timeout", "value": f"{pac.timeout_cycles} Cycles"},
+        {
+            "parameter": "MAQ Entries & MSHRs",
+            "value": f"{pac.maq_entries} & {pac.n_mshrs}",
+        },
+        {
+            "parameter": "HMC",
+            "value": (
+                f"{hmc.n_links} Links, {hmc.capacity_bytes >> 30}GB, "
+                f"{hmc.row_bytes}B-Block"
+            ),
+        },
+        {
+            "parameter": "Avg. HMC Access Latency",
+            "value": f"{hmc.avg_access_ns:g} ns",
+        },
+    ]

@@ -1,0 +1,28 @@
+"""Cycle-approximate HMC (and HBM) device model.
+
+A queueing-model stand-in for HMC-Sim 3.0 (see DESIGN.md substitution
+#2): packetized 16B-FLIT interface, round-robin SERDES link dispatch,
+crossbar local/remote routing, 32 vaults x 8 banks with closed-page
+timing, exact bank-conflict counting, and a per-operation energy model
+with the same categories the paper reports in Figure 13.
+"""
+
+from repro.hmc.packet import packet_flits, PacketFlits
+from repro.hmc.link import LinkSet
+from repro.hmc.bank import BankArray
+from repro.hmc.vault import VaultSet
+from repro.hmc.power import EnergyModel, ENERGY_CATEGORIES
+from repro.hmc.device import HMCDevice
+from repro.hmc.hbm import HBMDevice
+
+__all__ = [
+    "packet_flits",
+    "PacketFlits",
+    "LinkSet",
+    "BankArray",
+    "VaultSet",
+    "EnergyModel",
+    "ENERGY_CATEGORIES",
+    "HMCDevice",
+    "HBMDevice",
+]

@@ -1,0 +1,171 @@
+"""The HMC device facade: links -> crossbar -> vaults -> banks, with
+latency, bank-conflict, and energy accounting.
+
+Implements the :class:`repro.mshr.dmc.MemoryDevice` protocol —
+``submit(packet, cycle) -> completion_cycle`` — as a queueing model:
+
+1. The controller picks the next SERDES link round-robin and serializes
+   the request FLITs.
+2. The crossbar routes to the target vault: a *local* hop if the vault
+   sits in the link's quadrant, otherwise a costlier *remote* hop
+   (Section 2.1.2).
+3. The vault controller admits the packet (queue wait counted and
+   charged as request-slot energy).
+4. The banks perform the closed-page access; conflicts counted exactly.
+5. The response routes and serializes back; response-slot energy covers
+   its wait for the link.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import CoalescedRequest
+from repro.config import HMCConfig
+from repro.hmc.bank import BankArray
+from repro.hmc.link import LinkSet
+from repro.hmc.packet import packet_flits
+from repro.hmc.power import EnergyModel
+from repro.hmc.vault import VaultSet
+from repro.mem.address import AddressMap
+
+#: Crossbar traversal latencies, cycles.
+LOCAL_ROUTE_CYCLES = 2
+REMOTE_ROUTE_CYCLES = 8
+
+
+class HMCDevice:
+    """Cycle-approximate Hybrid Memory Cube.
+
+    Pass ``telemetry=True`` (or a :class:`repro.hmc.telemetry.Telemetry`
+    instance) to record a per-packet latency breakdown.
+    """
+
+    def __init__(self, config: HMCConfig = None, telemetry=False) -> None:
+        self.config = config if config is not None else HMCConfig()
+        if telemetry is True:
+            from repro.hmc.telemetry import Telemetry
+
+            self.telemetry = Telemetry(capacity=200_000)
+        elif telemetry is False or telemetry is None:
+            self.telemetry = None
+        else:
+            # A caller-supplied Telemetry instance (may be empty, which
+            # is falsy — compare by identity above, not truthiness).
+            self.telemetry = telemetry
+        cfg = self.config
+        self.address_map = AddressMap(
+            n_vaults=cfg.n_vaults,
+            banks_per_vault=cfg.banks_per_vault,
+            row_bytes=cfg.row_bytes,
+            policy=cfg.address_policy,
+        )
+        self.links = LinkSet(cfg.n_links, cfg.n_vaults)
+        self.vaults = VaultSet(cfg.n_vaults)
+        self.banks = BankArray(self.address_map, cfg.bank_busy_cycles)
+        self.energy = EnergyModel()
+        self.stats = StatsRegistry("hmc")
+        #: When True (HBM), a packet uses the channel its address maps to
+        #: instead of the HMC controller's round-robin link choice.
+        self.route_by_address = False
+
+    def submit(self, packet: CoalescedRequest, cycle: int) -> int:
+        """Process one packet; returns the response-arrival cycle."""
+        if packet.size > self.config.max_packet_bytes:
+            raise ValueError(
+                f"packet of {packet.size}B exceeds device maximum "
+                f"{self.config.max_packet_bytes}B"
+            )
+        flits = packet_flits(packet)
+        vault = self.address_map.locate(packet.addr).vault
+
+        # 1. Link serialization (request direction).
+        if self.route_by_address:
+            link = vault % self.links.n_links
+        else:
+            link = self.links.next_link()
+        t = self.links.serialize_request(link, flits.request, cycle)
+        link_done = t
+
+        # 2. Crossbar routing.
+        local = self.links.is_local(link, vault)
+        if local:
+            t += LOCAL_ROUTE_CYCLES
+            self.energy.charge("LINK-LOCAL-ROUTE", flits.request)
+            self.stats.counter("local_routes").add()
+        else:
+            t += REMOTE_ROUTE_CYCLES
+            self.energy.charge("LINK-REMOTE-ROUTE", flits.request)
+            self.stats.counter("remote_routes").add()
+
+        # 3. Vault controller admission; the packet holds a request slot
+        # from crossbar arrival until DRAM access begins.
+        arrival_at_vault = t
+        t = self.vaults.admit(vault, t)
+        dram_start = t
+        self.energy.charge("VAULT-RQST-SLOT", t - arrival_at_vault + 1)
+        self.energy.charge("VAULT-CTRL", 1)
+
+        # 4. DRAM access (closed-page banks).
+        t, n_rows = self.banks.access(packet.addr, packet.size, t)
+        dram_done = t
+        self.energy.charge("DRAM-ACTIVATE", n_rows)
+        self.energy.charge("DRAM-TRANSFER", packet.size)
+
+        # 5. Response: route back and serialize; the response occupies a
+        # vault response slot until its last FLIT leaves the link.
+        route_back = LOCAL_ROUTE_CYCLES if local else REMOTE_ROUTE_CYCLES
+        if local:
+            self.energy.charge("LINK-LOCAL-ROUTE", flits.response)
+        else:
+            self.energy.charge("LINK-REMOTE-ROUTE", flits.response)
+        response_ready = t + route_back
+        completion = self.links.serialize_response(
+            link, flits.response, response_ready
+        )
+        self.energy.charge("VAULT-RSP-SLOT", completion - t + 1)
+
+        # Accounting.
+        self.stats.counter("packets").add()
+        self.stats.counter("payload_bytes").add(packet.size)
+        self.stats.counter("transaction_bytes").add(packet.transaction_bytes())
+        self.stats.accumulator("latency_cycles").add(completion - cycle)
+        if self.telemetry is not None:
+            from repro.hmc.telemetry import PacketRecord
+
+            route_cycles = (
+                LOCAL_ROUTE_CYCLES if local else REMOTE_ROUTE_CYCLES
+            )
+            self.telemetry.record(
+                PacketRecord(
+                    addr=packet.addr,
+                    size=packet.size,
+                    vault=vault,
+                    link=link,
+                    remote=not local,
+                    submit_cycle=cycle,
+                    link_wait=link_done - cycle,
+                    route=route_cycles,
+                    vault_wait=dram_start - arrival_at_vault,
+                    dram=dram_done - dram_start,
+                    response=completion - dram_done,
+                )
+            )
+        return completion
+
+    # -- convenience metrics -------------------------------------------------
+
+    @property
+    def bank_conflicts(self) -> int:
+        return self.banks.total_conflicts
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        return self.stats.accumulator("latency_cycles").mean
+
+    @property
+    def total_transaction_bytes(self) -> int:
+        return self.stats.count("transaction_bytes")
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return self.stats.count("payload_bytes")

@@ -1,0 +1,40 @@
+"""HBM device variant (Section 4.1 portability).
+
+HBM replaces packetized SERDES links with wide parallel pseudo-channels
+and uses 1KB rows. We reuse the HMC machinery with an HBM-shaped
+configuration: 8 channels standing in for links, 16 pseudo-channels as
+"vaults", 1KB rows, and row-sized (1KB) maximum transfers. Routing is
+always local (no internal crossbar between channels), so the
+remote-route category stays at zero — a structural difference the power
+results preserve.
+"""
+
+from __future__ import annotations
+
+from repro.config import HMCConfig
+from repro.hmc.device import HMCDevice
+
+
+def hbm_config(
+    n_channels: int = 8,
+    banks_per_channel: int = 16,
+    row_bytes: int = 1024,
+) -> HMCConfig:
+    """An :class:`HMCConfig` shaped like an HBM2 stack."""
+    return HMCConfig(
+        n_links=n_channels,
+        n_vaults=n_channels,  # one "vault" per channel: all routing local
+        banks_per_vault=banks_per_channel,
+        row_bytes=row_bytes,
+        max_packet_bytes=row_bytes,
+        bank_busy_cycles=90,
+        capacity_bytes=8 << 30,
+    )
+
+
+class HBMDevice(HMCDevice):
+    """High Bandwidth Memory stack: HMC machinery, HBM geometry."""
+
+    def __init__(self, config: HMCConfig = None) -> None:
+        super().__init__(config if config is not None else hbm_config())
+        self.route_by_address = True

@@ -1,0 +1,62 @@
+"""SERDES links with the HMC controller's round-robin dispatch.
+
+The HMC controller dispatches each packet to the next link in
+round-robin order to balance bandwidth (Section 2.1.2). Links are
+physically adjacent to a quadrant of vaults: a packet whose target vault
+is outside its link's quadrant is routed *remotely* through the internal
+crossbar — the latency and power penalty PAC's coalescing avoids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.stats import StatsRegistry
+
+#: Cycles to serialize one FLIT across a link (at the 2GHz model clock a
+#: 16B FLIT per cycle = 32GB/s per link direction — HMC-class bandwidth).
+CYCLES_PER_FLIT = 1
+
+
+class LinkSet:
+    """The device's external links plus round-robin dispatch state."""
+
+    def __init__(self, n_links: int = 4, n_vaults: int = 32) -> None:
+        if n_links <= 0:
+            raise ValueError("need at least one link")
+        if n_vaults % n_links:
+            raise ValueError("vaults must divide evenly across links")
+        self.n_links = n_links
+        self.n_vaults = n_vaults
+        self.vaults_per_link = n_vaults // n_links
+        self._rr = 0
+        #: Per-link, per-direction busy horizon (cycle).
+        self.req_busy_until: List[int] = [0] * n_links
+        self.rsp_busy_until: List[int] = [0] * n_links
+        self.stats = StatsRegistry("links")
+
+    def next_link(self) -> int:
+        """Round-robin link selection (the HMC controller policy)."""
+        link = self._rr
+        self._rr = (self._rr + 1) % self.n_links
+        return link
+
+    def is_local(self, link: int, vault: int) -> bool:
+        """Whether ``vault`` sits in ``link``'s quadrant (no crossbar hop)."""
+        return vault // self.vaults_per_link == link
+
+    def serialize_request(self, link: int, flits: int, cycle: int) -> int:
+        """Occupy the link's request direction for ``flits``; returns the
+        cycle the last FLIT lands."""
+        start = max(cycle, self.req_busy_until[link])
+        done = start + flits * CYCLES_PER_FLIT
+        self.req_busy_until[link] = done
+        self.stats.counter("request_flits").add(flits)
+        return done
+
+    def serialize_response(self, link: int, flits: int, cycle: int) -> int:
+        start = max(cycle, self.rsp_busy_until[link])
+        done = start + flits * CYCLES_PER_FLIT
+        self.rsp_busy_until[link] = done
+        self.stats.counter("response_flits").add(flits)
+        return done

@@ -1,0 +1,47 @@
+"""HMC transaction FLIT accounting.
+
+Every HMC transaction is a request packet plus a complementary response
+packet, each carrying a 16B header/tail control FLIT (Section 5.3.2):
+32B of control overhead per transaction regardless of payload. Data
+FLITs ride on the request for writes and on the response for reads.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.common.types import FLIT_BYTES, CoalescedRequest, MemOp
+
+
+class PacketFlits(NamedTuple):
+    """FLIT counts for one transaction."""
+
+    request: int
+    response: int
+
+    @property
+    def total(self) -> int:
+        return self.request + self.response
+
+    @property
+    def data(self) -> int:
+        return self.total - 2
+
+
+def data_flits(payload_bytes: int) -> int:
+    """Payload FLITs, rounded up to whole 16B FLITs."""
+    if payload_bytes < 0:
+        raise ValueError("payload must be non-negative")
+    return -(-payload_bytes // FLIT_BYTES)
+
+
+def packet_flits(packet: CoalescedRequest) -> PacketFlits:
+    """Request/response FLIT counts for a coalesced packet.
+
+    Reads: 1-FLIT request header, response = header + data.
+    Writes: request = header + data, 1-FLIT response (the ack).
+    """
+    payload = data_flits(packet.size)
+    if packet.op == MemOp.STORE:
+        return PacketFlits(request=1 + payload, response=1)
+    return PacketFlits(request=1, response=1 + payload)

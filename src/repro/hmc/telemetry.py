@@ -1,0 +1,110 @@
+"""Per-packet latency telemetry for the HMC device.
+
+When enabled, every packet records where its cycles went — link
+serialization, crossbar route, vault queueing, DRAM access, response
+return — plus its vault, so congestion can be localized. This is the
+kind of insight HMC-Sim exposes and the paper uses to attribute savings
+(vault queue power, link routing) to coalescing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Latency breakdown for one serviced packet (all in cycles)."""
+
+    addr: int
+    size: int
+    vault: int
+    link: int
+    remote: bool
+    submit_cycle: int
+    link_wait: int
+    route: int
+    vault_wait: int
+    dram: int
+    response: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.link_wait + self.route + self.vault_wait
+            + self.dram + self.response
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return float(sorted_values[idx])
+
+
+class Telemetry:
+    """Bounded recorder of :class:`PacketRecord` entries."""
+
+    COMPONENTS = ("link_wait", "route", "vault_wait", "dram", "response")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self.records: List[PacketRecord] = []
+        self.dropped = 0
+
+    def record(self, rec: PacketRecord) -> None:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- summaries --------------------------------------------------------- #
+
+    def component_means(self) -> Dict[str, float]:
+        """Mean cycles per latency component."""
+        if not self.records:
+            return {c: 0.0 for c in self.COMPONENTS}
+        n = len(self.records)
+        return {
+            c: sum(getattr(r, c) for r in self.records) / n
+            for c in self.COMPONENTS
+        }
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        totals = sorted(r.total for r in self.records)
+        return {
+            "p50": _percentile(totals, 0.50),
+            "p95": _percentile(totals, 0.95),
+            "p99": _percentile(totals, 0.99),
+            "max": float(totals[-1]) if totals else 0.0,
+        }
+
+    def vault_heat(self) -> Dict[int, int]:
+        """Packets serviced per vault — congestion localization."""
+        heat: Dict[int, int] = {}
+        for r in self.records:
+            heat[r.vault] = heat.get(r.vault, 0) + 1
+        return heat
+
+    def remote_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.remote for r in self.records) / len(self.records)
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        out.update(
+            {f"mean_{k}": v for k, v in self.component_means().items()}
+        )
+        out.update(self.latency_percentiles())
+        out["remote_fraction"] = self.remote_fraction()
+        out["n_records"] = float(len(self.records))
+        return out

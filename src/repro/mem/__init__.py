@@ -1,0 +1,15 @@
+"""Memory addressing substrate: page tables, address decomposition, traces."""
+
+from repro.mem.address import AddressMap, decompose, page_of, block_of
+from repro.mem.pagetable import PageTable, FrameAllocator
+from repro.mem.trace import AccessTrace
+
+__all__ = [
+    "AddressMap",
+    "decompose",
+    "page_of",
+    "block_of",
+    "PageTable",
+    "FrameAllocator",
+    "AccessTrace",
+]

@@ -1,0 +1,124 @@
+"""Physical address decomposition and device address interleaving.
+
+Two concerns live here:
+
+* Generic page/block/offset decomposition used by the coalescer
+  (4KB pages, 64B blocks — Section 3.3.1).
+* The HMC-style device :class:`AddressMap` that spreads consecutive
+  256B device rows across vaults and banks (vault-then-bank low-order
+  interleaving, as in HMC 2.1's default ``max block size`` mapping), used
+  by :mod:`repro.hmc` to locate the bank a packet touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.common.types import CACHE_LINE_BYTES, PAGE_BYTES
+
+
+class DecomposedAddress(NamedTuple):
+    """Page/block/offset view of a physical address."""
+
+    ppn: int
+    block: int
+    offset: int
+
+
+def page_of(addr: int) -> int:
+    """Physical page number of ``addr``."""
+    return addr // PAGE_BYTES
+
+
+def block_of(addr: int) -> int:
+    """Cache-block index of ``addr`` within its page (0..63)."""
+    return (addr % PAGE_BYTES) // CACHE_LINE_BYTES
+
+
+def decompose(addr: int) -> DecomposedAddress:
+    """Split a physical address into (ppn, block, byte offset in block)."""
+    if addr < 0:
+        raise ValueError("physical addresses are non-negative")
+    ppn, in_page = divmod(addr, PAGE_BYTES)
+    block, offset = divmod(in_page, CACHE_LINE_BYTES)
+    return DecomposedAddress(ppn, block, offset)
+
+
+class DeviceLocation(NamedTuple):
+    """Where a physical address lands inside the 3D-stacked device."""
+
+    vault: int
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Interleaved physical-address-to-device mapping.
+
+    ``policy`` selects how consecutive ``row_bytes`` regions spread over
+    the device:
+
+    * ``"vault-first"`` (default, HMC's scheme): rotate vaults, then
+      banks — maximizes vault-level parallelism (Section 4.2 notes HMC
+      "employs vault and traditional bank interleaving").
+    * ``"bank-first"``: rotate banks within a vault before moving to the
+      next vault — bank parallelism first, link locality preserved
+      longer.
+    * ``"row-major"``: fill a bank's whole row space before advancing —
+      the degenerate mapping that funnels streams into single banks
+      (useful as a worst-case ablation point).
+
+    The same map with different parameters serves HBM (channels instead
+    of vaults).
+    """
+
+    n_vaults: int = 32
+    banks_per_vault: int = 8
+    row_bytes: int = 256
+    policy: str = "vault-first"
+
+    #: Rows per bank assumed by the row-major policy (8GB / 256 banks /
+    #: 256B rows on the Table 1 device).
+    ROWS_PER_BANK = 1 << 17
+
+    def __post_init__(self) -> None:
+        if self.n_vaults <= 0 or self.banks_per_vault <= 0:
+            raise ValueError("vault/bank counts must be positive")
+        if self.row_bytes <= 0 or self.row_bytes % CACHE_LINE_BYTES:
+            raise ValueError("row_bytes must be a positive multiple of 64")
+        if self.policy not in ("vault-first", "bank-first", "row-major"):
+            raise ValueError(f"unknown mapping policy {self.policy!r}")
+
+    def locate(self, addr: int) -> DeviceLocation:
+        """Map a physical address to its (vault, bank, row)."""
+        if addr < 0:
+            raise ValueError("physical addresses are non-negative")
+        row_index = addr // self.row_bytes
+        if self.policy == "vault-first":
+            vault = row_index % self.n_vaults
+            bank = (row_index // self.n_vaults) % self.banks_per_vault
+            row = row_index // (self.n_vaults * self.banks_per_vault)
+        elif self.policy == "bank-first":
+            bank = row_index % self.banks_per_vault
+            vault = (row_index // self.banks_per_vault) % self.n_vaults
+            row = row_index // (self.n_vaults * self.banks_per_vault)
+        else:  # row-major
+            row = row_index % self.ROWS_PER_BANK
+            bank_linear = row_index // self.ROWS_PER_BANK
+            vault = bank_linear % self.n_vaults
+            bank = (bank_linear // self.n_vaults) % self.banks_per_vault
+        return DeviceLocation(vault, bank, row)
+
+    def rows_spanned(self, addr: int, size: int) -> int:
+        """How many device rows a [addr, addr+size) access touches."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        first = addr // self.row_bytes
+        last = (addr + size - 1) // self.row_bytes
+        return last - first + 1
+
+    @property
+    def total_banks(self) -> int:
+        return self.n_vaults * self.banks_per_vault

@@ -1,0 +1,142 @@
+"""Access-trace container.
+
+An :class:`AccessTrace` is the columnar (structure-of-arrays) record of a
+CPU access stream: address, size, op, core, cycle. Workload generators
+produce traces; the cache hierarchy consumes them. Keeping the hot data in
+numpy arrays lets generators and the cache front-end stay vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.common.types import MemOp, MemoryRequest
+
+
+@dataclass
+class AccessTrace:
+    """Columnar trace of memory accesses.
+
+    Arrays must share a common length. ``ops`` stores :class:`MemOp`
+    integer values; ``cycles`` is the issue cycle of each access in core
+    clocks (2GHz per Table 1).
+    """
+
+    addrs: np.ndarray
+    sizes: np.ndarray
+    ops: np.ndarray
+    cores: np.ndarray
+    cycles: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.addrs),
+            len(self.sizes),
+            len(self.ops),
+            len(self.cores),
+            len(self.cycles),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"trace columns disagree on length: {lengths}")
+        self.addrs = np.asarray(self.addrs, dtype=np.int64)
+        self.sizes = np.asarray(self.sizes, dtype=np.int32)
+        self.ops = np.asarray(self.ops, dtype=np.int8)
+        self.cores = np.asarray(self.cores, dtype=np.int16)
+        self.cycles = np.asarray(self.cycles, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @classmethod
+    def empty(cls) -> "AccessTrace":
+        zero = np.zeros(0, dtype=np.int64)
+        return cls(zero, zero.copy(), zero.copy(), zero.copy(), zero.copy())
+
+    @classmethod
+    def from_rows(cls, rows) -> "AccessTrace":
+        """Build from an iterable of (addr, size, op, core, cycle) tuples."""
+        rows = list(rows)
+        if not rows:
+            return cls.empty()
+        cols = list(zip(*rows))
+        return cls(
+            np.array(cols[0]), np.array(cols[1]), np.array(cols[2]),
+            np.array(cols[3]), np.array(cols[4]),
+        )
+
+    def requests(self) -> Iterator[MemoryRequest]:
+        """Iterate as :class:`MemoryRequest` objects (slow path; tests and
+        small drivers only — the engine consumes columns directly)."""
+        for i in range(len(self)):
+            yield MemoryRequest(
+                addr=int(self.addrs[i]),
+                size=int(self.sizes[i]),
+                op=MemOp(int(self.ops[i])),
+                core_id=int(self.cores[i]),
+                cycle=int(self.cycles[i]),
+            )
+
+    def slice(self, start: int, stop: int) -> "AccessTrace":
+        return AccessTrace(
+            self.addrs[start:stop],
+            self.sizes[start:stop],
+            self.ops[start:stop],
+            self.cores[start:stop],
+            self.cycles[start:stop],
+        )
+
+    def concat(self, other: "AccessTrace") -> "AccessTrace":
+        return AccessTrace(
+            np.concatenate([self.addrs, other.addrs]),
+            np.concatenate([self.sizes, other.sizes]),
+            np.concatenate([self.ops, other.ops]),
+            np.concatenate([self.cores, other.cores]),
+            np.concatenate([self.cycles, other.cycles]),
+        )
+
+    def sorted_by_cycle(self) -> "AccessTrace":
+        """Stable sort by issue cycle — used to interleave per-core or
+        per-process streams into one program order."""
+        order = np.argsort(self.cycles, kind="stable")
+        return AccessTrace(
+            self.addrs[order],
+            self.sizes[order],
+            self.ops[order],
+            self.cores[order],
+            self.cycles[order],
+        )
+
+    def store_fraction(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.ops == int(MemOp.STORE)))
+
+    def unique_pages(self) -> int:
+        from repro.common.types import PAGE_BYTES
+
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.addrs // PAGE_BYTES).size)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to ``.npz``."""
+        np.savez_compressed(
+            str(path),
+            addrs=self.addrs,
+            sizes=self.sizes,
+            ops=self.ops,
+            cores=self.cores,
+            cycles=self.cycles,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AccessTrace":
+        with np.load(str(path)) as data:
+            return cls(
+                data["addrs"], data["sizes"], data["ops"],
+                data["cores"], data["cycles"],
+            )

@@ -1,0 +1,16 @@
+"""Miss status holding registers: the conventional file, the PAC-extended
+adaptive file, and the MSHR-based DMC baseline coalescer."""
+
+from repro.mshr.entry import MSHREntry, Subentry
+from repro.mshr.file import MSHRFile
+from repro.mshr.adaptive import AdaptiveMSHRFile
+from repro.mshr.dmc import MSHRBasedDMC, NullCoalescer
+
+__all__ = [
+    "MSHREntry",
+    "Subentry",
+    "MSHRFile",
+    "AdaptiveMSHRFile",
+    "MSHRBasedDMC",
+    "NullCoalescer",
+]

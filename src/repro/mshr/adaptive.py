@@ -1,0 +1,140 @@
+"""Adaptive MSHRs — PAC's extended miss status holding registers.
+
+Two extensions over :class:`repro.mshr.file.MSHRFile` (Section 3.1.3):
+
+* Entries track a multi-block span (up to 4 blocks for HMC 2.1) and
+  subentries carry a **2-bit block index** identifying which block of the
+  span they wait on, so a single in-flight 256B packet can service misses
+  to four different cache blocks.
+* Entries carry the **OP bit**; loads and stores never merge, and the op
+  comparison rides along with the address CAM lookup.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import CACHE_LINE_BYTES, CoalescedRequest, MemOp
+from repro.mshr.entry import MSHREntry, Subentry
+from repro.mshr.file import MSHRFileFullError
+
+
+class AdaptiveMSHRFile:
+    """Fixed-size file of multi-block (adaptive) MSHR entries."""
+
+    def __init__(self, n_entries: int = 16, name: str = "amshr") -> None:
+        if n_entries <= 0:
+            raise ValueError("need at least one MSHR")
+        self.n_entries = n_entries
+        self.name = name
+        self._slots: Dict[int, MSHREntry] = {}
+        self._release_heap: List[Tuple[int, int]] = []  # (cycle, slot)
+        self._next_slot = itertools.count()
+        self.stats = StatsRegistry(name)
+
+    # -- time ----------------------------------------------------------------
+
+    def advance(self, now: int) -> List[MSHREntry]:
+        """Apply all releases due at or before ``now``."""
+        released = []
+        while self._release_heap and self._release_heap[0][0] <= now:
+            _, slot = heapq.heappop(self._release_heap)
+            entry = self._slots.pop(slot, None)
+            if entry is not None:
+                released.append(entry)
+        return released
+
+    def next_release_cycle(self) -> Optional[int]:
+        while self._release_heap:
+            cycle, slot = self._release_heap[0]
+            if slot in self._slots:
+                return cycle
+            heapq.heappop(self._release_heap)
+        return None
+
+    def schedule_release(self, slot: int, cycle: int) -> None:
+        entry = self._slots.get(slot)
+        if entry is None:
+            raise KeyError(f"{self.name}: no entry in slot {slot}")
+        entry.release_cycle = cycle
+        heapq.heappush(self._release_heap, (cycle, slot))
+
+    # -- occupancy -------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+    @property
+    def full(self) -> bool:
+        return len(self._slots) >= self.n_entries
+
+    @property
+    def has_free(self) -> bool:
+        return not self.full
+
+    def entries(self) -> List[MSHREntry]:
+        return list(self._slots.values())
+
+    # -- merge / allocate --------------------------------------------------------
+
+    def find_covering(self, line_addr: int, op: MemOp) -> Optional[MSHREntry]:
+        """CAM lookup: an in-flight entry of the same op whose block span
+        covers ``line_addr``. Linear scan — the file is 16 entries wide, a
+        parallel CAM in hardware."""
+        for entry in self._slots.values():
+            if entry.op == op and entry.covers(line_addr):
+                return entry
+        return None
+
+    def try_merge_packet(self, packet: CoalescedRequest) -> Optional[MSHREntry]:
+        """Merge a coalesced packet into an existing entry whose span
+        already covers every block of the packet (Section 3.2: pending
+        MAQ requests are compared with existing MSHRs for contiguity by
+        physical page number).
+
+        Returns the entry merged into, or None."""
+        entry = self.find_covering(packet.addr, packet.op)
+        if entry is None:
+            return None
+        last_block = packet.addr + (packet.n_blocks - 1) * CACHE_LINE_BYTES
+        if not entry.covers(last_block):
+            return None
+        for b in range(packet.n_blocks):
+            entry.attach(
+                req_id=packet.constituents[min(b, len(packet.constituents) - 1)],
+                line_addr=packet.addr + b * CACHE_LINE_BYTES,
+            )
+        self.stats.counter("packet_merges").add()
+        return entry
+
+    def allocate_packet(
+        self, packet: CoalescedRequest, now: int
+    ) -> Tuple[int, MSHREntry]:
+        """Allocate a new entry spanning the whole coalesced packet;
+        returns ``(slot_id, entry)``. Sub-line (fine-grain) packets are
+        tracked at the granularity of the cache lines they touch."""
+        if self.full:
+            raise MSHRFileFullError(f"{self.name}: all {self.n_entries} busy")
+        base = packet.addr - (packet.addr % CACHE_LINE_BYTES)
+        end = packet.addr + packet.size
+        span = max(1, -(-(end - base) // CACHE_LINE_BYTES))
+        entry = MSHREntry(
+            base_block_addr=base,
+            op=packet.op,
+            span_blocks=span,
+            alloc_cycle=now,
+        )
+        for i, rid in enumerate(packet.constituents):
+            # Constituents arrive in block order from the assembler; clamp
+            # covers duplicate same-block raw requests beyond the span.
+            entry.subentries.append(
+                Subentry(req_id=rid, block_index=min(i, entry.span_blocks - 1))
+            )
+        slot = next(self._next_slot)
+        self._slots[slot] = entry
+        self.stats.counter("allocations").add()
+        return slot, entry

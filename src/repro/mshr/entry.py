@@ -1,0 +1,91 @@
+"""MSHR entry structures.
+
+A conventional entry tracks one outstanding cache-line fill; subentries
+record the raw misses merged into it (Kroft's lockup-free design,
+Section 2.2.1). The adaptive variant used under PAC extends each
+subentry with the paper's 2-bit block index — subentries may reference
+blocks N..N+3 relative to the entry's base block — and each entry carries
+the OP bit (Section 3.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.types import CACHE_LINE_BYTES, MemOp
+
+
+#: Widest entry span any supported protocol needs: HMC 2.1 packets span
+#: up to 4 blocks (the paper's 2-bit index); HBM row-sized 1KB packets
+#: span 16. The index field width follows the protocol.
+MAX_SPAN_BLOCKS = 16
+
+
+@dataclass
+class Subentry:
+    """One merged miss: who to wake, and which block of the entry's span
+    it wants (the paper's 2-bit index field for HMC; wider for HBM
+    row-sized packets; always 0 for conventional MSHRs)."""
+
+    req_id: int
+    block_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.block_index < MAX_SPAN_BLOCKS:
+            raise ValueError(
+                f"block index outside 0..{MAX_SPAN_BLOCKS - 1}"
+            )
+
+
+@dataclass
+class MSHREntry:
+    """An in-flight memory request holding merged misses.
+
+    ``base_block_addr`` is the line-aligned address of block N.
+    ``span_blocks`` is 1 for conventional MSHRs; up to 4 for adaptive
+    MSHRs tracking a coalesced multi-block packet.
+    """
+
+    base_block_addr: int
+    op: MemOp
+    span_blocks: int = 1
+    alloc_cycle: int = 0
+    subentries: List[Subentry] = field(default_factory=list)
+    release_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.base_block_addr % CACHE_LINE_BYTES:
+            raise ValueError("MSHR base address must be line-aligned")
+        if not 1 <= self.span_blocks <= MAX_SPAN_BLOCKS:
+            raise ValueError(
+                f"entry span is 1..{MAX_SPAN_BLOCKS} blocks"
+            )
+
+    @property
+    def end_addr(self) -> int:
+        return self.base_block_addr + self.span_blocks * CACHE_LINE_BYTES
+
+    def covers(self, line_addr: int) -> bool:
+        """Whether ``line_addr`` falls inside this entry's block span."""
+        return self.base_block_addr <= line_addr < self.end_addr
+
+    def block_index_of(self, line_addr: int) -> int:
+        """2-bit index of ``line_addr`` within the span (paper: indexes
+        00..11 represent blocks N..N+3)."""
+        if not self.covers(line_addr):
+            raise ValueError(
+                f"{line_addr:#x} outside entry span "
+                f"[{self.base_block_addr:#x}, {self.end_addr:#x})"
+            )
+        return (line_addr - self.base_block_addr) // CACHE_LINE_BYTES
+
+    def attach(self, req_id: int, line_addr: int) -> Subentry:
+        """Merge a miss as a subentry; derives and stores its block index."""
+        sub = Subentry(req_id=req_id, block_index=self.block_index_of(line_addr))
+        self.subentries.append(sub)
+        return sub
+
+    @property
+    def n_merged(self) -> int:
+        return len(self.subentries)

@@ -1,0 +1,111 @@
+"""The conventional MSHR register file.
+
+Holds up to ``n_entries`` outstanding line fills. Entries live in
+numbered slots; a line-address index provides the CAM lookup. Releases
+are scheduled by the engine when the memory response arrives and applied
+lazily in cycle order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import MemOp
+from repro.mshr.entry import MSHREntry
+
+
+class MSHRFileFullError(RuntimeError):
+    """Allocation attempted with no free MSHR."""
+
+
+class MSHRFile:
+    """Fixed-size file of conventional (single-block) MSHR entries.
+
+    Duplicate lines may occupy separate slots (e.g. a load and a store
+    miss to the same line, which must not merge); the line index tracks
+    the most recently allocated slot per line.
+    """
+
+    def __init__(self, n_entries: int = 16, name: str = "mshr") -> None:
+        if n_entries <= 0:
+            raise ValueError("need at least one MSHR")
+        self.n_entries = n_entries
+        self.name = name
+        self._slots: Dict[int, MSHREntry] = {}
+        self._line_index: Dict[int, int] = {}  # line_addr -> slot id
+        self._release_heap: List[Tuple[int, int]] = []  # (cycle, slot)
+        self._next_slot = itertools.count()
+        self.stats = StatsRegistry(name)
+
+    # -- time ---------------------------------------------------------------
+
+    def advance(self, now: int) -> List[MSHREntry]:
+        """Apply all releases scheduled at or before ``now``; returns the
+        released entries."""
+        released = []
+        while self._release_heap and self._release_heap[0][0] <= now:
+            _, slot = heapq.heappop(self._release_heap)
+            entry = self._slots.pop(slot, None)
+            if entry is not None:
+                released.append(entry)
+                if self._line_index.get(entry.base_block_addr) == slot:
+                    del self._line_index[entry.base_block_addr]
+        return released
+
+    def next_release_cycle(self) -> Optional[int]:
+        """Cycle of the earliest scheduled release, or None."""
+        while self._release_heap:
+            cycle, slot = self._release_heap[0]
+            if slot in self._slots:
+                return cycle
+            heapq.heappop(self._release_heap)  # stale
+        return None
+
+    def schedule_release(self, slot: int, cycle: int) -> None:
+        """Mark ``slot`` to release at ``cycle`` (memory response arrival)."""
+        entry = self._slots.get(slot)
+        if entry is None:
+            raise KeyError(f"{self.name}: no entry in slot {slot}")
+        entry.release_cycle = cycle
+        heapq.heappush(self._release_heap, (cycle, slot))
+
+    # -- lookup / allocate ----------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+    @property
+    def full(self) -> bool:
+        return len(self._slots) >= self.n_entries
+
+    @property
+    def has_free(self) -> bool:
+        return not self.full
+
+    def lookup(self, line_addr: int) -> Optional[MSHREntry]:
+        """The in-flight entry for ``line_addr``, if any."""
+        slot = self._line_index.get(line_addr)
+        return self._slots.get(slot) if slot is not None else None
+
+    def allocate(self, line_addr: int, op: MemOp, cycle: int) -> Tuple[int, MSHREntry]:
+        """Allocate a fresh entry; returns ``(slot_id, entry)``."""
+        if self.full:
+            raise MSHRFileFullError(f"{self.name}: all {self.n_entries} busy")
+        entry = MSHREntry(
+            base_block_addr=line_addr, op=op, span_blocks=1, alloc_cycle=cycle
+        )
+        slot = next(self._next_slot)
+        self._slots[slot] = entry
+        self._line_index[line_addr] = slot
+        self.stats.counter("allocations").add()
+        return slot, entry
+
+    def entries(self) -> List[MSHREntry]:
+        return list(self._slots.values())
+
+    def total_subentries(self) -> int:
+        return sum(e.n_merged for e in self._slots.values())

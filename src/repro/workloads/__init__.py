@@ -1,0 +1,27 @@
+"""The 14-benchmark synthetic workload suite (paper Section 5.2).
+
+Suites: STREAM, GS, HPCG, SSCA2, BOTS (sort/sparselu/fft), NAS
+(ep/mg/cg/lu/sp), GAPBS (bfs/pr). Each generator reproduces the memory
+access *signature* of its benchmark — see DESIGN.md for the substitution
+rationale (Spike-traced binaries → synthetic signatures).
+"""
+
+from repro.workloads.base import (
+    BENCHMARK_NAMES,
+    VirtualLayout,
+    WorkloadGenerator,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    register,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "VirtualLayout",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "register",
+]

@@ -1,0 +1,143 @@
+"""GAP Benchmark Suite patterns: BFS and PageRank.
+
+BFS is the paper's canonical *uncoalescable* workload: frontier-driven
+neighbour expansion probes per-vertex state scattered across a huge
+vertex array, so raw requests land in disparate physical pages (the
+DBSCAN analysis of Figure 8 shows almost no clustering). PAC coalesces
+only ~7–18% of BFS requests but wins big on comparison reductions
+(62.41%, Figure 7) because paged streams prune futile comparisons.
+
+PageRank does whole-graph passes: sequential CSR scans plus rank gathers
+at power-law-skewed vertex ids — hub ranks stay cache-resident, the long
+tail scatters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import MemOp
+from repro.workloads import patterns
+from repro.workloads.base import (
+    VirtualLayout,
+    WorkloadGenerator,
+    WorkloadSpec,
+    register,
+)
+
+_N_VERTICES = 1 << 20
+_AVG_DEGREE = 8
+
+
+def _graph_layout(n_vertices: int = _N_VERTICES):
+    layout = VirtualLayout()
+    offsets = layout.alloc("offsets", (n_vertices + 1) * 8)
+    targets = layout.alloc("targets", n_vertices * _AVG_DEGREE * 4)
+    vdata = layout.alloc("vdata", n_vertices * 8)  # parent / rank array
+    vaux = layout.alloc("vaux", n_vertices * 8)  # visited / next-rank
+    return layout, offsets, targets, vdata, vaux
+
+
+@register
+class BFS(WorkloadGenerator):
+    """Frontier-based breadth-first search over a power-law CSR graph."""
+
+    spec = WorkloadSpec(
+        name="bfs",
+        suite="gapbs",
+        description="GAPBS BFS: scattered visited/parent probes, short neighbour runs",
+        arithmetic_intensity=1.5,
+        store_fraction=0.12,
+    )
+
+    def _core_stream(self, core_id: int, n_accesses: int, rng: np.random.Generator):
+        n_vertices = self._s(_N_VERTICES, minimum=1 << 12)
+        _, offsets, targets, parent, visited = _graph_layout(n_vertices)
+        addrs = []
+        ops = []
+        sizes = []
+        produced = 0
+        edge_slots = n_vertices * _AVG_DEGREE
+        while produced < n_accesses:
+            # Expand one frontier vertex: offset load, a short neighbour
+            # run at a random CSR position, then per-neighbour scattered
+            # visited probe and (sometimes) a parent store.
+            u = int(rng.integers(0, n_vertices))
+            deg = int(min(rng.geometric(1.0 / _AVG_DEGREE), 64))
+            edge_base = int(rng.integers(0, max(1, edge_slots - deg)))
+            addrs.append(offsets + u * 8)
+            ops.append(int(MemOp.LOAD))
+            sizes.append(8)
+            run = patterns.sequential(targets, deg, 4, start_index=edge_base)
+            neigh = patterns.powerlaw_vertices(rng, n_vertices, deg, alpha=1.4)
+            # Scatter the power-law ids across the address space (hubs are
+            # not physically adjacent).
+            neigh = (neigh * 2654435761) % n_vertices
+            # Per neighbour: the (cache-friendly) target-id read plus two
+            # scattered per-vertex probes — visited bit and level/parent
+            # state — the access mix that makes BFS the paper's least
+            # coalescable workload.
+            level = (neigh * 40503) % n_vertices
+            for i in range(deg):
+                addrs.append(int(run[i]))
+                ops.append(int(MemOp.LOAD))
+                sizes.append(4)
+                addrs.append(visited + int(neigh[i]) * 8)
+                ops.append(int(MemOp.LOAD))
+                sizes.append(8)
+                addrs.append(parent + int(level[i]) * 8)
+                ops.append(int(MemOp.LOAD))
+                sizes.append(8)
+                if rng.random() < 0.25:  # newly discovered -> parent store
+                    addrs.append(parent + int(neigh[i]) * 8)
+                    ops.append(int(MemOp.STORE))
+                    sizes.append(8)
+            produced = len(addrs)
+        n = n_accesses
+        return (
+            np.array(addrs[:n], dtype=np.int64),
+            np.array(sizes[:n]),
+            np.array(ops[:n]),
+        )
+
+
+@register
+class PageRank(WorkloadGenerator):
+    """Pull-based PageRank iteration over the same CSR structure."""
+
+    spec = WorkloadSpec(
+        name="pr",
+        suite="gapbs",
+        description="GAPBS PageRank: sequential CSR scan + skewed rank gathers",
+        arithmetic_intensity=1.8,
+        store_fraction=0.1,
+    )
+
+    def _core_stream(self, core_id: int, n_accesses: int, rng: np.random.Generator):
+        n_vertices = self._s(_N_VERTICES, minimum=1 << 12)
+        _, offsets, targets, rank, next_rank = _graph_layout(n_vertices)
+        # Per vertex: offset load, AVG_DEGREE target loads (sequential),
+        # AVG_DEGREE rank gathers (skewed-random), one next_rank store.
+        per_v = 2 + 2 * _AVG_DEGREE
+        n_v = -(-n_accesses // per_v)
+        v_start = core_id * (n_vertices // 8)
+        vs = (v_start + np.arange(n_v, dtype=np.int64)) % n_vertices
+
+        addr_rows = np.empty((n_v, per_v), dtype=np.int64)
+        op_rows = np.zeros((n_v, per_v), dtype=np.int8)
+        size_rows = np.full((n_v, per_v), 8, dtype=np.int32)
+        addr_rows[:, 0] = offsets + vs * 8
+        edge_base = (vs * _AVG_DEGREE) % (n_vertices * _AVG_DEGREE)
+        for j in range(_AVG_DEGREE):
+            addr_rows[:, 1 + 2 * j] = targets + (edge_base + j) * 4
+            size_rows[:, 1 + 2 * j] = 4
+            gather_v = patterns.powerlaw_vertices(rng, n_vertices, n_v, alpha=1.6)
+            gather_v = (gather_v * 2654435761) % n_vertices
+            addr_rows[:, 2 + 2 * j] = rank + gather_v * 8
+        addr_rows[:, -1] = next_rank + vs * 8
+        op_rows[:, -1] = int(MemOp.STORE)
+        return (
+            addr_rows.reshape(-1)[:n_accesses],
+            size_rows.reshape(-1)[:n_accesses],
+            op_rows.reshape(-1)[:n_accesses],
+        )

@@ -1,0 +1,88 @@
+"""HPCG — sparse conjugate gradient on a 27-point stencil grid.
+
+The dominant kernel is the stencil SpMV: for each matrix row, a
+sequential scan of the column-index and value arrays plus gathers into
+the ``x`` vector at the 27 stencil neighbours. The neighbours live in
+three z-planes, so the ``x`` gathers form three concurrent near-sequential
+streams at plane-stride offsets. The paper uses HPCG as its running
+"moderately coalescable" example: 2–4 physical pages live per 16-cycle
+window (Figure 11b) and small requests dominate in fine-grain mode
+(Figure 10b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import MemOp
+from repro.workloads import patterns
+from repro.workloads.base import (
+    VirtualLayout,
+    WorkloadGenerator,
+    WorkloadSpec,
+    register,
+)
+
+_NX = 64  # local grid dimension (64^3 rows)
+_ROW_NNZ = 27
+
+
+@register
+class HPCG(WorkloadGenerator):
+    """27-point stencil SpMV + CG vector updates."""
+
+    spec = WorkloadSpec(
+        name="hpcg",
+        suite="hpcg",
+        description="HPCG stencil SpMV: sequential matrix scan + 3-plane x gathers",
+        arithmetic_intensity=2.0,
+        store_fraction=0.08,
+    )
+
+    def _core_stream(self, core_id: int, n_accesses: int, rng: np.random.Generator):
+        # The grid dimension scales with the cube root of the size class.
+        nx = max(16, int(round(_NX * self.scale ** (1 / 3))))
+        n_rows_total = nx**3
+        layout = VirtualLayout()
+        vals = layout.alloc("vals", n_rows_total * _ROW_NNZ * 8)
+        cols = layout.alloc("cols", n_rows_total * _ROW_NNZ * 4)
+        x = layout.alloc("x", n_rows_total * 8)
+        y = layout.alloc("y", n_rows_total * 8)
+
+        # Accesses per row: 27 value loads + 27 index loads + 27 x gathers
+        # + 1 y store = 82.
+        per_row = 3 * _ROW_NNZ + 1
+        rows = -(-n_accesses // per_row)
+        plane = nx * nx
+        row_start = (core_id * (n_rows_total // 8)) % n_rows_total
+
+        chunks = []
+        ops_chunks = []
+        sizes_chunks = []
+        neighbour_offsets = np.array(
+            [dz * plane + dy * nx + dx
+             for dz in (-1, 0, 1) for dy in (-1, 0, 1) for dx in (-1, 0, 1)],
+            dtype=np.int64,
+        )
+        row_ids = (row_start + np.arange(rows, dtype=np.int64)) % n_rows_total
+        for r in range(rows):
+            row = int(row_ids[r])
+            nnz_base = row * _ROW_NNZ
+            val_addrs = patterns.sequential(vals, _ROW_NNZ, 8, start_index=nnz_base)
+            col_addrs = patterns.sequential(cols, _ROW_NNZ, 4, start_index=nnz_base)
+            neigh = np.clip(row + neighbour_offsets, 0, n_rows_total - 1)
+            x_addrs = x + neigh * 8
+            # Hardware-order: (col, val, x) triples then the y store.
+            triple = patterns.interleave(col_addrs, val_addrs, x_addrs)
+            chunks.append(np.concatenate([triple, [y + row * 8]]))
+            ops_chunks.append(
+                np.concatenate([np.zeros(3 * _ROW_NNZ, dtype=np.int8),
+                                [int(MemOp.STORE)]])
+            )
+            sizes_chunks.append(
+                np.concatenate([np.tile([4, 8, 8], _ROW_NNZ), [8]])
+            )
+        addrs = np.concatenate(chunks)[:n_accesses]
+        ops = np.concatenate(ops_chunks)[:n_accesses]
+        sizes = np.concatenate(sizes_chunks)[:n_accesses]
+        return addrs, sizes, ops

@@ -1,0 +1,141 @@
+"""Reusable access-pattern building blocks for workload generators.
+
+All helpers return int64 numpy arrays of *virtual* addresses. Generators
+compose these into full benchmark signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.types import PAGE_BYTES
+
+
+def sequential(base: int, count: int, elem_bytes: int = 8, start_index: int = 0) -> np.ndarray:
+    """Unit-stride scan: ``base + (start_index + i) * elem_bytes``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return base + (start_index + np.arange(count, dtype=np.int64)) * elem_bytes
+
+
+def strided(
+    base: int, count: int, stride_bytes: int, elem_bytes: int = 8, start: int = 0
+) -> np.ndarray:
+    """Fixed-stride scan (column sweeps, FFT butterflies, plane sweeps)."""
+    if stride_bytes == 0:
+        raise ValueError("stride must be non-zero")
+    return base + start + np.arange(count, dtype=np.int64) * stride_bytes
+
+
+def interleave(*streams: np.ndarray) -> np.ndarray:
+    """Round-robin interleave equal-length streams (load b, load c, store a...).
+
+    Streams of unequal length are truncated to the shortest.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    n = min(len(s) for s in streams)
+    out = np.empty(n * len(streams), dtype=np.int64)
+    for i, s in enumerate(streams):
+        out[i :: len(streams)] = s[:n]
+    return out
+
+
+def uniform_random(
+    rng: np.random.Generator, base: int, region_bytes: int, count: int, align: int = 8
+) -> np.ndarray:
+    """Uniformly random aligned addresses in ``[base, base+region_bytes)``."""
+    if region_bytes < align:
+        raise ValueError("region smaller than alignment")
+    slots = region_bytes // align
+    return base + rng.integers(0, slots, size=count, dtype=np.int64) * align
+
+
+def page_clustered_random(
+    rng: np.random.Generator,
+    base: int,
+    region_bytes: int,
+    count: int,
+    burst: int = 4,
+    spread_bytes: int = 512,
+    align: int = 8,
+) -> np.ndarray:
+    """Random pages, but ``burst`` consecutive accesses stay within a
+    ``spread_bytes`` window of one page — the signature of bucketed
+    gathers and blocked sparse kernels.
+    """
+    if burst <= 0:
+        raise ValueError("burst must be positive")
+    n_pages = max(1, region_bytes // PAGE_BYTES)
+    n_bursts = -(-count // burst)
+    pages = rng.integers(0, n_pages, size=n_bursts, dtype=np.int64)
+    starts = rng.integers(
+        0, max(1, (PAGE_BYTES - spread_bytes) // align), size=n_bursts, dtype=np.int64
+    ) * align
+    offs = rng.integers(0, max(1, spread_bytes // align), size=(n_bursts, burst), dtype=np.int64) * align
+    addrs = (
+        base
+        + pages[:, None] * PAGE_BYTES
+        + np.minimum(starts[:, None] + offs, PAGE_BYTES - align)
+    )
+    return addrs.reshape(-1)[:count]
+
+
+def powerlaw_vertices(
+    rng: np.random.Generator, n_vertices: int, count: int, alpha: float = 1.5
+) -> np.ndarray:
+    """Vertex ids drawn from a Zipf-like distribution (graph hub skew).
+
+    Uses the inverse-CDF of a bounded power law so ids stay in range
+    without rejection sampling.
+    """
+    if n_vertices <= 1:
+        return np.zeros(count, dtype=np.int64)
+    u = rng.random(count)
+    # Bounded Pareto inverse CDF over [1, n_vertices].
+    lo, hi = 1.0, float(n_vertices)
+    if abs(alpha - 1.0) < 1e-9:
+        ids = lo * (hi / lo) ** u
+    else:
+        a = 1.0 - alpha
+        ids = (lo**a + u * (hi**a - lo**a)) ** (1.0 / a)
+    out = np.minimum(ids.astype(np.int64), n_vertices - 1)
+    # Random hub placement: permute the identity so hot vertices are not
+    # all at low addresses.
+    return out
+
+
+def csr_graph(
+    rng: np.random.Generator,
+    n_vertices: int,
+    avg_degree: int,
+    skew: float = 1.6,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthetic power-law graph in CSR form: (offsets, targets).
+
+    Degrees follow a truncated power law; targets are uniform. Small and
+    fast — meant to *drive* traversal address streams, not to be a graph
+    library.
+    """
+    if n_vertices <= 0 or avg_degree <= 0:
+        raise ValueError("graph dimensions must be positive")
+    raw = powerlaw_vertices(rng, n_vertices * 4, n_vertices, alpha=skew) + 1
+    degrees = np.maximum(1, (raw * avg_degree * n_vertices / raw.sum())).astype(np.int64)
+    offsets = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    n_edges = int(offsets[-1])
+    targets = rng.integers(0, n_vertices, size=n_edges, dtype=np.int64)
+    return offsets, targets
+
+
+def tile_addresses(
+    base: int, tile_id: int, tile_bytes: int, count: int, elem_bytes: int = 8
+) -> np.ndarray:
+    """Sequential scan within tile ``tile_id`` of a tiled array, wrapping
+    inside the tile — dense task-block access (SparseLU, blocked kernels).
+    """
+    tile_base = base + tile_id * tile_bytes
+    idx = np.arange(count, dtype=np.int64) % (tile_bytes // elem_bytes)
+    return tile_base + idx * elem_bytes

@@ -1,0 +1,66 @@
+"""SSCA#2 — HPCS Scalable Synthetic Compact Applications graph analysis.
+
+Kernel 2/3-style behaviour: sequential edge-list scans (dense, highly
+coalescable) interleaved with scattered per-vertex metadata updates
+(uncoalescable stores across a wide footprint). The paper observes SSCA2
+coalesces 36.34% of accesses yet reduces >90% of bank conflicts — the
+dense edge scans coalesce into big packets while the scattered updates
+spread across vaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import MemOp
+from repro.workloads import patterns
+from repro.workloads.base import (
+    VirtualLayout,
+    WorkloadGenerator,
+    WorkloadSpec,
+    register,
+)
+
+_N_VERTICES = 1 << 20
+_N_EDGES = _N_VERTICES * 8
+
+
+@register
+class SSCA2(WorkloadGenerator):
+    """SSCA#2 graph kernels: dense edge scans + scattered vertex updates."""
+
+    spec = WorkloadSpec(
+        name="ssca2",
+        suite="ssca2",
+        description="SSCA#2: sequential edge-list scan + scattered vertex metadata",
+        arithmetic_intensity=1.8,
+        store_fraction=0.2,
+    )
+
+    def _core_stream(self, core_id: int, n_accesses: int, rng: np.random.Generator):
+        n_vertices = self._s(_N_VERTICES, minimum=1 << 12)
+        n_edges = n_vertices * 8
+        layout = VirtualLayout()
+        edges = layout.alloc("edges", n_edges * 8)  # (src,dst) packed
+        weights = layout.alloc("weights", n_edges * 4)
+        vmeta = layout.alloc("vmeta", n_vertices * 8)
+
+        # Per step: edge load, weight load, two scattered vertex-metadata
+        # touches (one load, one store with p=0.5).
+        steps = -(-n_accesses // 4)
+        edge_start = (core_id * (n_edges // 8)) % n_edges
+        e_scan = patterns.sequential(edges, steps, 8, start_index=edge_start)
+        w_scan = patterns.sequential(weights, steps, 4, start_index=edge_start)
+        v1 = patterns.uniform_random(rng, vmeta, n_vertices * 8, steps)
+        v2 = patterns.uniform_random(rng, vmeta, n_vertices * 8, steps)
+        addrs = patterns.interleave(e_scan, w_scan, v1, v2)[:n_accesses]
+        ops = np.tile(
+            [int(MemOp.LOAD), int(MemOp.LOAD), int(MemOp.LOAD), int(MemOp.STORE)],
+            steps,
+        )[:n_accesses]
+        # Half of the v2 stores are loads instead (read-modify-check).
+        store_pos = np.flatnonzero(ops == int(MemOp.STORE))
+        flip = store_pos[rng.random(len(store_pos)) < 0.5]
+        ops[flip] = int(MemOp.LOAD)
+        sizes = np.tile([8, 4, 8, 8], steps)[:n_accesses]
+        return addrs, sizes, ops

@@ -1,0 +1,65 @@
+"""Synthetic special-op workloads (not part of the paper's 14 suites).
+
+``atomichist`` models a parallel histogram with atomic bin increments
+and periodic release fences — the traffic classes PAC explicitly routes
+*around* the coalescing network (Section 3.3.1: atomics go straight to
+the memory controller; fences drain stage 1). Used by the end-to-end
+special-op tests and available from the public registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import MemOp
+from repro.workloads import patterns
+from repro.workloads.base import (
+    VirtualLayout,
+    WorkloadGenerator,
+    WorkloadSpec,
+    register,
+)
+
+
+@register
+class AtomicHistogram(WorkloadGenerator):
+    """Parallel histogram: sequential input scan, atomic bin updates,
+    periodic fences."""
+
+    spec = WorkloadSpec(
+        name="atomichist",
+        suite="synthetic",
+        description="histogram: sequential scan + atomic increments + fences",
+        arithmetic_intensity=2.0,
+        store_fraction=0.0,
+    )
+
+    _N_BINS = 1 << 16  # 64K bins x 8B: scattered atomic targets
+    _FENCE_PERIOD = 64  # accesses between release fences
+
+    def _core_stream(self, core_id: int, n_accesses: int, rng: np.random.Generator):
+        n_bins = self._s(self._N_BINS, minimum=256)
+        layout = VirtualLayout()
+        data = layout.alloc("data", n_accesses * 8 + 4096)
+        bins = layout.alloc("bins", n_bins * 8)
+
+        addrs = np.empty(n_accesses, dtype=np.int64)
+        ops = np.empty(n_accesses, dtype=np.int8)
+        sizes = np.full(n_accesses, 8, dtype=np.int32)
+        i = 0
+        scan_idx = 0
+        while i < n_accesses:
+            if (i + 1) % self._FENCE_PERIOD == 0:
+                addrs[i] = bins
+                ops[i] = int(MemOp.FENCE)
+                sizes[i] = 64
+            elif i % 2 == 0:
+                addrs[i] = data + scan_idx * 8
+                ops[i] = int(MemOp.LOAD)
+                scan_idx += 1
+            else:
+                bin_id = int(rng.integers(0, n_bins))
+                addrs[i] = bins + bin_id * 8
+                ops[i] = int(MemOp.ATOMIC)
+            i += 1
+        return addrs, sizes, ops

@@ -1,0 +1,96 @@
+"""Tests for the from-scratch DBSCAN implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dbscan import DBSCAN, NOISE, dbscan_1d
+
+
+class TestDbscan1D:
+    def test_two_clear_clusters(self):
+        vals = [0, 1, 2, 100, 101, 102]
+        labels = dbscan_1d(vals, eps=5, min_samples=3)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_noise_points(self):
+        vals = [0, 1, 2, 500]
+        labels = dbscan_1d(vals, eps=5, min_samples=3)
+        assert labels[3] == NOISE
+        assert labels[0] >= 0
+
+    def test_all_noise(self):
+        labels = dbscan_1d([0, 100, 200], eps=5, min_samples=3)
+        assert all(l == NOISE for l in labels)
+
+    def test_border_point_adopted(self):
+        # 0,1,2 are core (3 within eps=2); 4 is border (within eps of
+        # core 2, but its own neighbourhood {2,4} is too small).
+        labels = dbscan_1d([0, 1, 2, 4], eps=2, min_samples=3)
+        assert labels[3] == labels[2]
+
+    def test_empty(self):
+        assert len(dbscan_1d([], eps=1)) == 0
+
+    def test_unsorted_input(self):
+        vals = [102, 0, 101, 2, 100, 1]
+        labels = dbscan_1d(vals, eps=5, min_samples=3)
+        assert labels[1] == labels[3] == labels[5]
+        assert labels[0] == labels[2] == labels[4]
+        assert labels[0] != labels[1]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            dbscan_1d([1], eps=0)
+        with pytest.raises(ValueError):
+            dbscan_1d([1], eps=1, min_samples=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=120)
+    )
+    @settings(max_examples=50)
+    def test_matches_generic_implementation(self, vals):
+        fast = dbscan_1d(vals, eps=50, min_samples=3)
+        slow = DBSCAN(eps=50, min_samples=3).fit_predict(
+            np.array(vals, dtype=float).reshape(-1, 1)
+        )
+        # Same partition: noise sets equal, cluster co-membership equal.
+        assert np.array_equal(fast == NOISE, slow == NOISE)
+        n = len(vals)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if fast[i] == NOISE or fast[j] == NOISE:
+                    continue
+                assert (fast[i] == fast[j]) == (slow[i] == slow[j])
+
+
+class TestGenericDBSCAN:
+    def test_2d_clusters(self):
+        pts = np.array(
+            [[0, 0], [0, 1], [1, 0], [50, 50], [50, 51], [51, 50], [200, 200]]
+        )
+        labels = DBSCAN(eps=2, min_samples=3).fit_predict(pts)
+        assert labels[0] == labels[1] == labels[2] != NOISE
+        assert labels[3] == labels[4] == labels[5] != NOISE
+        assert labels[0] != labels[3]
+        assert labels[6] == NOISE
+
+    def test_chain_connectivity(self):
+        # Chained core points merge into a single cluster.
+        pts = np.arange(10, dtype=float).reshape(-1, 1)
+        labels = DBSCAN(eps=1.5, min_samples=2).fit_predict(pts)
+        assert len(set(labels.tolist())) == 1
+        assert labels[0] != NOISE
+
+    def test_empty(self):
+        labels = DBSCAN(eps=1).fit_predict(np.zeros((0, 2)))
+        assert len(labels) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=-1)
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1, min_samples=0)

@@ -1,0 +1,124 @@
+"""Tests for reuse-distance and working-set analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import (
+    COLD,
+    ReuseProfile,
+    reuse_profile,
+    working_set_curve,
+)
+from repro.common.types import PAGE_BYTES
+from repro.mem.trace import AccessTrace
+
+
+def make_trace(addrs, cycles=None):
+    n = len(addrs)
+    return AccessTrace(
+        addrs=np.array(addrs),
+        sizes=np.full(n, 8),
+        ops=np.zeros(n),
+        cores=np.zeros(n),
+        cycles=np.array(cycles if cycles is not None else np.arange(n)),
+    )
+
+
+class TestReuseProfile:
+    def test_cold_only(self):
+        trace = make_trace([i * 4096 for i in range(10)])
+        prof = reuse_profile(trace)
+        assert prof.cold_fraction == 1.0
+        assert prof.unique_pages == 10
+
+    def test_immediate_reuse_distance_zero(self):
+        trace = make_trace([0, 0, 0])
+        prof = reuse_profile(trace)
+        assert prof.histogram[COLD] == 1
+        assert prof.fraction_within(0) == pytest.approx(2 / 3)
+
+    def test_distance_counts_distinct_intervening(self):
+        # A, B, C, A: A's reuse distance is 2 (B and C in between).
+        trace = make_trace([0, 64, 128, 0])
+        prof = reuse_profile(trace)
+        assert prof.fraction_within(4) == pytest.approx(1 / 4)
+        assert prof.histogram[COLD] == 3
+
+    def test_spatial_hits_within_line(self):
+        # 8B elements of one line: 7 reuses at distance 0.
+        trace = make_trace([i * 8 for i in range(8)])
+        prof = reuse_profile(trace)
+        assert prof.fraction_within(0) == pytest.approx(7 / 8)
+        assert prof.unique_lines == 1
+
+    def test_page_granularity(self):
+        trace = make_trace([0, 64, 4096])
+        prof = reuse_profile(trace, granularity=PAGE_BYTES)
+        assert prof.histogram[COLD] == 2  # two pages
+        assert prof.fraction_within(0) == pytest.approx(1 / 3)
+
+    def test_lines_per_page_density(self):
+        dense = reuse_profile(make_trace([i * 64 for i in range(64)]))
+        sparse = reuse_profile(make_trace([i * 4096 for i in range(64)]))
+        assert dense.lines_per_page > sparse.lines_per_page
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            reuse_profile(make_trace([0]), granularity=0)
+
+    def test_empty_trace(self):
+        prof = reuse_profile(AccessTrace.empty())
+        assert prof.n_accesses == 0
+        assert prof.cold_fraction == 0.0
+        assert prof.fraction_within(100) == 0.0
+
+
+class TestWorkingSetCurve:
+    def test_single_window(self):
+        trace = make_trace([0, 4096, 8192], cycles=[0, 1, 2])
+        assert working_set_curve(trace, window_cycles=100) == [3]
+
+    def test_multiple_windows(self):
+        trace = make_trace(
+            [0, 4096, 0], cycles=[0, 5, 150]
+        )
+        assert working_set_curve(trace, window_cycles=100) == [2, 1]
+
+    def test_empty_windows_skipped_as_zero(self):
+        trace = make_trace([0, 0], cycles=[0, 350])
+        curve = working_set_curve(trace, window_cycles=100)
+        assert curve == [1, 0, 0, 1]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            working_set_curve(make_trace([0]), window_cycles=0)
+
+
+class TestWorkloadSignaturesViaReuse:
+    """The locality claims DESIGN.md makes, verified quantitatively."""
+
+    @staticmethod
+    def _profile(name, n=4000):
+        from repro.workloads import get_workload
+
+        trace = get_workload(name, seed=11).generate(n, n_cores=4)
+        return reuse_profile(trace)
+
+    def test_stream_is_spatially_dense(self):
+        prof = self._profile("stream")
+        assert prof.fraction_within(16) > 0.6
+
+    def test_bfs_is_cold_heavy(self):
+        bfs = self._profile("bfs")
+        stream = self._profile("stream")
+        assert bfs.cold_fraction > stream.cold_fraction
+
+    def test_sparselu_densest_pages(self):
+        slu = self._profile("sparselu")
+        bfs = self._profile("bfs")
+        assert slu.lines_per_page > 2 * bfs.lines_per_page
+
+    def test_ep_reuses_little_data_often(self):
+        # Small working set per burst: histogram bins (cached) + bursts.
+        ep = self._profile("ep")
+        assert ep.unique_pages < self._profile("bfs").unique_pages

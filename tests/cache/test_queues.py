@@ -1,0 +1,44 @@
+"""Tests for the miss/write-back queue pair."""
+
+from repro.cache.queues import RequestQueues
+from repro.common.types import MemOp, MemoryRequest
+
+
+def req(addr, op=MemOp.LOAD, cycle=0):
+    return MemoryRequest(addr=addr, op=op, cycle=cycle)
+
+
+class TestRequestQueues:
+    def test_routing(self):
+        q = RequestQueues()
+        q.push(req(0, MemOp.LOAD))
+        q.push(req(64, MemOp.STORE))
+        assert len(q.miss_queue) == 1
+        assert len(q.wb_queue) == 1
+
+    def test_pop_next_cycle_order(self):
+        q = RequestQueues()
+        q.push(req(0, MemOp.LOAD, cycle=10))
+        q.push(req(64, MemOp.STORE, cycle=5))
+        q.push(req(128, MemOp.LOAD, cycle=20))
+        cycles = [r.cycle for r in q.drain()]
+        assert cycles == [5, 10, 20]
+
+    def test_tie_prefers_miss_queue(self):
+        q = RequestQueues()
+        q.push(req(64, MemOp.STORE, cycle=5))
+        q.push(req(0, MemOp.LOAD, cycle=5))
+        assert q.pop_next().op == MemOp.LOAD
+
+    def test_empty(self):
+        q = RequestQueues()
+        assert q.empty
+        assert q.pop_next() is None
+        q.push(req(0))
+        assert not q.empty
+        assert len(q) == 1
+
+    def test_capacity_stall_signal(self):
+        q = RequestQueues(miss_capacity=1)
+        assert q.push(req(0))
+        assert not q.push(req(64))  # full -> stall

@@ -1,0 +1,153 @@
+"""Unit and property tests for the block-map bit manipulation helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import bitops
+
+
+class TestBasicBits:
+    def test_set_and_test(self):
+        bm = bitops.set_bit(0, 5)
+        assert bitops.test_bit(bm, 5)
+        assert not bitops.test_bit(bm, 4)
+
+    def test_set_idempotent(self):
+        bm = bitops.set_bit(bitops.set_bit(0, 3), 3)
+        assert bitops.popcount(bm) == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.set_bit(0, -1)
+
+    def test_popcount(self):
+        assert bitops.popcount(0) == 0
+        assert bitops.popcount(0b1011) == 3
+
+    def test_iter_set_bits(self):
+        assert list(bitops.iter_set_bits(0b10110)) == [1, 2, 4]
+        assert list(bitops.iter_set_bits(0)) == []
+
+
+class TestChunking:
+    def test_64bit_map_into_16_chunks(self):
+        # The HMC 2.1 decoder partition: 16 four-bit chunks (Section 3.3.2).
+        bm = bitops.bitmap_from_blocks([1, 2, 62])
+        chunks = bitops.chunk_bitmap(bm, 64, 4)
+        assert len(chunks) == 16
+        assert chunks[0] == 0b0110  # blocks 1,2 -> the paper's example
+        assert chunks[15] == 0b0100  # block 62
+
+    def test_nonzero_chunks_skips_empty(self):
+        bm = bitops.bitmap_from_blocks([0, 63])
+        nz = bitops.nonzero_chunks(bm, 64, 4)
+        assert [i for i, _ in nz] == [0, 15]
+
+    def test_uneven_chunk_width_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.chunk_bitmap(0, 64, 5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=64))
+    def test_chunks_reassemble(self, blocks):
+        bm = bitops.bitmap_from_blocks(blocks)
+        chunks = bitops.chunk_bitmap(bm, 64, 4)
+        reassembled = 0
+        for i, chunk in enumerate(chunks):
+            reassembled |= chunk << (4 * i)
+        assert reassembled == bm
+
+
+class TestRuns:
+    def test_paper_example_0110(self):
+        # Figure 5b: pattern 0110 -> a single 2-block run -> one 128B packet.
+        assert bitops.contiguous_runs(0b0110, 4) == [(1, 2)]
+
+    def test_gap_pattern(self):
+        assert bitops.contiguous_runs(0b1011, 4) == [(0, 2), (3, 1)]
+
+    def test_full_and_empty(self):
+        assert bitops.contiguous_runs(0b1111, 4) == [(0, 4)]
+        assert bitops.contiguous_runs(0, 4) == []
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_runs_cover_exactly_set_bits(self, pattern):
+        runs = bitops.contiguous_runs(pattern, 16)
+        covered = 0
+        for start, length in runs:
+            for i in range(start, start + length):
+                assert (pattern >> i) & 1
+                covered |= 1 << i
+        assert covered == pattern
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_runs_are_maximal_and_disjoint(self, pattern):
+        runs = bitops.contiguous_runs(pattern, 16)
+        prev_end = -2
+        for start, length in runs:
+            assert start > prev_end + 1 or prev_end == -2
+            assert start > prev_end  # disjoint, ordered
+            prev_end = start + length - 1
+
+
+class TestPacketSplitting:
+    HMC_SIZES = [4, 2, 1]  # 256B / 128B / 64B in blocks
+
+    def test_run_of_three_splits_2_plus_1(self):
+        # Section 3.3.3: only 64/128/256B packets exist, so 3 blocks
+        # become 128B + 64B.
+        packets = bitops.runs_to_packet_sizes([(0, 3)], self.HMC_SIZES)
+        assert packets == [(0, 2), (2, 1)]
+
+    def test_run_of_four_is_one_256B(self):
+        assert bitops.runs_to_packet_sizes([(0, 4)], self.HMC_SIZES) == [(0, 4)]
+
+    def test_multiple_runs(self):
+        packets = bitops.runs_to_packet_sizes(
+            [(0, 1), (2, 2)], self.HMC_SIZES
+        )
+        assert packets == [(0, 1), (2, 2)]
+
+    def test_requires_unit_size(self):
+        with pytest.raises(ValueError):
+            bitops.runs_to_packet_sizes([(0, 3)], [4, 2])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=60),
+                st.integers(min_value=1, max_value=4),
+            ),
+            max_size=8,
+        )
+    )
+    def test_packets_cover_runs_exactly(self, raw_runs):
+        # Normalize to disjoint, ordered runs.
+        runs = []
+        cursor = 0
+        for start, length in sorted(raw_runs):
+            start = max(start, cursor + 2)  # keep a gap
+            runs.append((start, length))
+            cursor = start + length
+        packets = bitops.runs_to_packet_sizes(runs, self.HMC_SIZES)
+        covered = set()
+        for start, size in packets:
+            assert size in self.HMC_SIZES
+            for i in range(start, start + size):
+                assert i not in covered
+                covered.add(i)
+        expected = set()
+        for start, length in runs:
+            expected.update(range(start, start + length))
+        assert covered == expected
+
+
+class TestBitmapFromBlocks:
+    def test_roundtrip(self):
+        blocks = [0, 7, 33, 63]
+        bm = bitops.bitmap_from_blocks(blocks)
+        assert list(bitops.iter_set_bits(bm)) == blocks
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.bitmap_from_blocks([64])

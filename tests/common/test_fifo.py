@@ -1,0 +1,77 @@
+"""Unit tests for the bounded FIFO."""
+
+import pytest
+
+from repro.common.fifo import BoundedFIFO, QueueEmptyError, QueueFullError
+
+
+class TestBoundedFIFO:
+    def test_fifo_order(self):
+        q = BoundedFIFO(capacity=3)
+        for i in range(3):
+            q.push(i)
+        assert [q.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_full_raises(self):
+        q = BoundedFIFO(capacity=1)
+        q.push("a")
+        assert q.full
+        with pytest.raises(QueueFullError):
+            q.push("b")
+
+    def test_try_push_respects_capacity(self):
+        q = BoundedFIFO(capacity=1)
+        assert q.try_push(1)
+        assert not q.try_push(2)
+        assert len(q) == 1
+
+    def test_empty_pop_raises(self):
+        q = BoundedFIFO(capacity=1)
+        with pytest.raises(QueueEmptyError):
+            q.pop()
+        assert q.try_pop() is None
+
+    def test_peek_does_not_consume(self):
+        q = BoundedFIFO(capacity=2)
+        q.push(42)
+        assert q.peek() == 42
+        assert len(q) == 1
+
+    def test_unbounded(self):
+        q = BoundedFIFO(capacity=None)
+        for i in range(1000):
+            q.push(i)
+        assert not q.full
+        assert q.free_slots is None
+
+    def test_free_slots(self):
+        q = BoundedFIFO(capacity=4)
+        q.push(1)
+        assert q.free_slots == 3
+
+    def test_drain(self):
+        q = BoundedFIFO(capacity=4)
+        for i in range(4):
+            q.push(i)
+        assert list(q.drain()) == [0, 1, 2, 3]
+        assert q.empty
+
+    def test_peak_occupancy_tracked(self):
+        q = BoundedFIFO(capacity=8)
+        for i in range(5):
+            q.push(i)
+        q.pop()
+        q.push(9)
+        assert q.peak_occupancy == 5
+        assert q.total_pushed == 6
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedFIFO(capacity=0)
+
+    def test_bool_and_iter(self):
+        q = BoundedFIFO(capacity=2)
+        assert not q
+        q.push("x")
+        assert q
+        assert list(q) == ["x"]

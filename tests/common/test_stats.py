@@ -1,0 +1,84 @@
+"""Unit tests for stats primitives."""
+
+import pytest
+
+from repro.common.stats import Accumulator, Counter, Histogram, StatsRegistry
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(5)
+        assert c.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+
+class TestAccumulator:
+    def test_moments(self):
+        a = Accumulator("lat")
+        for v in [1.0, 2.0, 3.0]:
+            a.add(v)
+        assert a.mean == pytest.approx(2.0)
+        assert a.min == 1.0
+        assert a.max == 3.0
+        assert a.std == pytest.approx((2 / 3) ** 0.5)
+
+    def test_empty_mean_is_zero(self):
+        assert Accumulator("x").mean == 0.0
+
+
+class TestHistogram:
+    def test_mean_and_proportion(self):
+        h = Histogram("occupancy")
+        h.add(2, count=3)
+        h.add(4, count=1)
+        assert h.total == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.proportion(2) == pytest.approx(0.75)
+        assert h.proportion(99) == 0.0
+
+    def test_sorted_items(self):
+        h = Histogram("x")
+        h.add(5)
+        h.add(1)
+        assert h.sorted_items() == [(1, 1), (5, 1)]
+
+
+class TestStatsRegistry:
+    def test_lazy_creation_is_idempotent(self):
+        reg = StatsRegistry("pac")
+        assert reg.counter("issued") is reg.counter("issued")
+
+    def test_count_of_untouched_is_zero(self):
+        assert StatsRegistry().count("never") == 0
+
+    def test_as_dict_namespacing(self):
+        reg = StatsRegistry("hmc")
+        reg.counter("conflicts").add(3)
+        reg.accumulator("latency").add(10.0)
+        d = reg.as_dict()
+        assert d["hmc.conflicts"] == 3
+        assert d["hmc.latency.mean"] == 10.0
+
+    def test_merge_counters_and_histograms(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.counter("x").add(1)
+        b.counter("x").add(2)
+        b.histogram("h").add(3, 4)
+        a.merge_from(b)
+        assert a.count("x") == 3
+        assert a.histogram("h").bins == {3: 4}
+
+    def test_merge_accumulators_preserves_moments(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.accumulator("l").add(1.0)
+        b.accumulator("l").add(3.0)
+        a.merge_from(b)
+        acc = a.accumulator("l")
+        assert acc.count == 2
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.min == 1.0 and acc.max == 3.0

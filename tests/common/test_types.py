@@ -1,0 +1,123 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    BLOCKS_PER_PAGE,
+    CACHE_LINE_BYTES,
+    HMC_CONTROL_OVERHEAD_BYTES,
+    PAGE_BYTES,
+    CoalescedRequest,
+    MemOp,
+    MemoryRequest,
+)
+
+
+class TestConstants:
+    def test_blocks_per_page(self):
+        assert BLOCKS_PER_PAGE == 64
+        assert PAGE_BYTES == 4096
+        assert CACHE_LINE_BYTES == 64
+
+    def test_control_overhead_is_two_flits(self):
+        assert HMC_CONTROL_OVERHEAD_BYTES == 32
+
+
+class TestMemOp:
+    def test_op_bit_encoding_matches_paper(self):
+        # Section 3.1.3: 0 = read, 1 = write.
+        assert int(MemOp.LOAD) == 0
+        assert int(MemOp.STORE) == 1
+
+    def test_coalescable(self):
+        assert MemOp.LOAD.coalescable
+        assert MemOp.STORE.coalescable
+        assert not MemOp.ATOMIC.coalescable
+        assert not MemOp.FENCE.coalescable
+
+
+class TestMemoryRequest:
+    def test_page_and_block_decomposition(self):
+        # Page 0x9, block 1 — the paper's Figure 5b example request 1.
+        req = MemoryRequest(addr=0x9 * PAGE_BYTES + 1 * CACHE_LINE_BYTES)
+        assert req.ppn == 0x9
+        assert req.block_id == 1
+        assert req.page_offset == 64
+
+    def test_block_id_range(self):
+        last = MemoryRequest(addr=PAGE_BYTES - 1)
+        assert last.block_id == BLOCKS_PER_PAGE - 1
+
+    def test_line_alignment(self):
+        req = MemoryRequest(addr=0x1234)
+        assert req.line_addr % CACHE_LINE_BYTES == 0
+        assert req.line_addr <= req.addr < req.line_addr + CACHE_LINE_BYTES
+
+    def test_unique_ids(self):
+        a = MemoryRequest(addr=0)
+        b = MemoryRequest(addr=0)
+        assert a.req_id != b.req_id
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(addr=-1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(addr=0, size=0)
+
+    def test_tag_separates_loads_and_stores(self):
+        # Section 3.3.1: store tags are uniformly greater than load tags.
+        load = MemoryRequest(addr=0xFFFF_FFFF, op=MemOp.LOAD)
+        store = MemoryRequest(addr=0, op=MemOp.STORE)
+        assert store.tag() > load.tag()
+
+    def test_tag_equal_for_same_page_same_type(self):
+        a = MemoryRequest(addr=PAGE_BYTES * 7, op=MemOp.LOAD)
+        b = MemoryRequest(addr=PAGE_BYTES * 7 + 100, op=MemOp.LOAD)
+        assert a.tag() == b.tag()
+
+    def test_tag_differs_across_type(self):
+        a = MemoryRequest(addr=PAGE_BYTES * 7, op=MemOp.LOAD)
+        b = MemoryRequest(addr=PAGE_BYTES * 7, op=MemOp.STORE)
+        assert a.tag() != b.tag()
+
+
+class TestCoalescedRequest:
+    def _make(self, size, n=2):
+        return CoalescedRequest(
+            addr=0, size=size, op=MemOp.LOAD, constituents=tuple(range(n))
+        )
+
+    def test_n_blocks(self):
+        assert self._make(64).n_blocks == 1
+        assert self._make(128).n_blocks == 2
+        assert self._make(256).n_blocks == 4
+
+    def test_payload_flits(self):
+        assert self._make(64).payload_flits() == 4
+        assert self._make(256).payload_flits() == 16
+        assert self._make(16).payload_flits() == 1
+
+    def test_transaction_efficiency_of_raw_64B(self):
+        # Equation 2 with a 64B payload: 64 / 96 = 66.66% — the paper's
+        # fixed raw-request efficiency (Section 5.3.2).
+        eff = self._make(64, n=1).transaction_efficiency()
+        assert eff == pytest.approx(2 / 3)
+
+    def test_transaction_efficiency_increases_with_size(self):
+        sizes = [64, 128, 256]
+        effs = [self._make(s).transaction_efficiency() for s in sizes]
+        assert effs == sorted(effs)
+        assert effs[-1] == pytest.approx(256 / 288)
+
+    def test_requires_constituents(self):
+        with pytest.raises(ValueError):
+            CoalescedRequest(addr=0, size=64, op=MemOp.LOAD, constituents=())
+
+    def test_end_addr(self):
+        req = CoalescedRequest(
+            addr=4096, size=128, op=MemOp.STORE, constituents=(1, 2)
+        )
+        assert req.end_addr == 4224
+        assert req.n_raw == 2

@@ -1,0 +1,30 @@
+"""Shared fixtures: fixed-latency fake memory device, small configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import CoalescedRequest
+
+
+class FixedLatencyMemory:
+    """Memory device stub: responds after a constant latency, records
+    every submitted packet."""
+
+    def __init__(self, latency: int = 186):
+        self.latency = latency
+        self.packets: list[CoalescedRequest] = []
+
+    def submit(self, packet: CoalescedRequest, cycle: int) -> int:
+        self.packets.append(packet)
+        return cycle + self.latency
+
+
+@pytest.fixture
+def fixed_memory():
+    return FixedLatencyMemory()
+
+
+@pytest.fixture
+def fast_memory():
+    return FixedLatencyMemory(latency=5)

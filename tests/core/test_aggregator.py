@@ -1,0 +1,140 @@
+"""Tests for the stage-1 paged request aggregator."""
+
+import pytest
+
+from repro.common.types import MemOp, MemoryRequest, PAGE_BYTES
+from repro.core.aggregator import PagedRequestAggregator
+from repro.core.protocols import HMC2
+
+
+def req(page, block=0, op=MemOp.LOAD, cycle=0):
+    return MemoryRequest(addr=page * PAGE_BYTES + block * 64, op=op, cycle=cycle)
+
+
+def agg(n_streams=16, timeout=16):
+    return PagedRequestAggregator(HMC2, n_streams=n_streams, timeout_cycles=timeout)
+
+
+class TestInsert:
+    def test_allocates_stream_per_page(self):
+        a = agg()
+        a.insert(req(1), 0)
+        a.insert(req(2), 1)
+        assert a.occupancy == 2
+
+    def test_same_page_merges(self):
+        a = agg()
+        a.insert(req(1, 0), 0)
+        a.insert(req(1, 1), 1)
+        assert a.occupancy == 1
+        assert a.streams[0].n_grains == 2
+
+    def test_figure5b_scenario(self):
+        """The paper's worked example: 5 STREAM requests."""
+        a = agg()
+        # 1: R page 0x9 block 1 -> stream 1
+        a.insert(req(0x9, 1, MemOp.LOAD), 0)
+        # 2: W page 0x1 -> NOT merged into stream 1 (type differs), new stream
+        a.insert(req(0x1, 1, MemOp.STORE), 1)
+        # 3: R page 0x7 -> new stream (C stays 0)
+        a.insert(req(0x7, 3, MemOp.LOAD), 2)
+        # 4: R page 0x9 block 2 -> merges into stream 1
+        a.insert(req(0x9, 2, MemOp.LOAD), 3)
+        # 5: W page 0x1 block 2 -> merges into stream 2
+        a.insert(req(0x1, 2, MemOp.STORE), 4)
+        assert a.occupancy == 3
+        s1, s2, s3 = a.streams
+        assert s1.block_map == 0b110 and s1.coalescing_bit
+        assert s2.block_map == 0b110 and s2.coalescing_bit
+        assert not s3.coalescing_bit  # request 3 will bypass stages 2-3
+
+    def test_load_store_same_page_distinct_streams(self):
+        a = agg()
+        a.insert(req(1, 0, MemOp.LOAD), 0)
+        a.insert(req(1, 1, MemOp.STORE), 1)
+        assert a.occupancy == 2
+
+    def test_atomic_rejected(self):
+        a = agg()
+        with pytest.raises(ValueError):
+            a.insert(MemoryRequest(addr=0, op=MemOp.ATOMIC), 0)
+
+    def test_comparison_counting(self):
+        a = agg()
+        a.insert(req(1), 0)  # 0 active
+        a.insert(req(2), 1)  # 1 active
+        a.insert(req(3), 2)  # 2 active
+        assert a.stats.count("comparisons") == 3
+
+
+class TestCapacity:
+    def test_force_flush_oldest_when_full(self):
+        a = agg(n_streams=2, timeout=100)
+        a.insert(req(1), 0)
+        a.insert(req(2), 5)
+        flushed = a.insert(req(3), 6)
+        assert len(flushed) == 1
+        assert flushed[0].ppn == 1  # oldest allocation evicted
+        assert a.occupancy == 2
+        assert a.stats.count("forced_flushes") == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PagedRequestAggregator(HMC2, n_streams=0)
+        with pytest.raises(ValueError):
+            PagedRequestAggregator(HMC2, timeout_cycles=0)
+
+
+class TestTimeout:
+    def test_next_deadline(self):
+        a = agg(timeout=16)
+        assert a.next_deadline() is None
+        a.insert(req(1), 10)
+        assert a.next_deadline() == 26
+
+    def test_expire_flushes_due_streams(self):
+        a = agg(timeout=16)
+        a.insert(req(1), 0)   # deadline 16
+        a.insert(req(2), 10)  # deadline 26
+        due = a.expire(20)
+        assert [s.ppn for s in due] == [1]
+        assert a.occupancy == 1
+
+    def test_expire_sorted_by_deadline(self):
+        a = agg(timeout=16)
+        a.insert(req(1), 5)
+        a.insert(req(2), 0)
+        due = a.expire(100)
+        assert [s.ppn for s in due] == [2, 1]
+
+    def test_merge_does_not_extend_deadline(self):
+        # The timeout bounds the wait of the FIRST request (Section 3.3.1).
+        a = agg(timeout=16)
+        a.insert(req(1, 0), 0)
+        a.insert(req(1, 1), 15)
+        assert a.next_deadline() == 16
+
+
+class TestFenceAndDrain:
+    def test_fence_flushes_everything(self):
+        a = agg()
+        a.insert(req(1), 0)
+        a.insert(req(2), 1)
+        flushed = a.fence(5)
+        assert len(flushed) == 2
+        assert a.occupancy == 0
+
+    def test_drain(self):
+        a = agg()
+        a.insert(req(1), 0)
+        assert len(a.drain()) == 1
+        assert a.occupancy == 0
+
+    def test_occupancy_sampling(self):
+        a = agg()
+        a.insert(req(1), 0)
+        a.sample_occupancy(16)
+        a.insert(req(2), 17)
+        a.sample_occupancy(32)
+        hist = a.stats.histogram("occupancy_samples")
+        assert hist.bins == {1: 1, 2: 1}

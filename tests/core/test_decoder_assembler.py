@@ -1,0 +1,132 @@
+"""Tests for stage 2 (block-map decoder) and stage 3 (request assembler)."""
+
+import pytest
+
+from repro.common.types import MemOp, MemoryRequest, PAGE_BYTES
+from repro.core.assembler import RequestAssembler
+from repro.core.decoder import DECODE_CYCLES, BlockMapDecoder
+from repro.core.network import CoalescingNetwork
+from repro.core.protocols import HMC2
+from repro.core.stream import new_stream
+
+
+def build_stream(blocks, page=0x9, op=MemOp.LOAD):
+    reqs = [
+        MemoryRequest(addr=page * PAGE_BYTES + b * 64, op=op) for b in blocks
+    ]
+    s = new_stream(reqs[0], HMC2, now=0)
+    for r in reqs[1:]:
+        s.add(r, 1)
+    return s, reqs
+
+
+class TestDecoder:
+    def test_single_chunk(self):
+        s, _ = build_stream([1, 2])
+        seqs = BlockMapDecoder(HMC2).decode(s, flush_cycle=16)
+        assert len(seqs) == 1
+        assert seqs[0].pattern == 0b0110
+        assert seqs[0].chunk_index == 0
+        assert seqs[0].ready_cycle == 16 + DECODE_CYCLES
+
+    def test_multiple_chunks_serialized(self):
+        s, _ = build_stream([0, 5, 62])
+        seqs = BlockMapDecoder(HMC2).decode(s, flush_cycle=0)
+        assert [q.chunk_index for q in seqs] == [0, 1, 15]
+        assert [q.ready_cycle for q in seqs] == [2, 3, 4]
+
+    def test_grain_requests_carried(self):
+        s, reqs = build_stream([1, 2])
+        seqs = BlockMapDecoder(HMC2).decode(s, flush_cycle=0)
+        gr = seqs[0].grain_requests
+        assert gr[1] == (reqs[0].req_id,)
+        assert gr[2] == (reqs[1].req_id,)
+        assert gr[0] == ()
+
+    def test_stage2_latency_stat(self):
+        d = BlockMapDecoder(HMC2)
+        s, _ = build_stream([0, 5, 62])
+        d.decode(s, 0)
+        # 2 decode cycles + 2 extra serialized stores for 3 chunks.
+        assert d.stats.accumulator("stage2_cycles").mean == 4
+
+
+class TestAssembler:
+    def test_figure5b_assembly(self):
+        # Blocks 1,2 -> pattern 0110 -> one 128B packet at page offset 64.
+        s, reqs = build_stream([1, 2], page=0x9)
+        seqs = BlockMapDecoder(HMC2).decode(s, 0)
+        packets, finish = RequestAssembler(HMC2).assemble(seqs[0], seqs[0].ready_cycle)
+        assert len(packets) == 1
+        p = packets[0]
+        assert p.size == 128
+        assert p.addr == 0x9 * PAGE_BYTES + 64
+        assert p.op == MemOp.LOAD
+        assert set(p.constituents) == {r.req_id for r in reqs}
+
+    def test_gap_pattern_two_packets(self):
+        s, _ = build_stream([0, 2, 3])
+        seqs = BlockMapDecoder(HMC2).decode(s, 0)
+        packets, _ = RequestAssembler(HMC2).assemble(seqs[0], 0)
+        assert [(p.addr % PAGE_BYTES, p.size) for p in packets] == [
+            (0, 64),
+            (128, 128),
+        ]
+
+    def test_issue_every_two_cycles(self):
+        # Section 3.3.3: lookup 1 cycle + 1 cycle per request.
+        s, _ = build_stream([0, 2])  # two packets from one sequence
+        seqs = BlockMapDecoder(HMC2).decode(s, 0)
+        packets, finish = RequestAssembler(HMC2).assemble(seqs[0], 10)
+        assert packets[0].issue_cycle == 12  # 10 + lookup + assemble
+        assert packets[1].issue_cycle == 13
+        assert finish == 13
+
+    def test_duplicate_block_requests_fold_into_packet(self):
+        s, reqs = build_stream([1, 1, 2])
+        seqs = BlockMapDecoder(HMC2).decode(s, 0)
+        packets, _ = RequestAssembler(HMC2).assemble(seqs[0], 0)
+        assert len(packets) == 1
+        assert len(packets[0].constituents) == 3
+
+
+class TestNetwork:
+    def test_bypass_single_request(self):
+        s, reqs = build_stream([7])
+        net = CoalescingNetwork(HMC2)
+        packets = net.flush_stream(s, flush_cycle=16)
+        assert len(packets) == 1
+        assert packets[0].size == 64
+        assert packets[0].issue_cycle == 17  # 1-cycle bypass
+        assert packets[0].source == "pac-bypass"
+        assert net.stats.count("bypassed_requests") == 1
+
+    def test_coalesced_stream_counts(self):
+        s, _ = build_stream([1, 2, 3])
+        net = CoalescingNetwork(HMC2)
+        packets = net.flush_stream(s, 0)
+        assert net.stats.count("coalesced_requests") == 3
+        # Run of 3 -> 128B + 64B.
+        assert sorted(p.size for p in packets) == [64, 128]
+
+    def test_multi_chunk_serial_assembly(self):
+        s, _ = build_stream([0, 1, 4, 5])
+        net = CoalescingNetwork(HMC2)
+        packets = net.flush_stream(s, 0)
+        assert len(packets) == 2
+        assert all(p.size == 128 for p in packets)
+        # Second sequence assembles after the first finishes or when its
+        # buffer entry is ready, whichever is later.
+        assert packets[1].issue_cycle > packets[0].issue_cycle
+
+    def test_cross_chunk_run_splits(self):
+        # Blocks 3 and 4 are contiguous but in different 4-block chunks:
+        # the hardware partition forces two packets (Section 3.3.2).
+        s, _ = build_stream([3, 4])
+        packets = CoalescingNetwork(HMC2).flush_stream(s, 0)
+        assert len(packets) == 2
+        assert all(p.size == 64 for p in packets)
+
+    def test_table_shared_between_components(self):
+        net = CoalescingNetwork(HMC2)
+        assert net.assembler.table is net.table

@@ -1,0 +1,66 @@
+"""Tests for the memory access queue."""
+
+import pytest
+
+from repro.common.types import CoalescedRequest, MemOp
+from repro.core.maq import MemoryAccessQueue
+
+
+def packet(addr=0):
+    return CoalescedRequest(addr=addr, size=64, op=MemOp.LOAD, constituents=(1,))
+
+
+class TestMAQ:
+    def test_fifo_semantics(self):
+        q = MemoryAccessQueue(4)
+        q.push(packet(0), 10)
+        q.push(packet(64), 11)
+        pkt, ready = q.pop()
+        assert pkt.addr == 0 and ready == 10
+
+    def test_full_push_rejected_and_counted(self):
+        q = MemoryAccessQueue(1)
+        assert q.push(packet(), 0)
+        assert not q.push(packet(), 1)
+        assert q.stats.count("full_stalls") == 1
+
+    def test_head_ready_cycle(self):
+        q = MemoryAccessQueue(4)
+        assert q.head_ready_cycle() is None
+        q.push(packet(), 42)
+        assert q.head_ready_cycle() == 42
+
+    def test_fill_episode_measured(self):
+        # Figure 12b: latency from empty to full.
+        q = MemoryAccessQueue(3)
+        q.push(packet(), 100)
+        q.push(packet(), 110)
+        q.push(packet(), 130)  # full now
+        assert q.mean_fill_cycles == 30
+
+    def test_episode_resets_after_drain_to_empty(self):
+        q = MemoryAccessQueue(2)
+        q.push(packet(), 0)
+        q.push(packet(), 10)  # episode 1: 10 cycles
+        q.pop()
+        q.pop()
+        q.push(packet(), 100)
+        q.push(packet(), 105)  # episode 2: 5 cycles
+        assert q.mean_fill_cycles == 7.5
+
+    def test_partial_drain_does_not_restart_episode(self):
+        q = MemoryAccessQueue(3)
+        q.push(packet(), 0)
+        q.pop()  # empty again without having filled
+        q.push(packet(), 50)
+        q.push(packet(), 60)
+        q.push(packet(), 70)
+        assert q.mean_fill_cycles == 20
+
+    def test_len_and_flags(self):
+        q = MemoryAccessQueue(2)
+        assert q.empty and not q.full
+        q.push(packet(), 0)
+        assert len(q) == 1
+        q.push(packet(), 0)
+        assert q.full

@@ -1,0 +1,89 @@
+"""Decoder/assembler behaviour under the non-default protocols.
+
+The HMC 2.1 paths are covered by test_decoder_assembler; these tests pin
+the wide-chunk (HBM) and fine-grain (Figure 10b) pipelines.
+"""
+
+import pytest
+
+from repro.common.types import MemOp, MemoryRequest, PAGE_BYTES
+from repro.core.decoder import BlockMapDecoder
+from repro.core.network import CoalescingNetwork
+from repro.core.protocols import HBM, HMC1, HMC2_FINE
+from repro.core.stream import new_stream
+
+
+def build_stream(protocol, offsets, size, page=3, op=MemOp.LOAD):
+    reqs = [
+        MemoryRequest(addr=page * PAGE_BYTES + off, size=size, op=op)
+        for off in offsets
+    ]
+    s = new_stream(reqs[0], protocol, now=0)
+    for r in reqs[1:]:
+        s.add(r, 1)
+    return s
+
+
+class TestFineGrainPipeline:
+    def test_decoder_sixteen_bit_chunks(self):
+        # 8B requests at 16B-grain spacing inside one 256B chunk.
+        s = build_stream(HMC2_FINE, [0, 16, 32], size=8)
+        seqs = BlockMapDecoder(HMC2_FINE).decode(s, 0)
+        assert len(seqs) == 1
+        assert seqs[0].pattern == 0b111
+
+    def test_adjacent_flits_fold_to_48B_illegal_splits(self):
+        # 3 contiguous 16B grains -> 32B + 16B (48B is not legal).
+        s = build_stream(HMC2_FINE, [0, 16, 32], size=8)
+        packets = CoalescingNetwork(HMC2_FINE).flush_stream(s, 0)
+        assert sorted(p.size for p in packets) == [16, 32]
+
+    def test_full_chunk_is_256B(self):
+        s = build_stream(HMC2_FINE, [i * 16 for i in range(16)], size=8)
+        packets = CoalescingNetwork(HMC2_FINE).flush_stream(s, 0)
+        assert [p.size for p in packets] == [256]
+
+    def test_cross_chunk_sequences(self):
+        # Grains 15 and 16 sit in different 16-grain chunks.
+        s = build_stream(HMC2_FINE, [15 * 16, 16 * 16], size=8)
+        packets = CoalescingNetwork(HMC2_FINE).flush_stream(s, 0)
+        assert len(packets) == 2
+        assert all(p.size == 16 for p in packets)
+
+
+class TestHBMPipeline:
+    def test_row_sized_packet(self):
+        s = build_stream(HBM, [i * 32 for i in range(32)], size=32)
+        packets = CoalescingNetwork(HBM).flush_stream(s, 0)
+        assert [p.size for p in packets] == [1024]
+
+    def test_mixed_runs(self):
+        # Grains 0-3 and 8-9 (32B each): 128B + 64B packets.
+        s = build_stream(HBM, [0, 32, 64, 96, 256, 288], size=32)
+        packets = CoalescingNetwork(HBM).flush_stream(s, 0)
+        assert sorted(p.size for p in packets) == [64, 128]
+
+    def test_64B_lines_cover_two_grains(self):
+        # Two adjacent 64B requests = 4 contiguous 32B grains -> 128B.
+        s = build_stream(HBM, [0, 64], size=64)
+        packets = CoalescingNetwork(HBM).flush_stream(s, 0)
+        assert [p.size for p in packets] == [128]
+
+    def test_decoder_chunk_count(self):
+        # 4096B page / 32B grains / 32-grain chunks = 4 chunks.
+        assert HBM.n_chunks == 4
+
+
+class TestHMC1Pipeline:
+    def test_max_128B(self):
+        from repro.core.protocols import HMC1
+
+        s = build_stream(HMC1, [i * 64 for i in range(4)], size=64)
+        packets = CoalescingNetwork(HMC1).flush_stream(s, 0)
+        # 2-block chunks: 4 contiguous blocks -> two 128B packets.
+        assert [p.size for p in packets] == [128, 128]
+
+    def test_odd_block_splits(self):
+        s = build_stream(HMC1, [0, 64, 128], size=64)
+        packets = CoalescingNetwork(HMC1).flush_stream(s, 0)
+        assert sorted(p.size for p in packets) == [64, 128]

@@ -1,0 +1,124 @@
+"""Tests for memory protocols and the coalescing table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.protocols import (
+    HBM,
+    HMC1,
+    HMC2,
+    HMC2_FINE,
+    CoalescingTable,
+    MemoryProtocol,
+)
+
+
+class TestProtocols:
+    def test_hmc2_matches_paper(self):
+        # Section 3.3.3: three sizes, 64/128/256B; 4-bit chunks; 16 chunks.
+        assert HMC2.legal_packet_bytes == (64, 128, 256)
+        assert HMC2.chunk_width == 4
+        assert HMC2.n_chunks == 16
+        assert HMC2.map_width == 64
+
+    def test_hmc1_max_128(self):
+        # Section 4.1: HMC 1.0 capped at 128B.
+        assert HMC1.max_packet_bytes == 128
+        assert HMC1.chunk_width == 2
+
+    def test_hbm_16bit_sequences(self):
+        # Section 4.1: HBM expands the block sequence to 16 bits and
+        # packets reach the 1KB row.
+        assert HBM.chunk_width == 32  # 1024B / 32B grains
+        assert HBM.max_packet_bytes == 1024
+        assert HBM.grain_bytes == 32
+
+    def test_fine_grain_flit_packets(self):
+        assert HMC2_FINE.grain_bytes == 16
+        assert HMC2_FINE.legal_packet_bytes[0] == 16
+        assert HMC2_FINE.chunk_width == 16
+
+    def test_grain_index(self):
+        assert HMC2.grain_index(0) == 0
+        assert HMC2.grain_index(64) == 1
+        assert HMC2.grain_index(4095) == 63
+        assert HMC2.grain_index(4096) == 0  # next page wraps
+
+    def test_legal_grain_counts_descending(self):
+        assert HMC2.legal_grain_counts == (4, 2, 1)
+
+    def test_invalid_protocols(self):
+        with pytest.raises(ValueError):
+            MemoryProtocol("bad", 48, 256, (48, 256), 256)  # grain !| page
+        with pytest.raises(ValueError):
+            MemoryProtocol("bad", 64, 256, (128, 256), 256)  # min != grain
+        with pytest.raises(ValueError):
+            MemoryProtocol("bad", 64, 256, (64, 128), 256)  # max mismatch
+        with pytest.raises(ValueError):
+            MemoryProtocol("bad", 64, 256, (), 256)
+
+
+class TestCoalescingTable:
+    def test_hmc_table_precomputed_16_entries(self):
+        # The paper's 16-combination table (Section 3.3.3).
+        table = CoalescingTable(HMC2)
+        assert len(table) == 16
+
+    def test_paper_example_0110(self):
+        # Figure 5b: 0110 -> one 128B request over blocks 1-2.
+        table = CoalescingTable(HMC2)
+        assert table.lookup(0b0110) == ((1, 2),)
+
+    def test_full_chunk_is_256B(self):
+        table = CoalescingTable(HMC2)
+        assert table.lookup(0b1111) == ((0, 4),)
+
+    def test_run_of_three_splits(self):
+        table = CoalescingTable(HMC2)
+        assert table.lookup(0b0111) == ((0, 2), (2, 1))
+
+    def test_empty_pattern(self):
+        table = CoalescingTable(HMC2)
+        assert table.lookup(0) == ()
+
+    def test_hbm_lazy_materialization(self):
+        table = CoalescingTable(HBM)
+        assert len(table) == 0  # 32-bit patterns: lazy
+        layout = table.lookup((1 << 32) - 1)
+        assert layout == ((0, 32),)
+        assert len(table) == 1
+
+    def test_lookup_out_of_range(self):
+        table = CoalescingTable(HMC2)
+        with pytest.raises(ValueError):
+            table.lookup(16)
+        with pytest.raises(ValueError):
+            table.lookup(-1)
+
+    def test_lookup_counter(self):
+        table = CoalescingTable(HMC2)
+        table.lookup(0b0101)
+        table.lookup(0b0101)
+        assert table.lookups == 2
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_hmc_layouts_cover_pattern_exactly(self, pattern):
+        table = CoalescingTable(HMC2)
+        covered = 0
+        for offset, n in table.lookup(pattern):
+            assert n in (1, 2, 4)  # only legal HMC sizes
+            for g in range(offset, offset + n):
+                covered |= 1 << g
+        assert covered == pattern
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_fine_grain_layouts_cover_pattern(self, pattern):
+        table = CoalescingTable(HMC2_FINE)
+        covered = 0
+        for offset, n in table.lookup(pattern):
+            assert n in (1, 2, 4, 8, 16)
+            for g in range(offset, offset + n):
+                assert not (covered >> g) & 1
+                covered |= 1 << g
+        assert covered == pattern

@@ -1,0 +1,98 @@
+"""Tests for coalescing streams."""
+
+import pytest
+
+from repro.common.types import MemOp, MemoryRequest, PAGE_BYTES
+from repro.core.protocols import HMC2, HMC2_FINE
+from repro.core.stream import new_stream
+
+
+def req(addr, op=MemOp.LOAD, cycle=0, size=64):
+    return MemoryRequest(addr=addr, op=op, cycle=cycle, size=size)
+
+
+class TestStreamCreation:
+    def test_new_stream_records_first_request(self):
+        s = new_stream(req(PAGE_BYTES * 9 + 64), HMC2, now=5)
+        assert s.ppn == 9
+        assert s.n_requests == 1
+        assert s.block_map == 0b10  # block 1, the Figure 5b example
+        assert s.alloc_cycle == 5
+
+    def test_type_bit(self):
+        load = new_stream(req(0, MemOp.LOAD), HMC2, 0)
+        store = new_stream(req(0, MemOp.STORE), HMC2, 0)
+        assert load.type_bit == 0
+        assert store.type_bit == 1
+
+
+class TestCoalescingBit:
+    def test_single_request_c_zero(self):
+        s = new_stream(req(0), HMC2, 0)
+        assert not s.coalescing_bit
+
+    def test_second_request_sets_c(self):
+        s = new_stream(req(0), HMC2, 0)
+        s.add(req(64), 1)
+        assert s.coalescing_bit
+
+    def test_same_block_twice_still_sets_c(self):
+        # Two requests to one block: C=1, one grain set.
+        s = new_stream(req(0, size=8), HMC2, 0)
+        s.add(req(8, size=8), 1)
+        assert s.coalescing_bit
+        assert s.n_grains == 1
+
+    def test_multi_grain_request_sets_all_covered_bits(self):
+        # A 64B request over 32B-grain HBM covers two grains.
+        from repro.core.protocols import HBM
+
+        s = new_stream(req(0, size=64), HBM, 0)
+        assert s.block_map == 0b11
+        assert s.n_requests == 1
+
+
+class TestMatching:
+    def test_same_page_same_op_matches(self):
+        s = new_stream(req(PAGE_BYTES * 3), HMC2, 0)
+        assert s.matches(req(PAGE_BYTES * 3 + 128))
+
+    def test_different_page_no_match(self):
+        s = new_stream(req(PAGE_BYTES * 3), HMC2, 0)
+        assert not s.matches(req(PAGE_BYTES * 4))
+
+    def test_op_mismatch_no_match(self):
+        # Figure 5b: request 2 (W) is NOT merged into the read stream of
+        # the same page.
+        s = new_stream(req(PAGE_BYTES * 3, MemOp.LOAD), HMC2, 0)
+        assert not s.matches(req(PAGE_BYTES * 3, MemOp.STORE))
+
+    def test_wrong_page_add_rejected(self):
+        s = new_stream(req(0), HMC2, 0)
+        with pytest.raises(ValueError):
+            s.add(req(PAGE_BYTES), 1)
+
+
+class TestBookkeeping:
+    def test_deadline(self):
+        s = new_stream(req(0), HMC2, now=10)
+        assert s.deadline(16) == 26
+
+    def test_request_ids_grain_ordered(self):
+        r1, r2, r3 = req(128, size=8), req(0, size=8), req(129, size=8)
+        s = new_stream(r1, HMC2, 0)
+        s.add(r2, 1)
+        s.add(r3, 2)
+        assert s.request_ids() == [r2.req_id, r1.req_id, r3.req_id]
+
+    def test_fine_grain_indexing(self):
+        s = new_stream(req(24, size=8), HMC2_FINE, 0)  # 16B grains: index 1
+        assert s.block_map == 0b10
+        s.add(req(40, size=8), 1)  # grain 2
+        assert s.block_map == 0b110
+
+    def test_arrival_times(self):
+        s = new_stream(req(0, cycle=4), HMC2, now=4)
+        s.add(req(64), 9)
+        assert s.first_arrival == 4
+        assert s.last_arrival == 9

@@ -1,0 +1,55 @@
+"""Tests for the parallel suite runner."""
+
+import pytest
+
+from repro.engine.parallel import run_suite_parallel
+from repro.engine.system import CoalescerKind
+
+
+class TestRunSuiteParallel:
+    def test_serial_path(self):
+        out = run_suite_parallel(
+            kinds=(CoalescerKind.PAC,),
+            benchmarks=("gs",),
+            n_accesses=2000,
+            max_workers=1,
+        )
+        assert ("gs", "pac") in out
+        assert out[("gs", "pac")].n_issued > 0
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(
+            kinds=(CoalescerKind.NONE, CoalescerKind.PAC),
+            benchmarks=("gs", "bfs"),
+            n_accesses=2000,
+            seed=5,
+        )
+        serial = run_suite_parallel(max_workers=1, **kwargs)
+        parallel = run_suite_parallel(max_workers=2, **kwargs)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert (
+                serial[key].coalescing_efficiency
+                == parallel[key].coalescing_efficiency
+            ), key
+            assert serial[key].n_raw == parallel[key].n_raw
+
+    def test_all_pairs_present(self):
+        out = run_suite_parallel(
+            kinds=(CoalescerKind.DMC, CoalescerKind.PAC),
+            benchmarks=("gs", "stream", "bfs"),
+            n_accesses=2000,
+            max_workers=2,
+        )
+        assert len(out) == 6
+
+    def test_results_picklable_roundtrip(self):
+        import pickle
+
+        out = run_suite_parallel(
+            kinds=(CoalescerKind.PAC,), benchmarks=("gs",),
+            n_accesses=2000, max_workers=1,
+        )
+        blob = pickle.dumps(out)
+        back = pickle.loads(blob)
+        assert back[("gs", "pac")].n_issued == out[("gs", "pac")].n_issued

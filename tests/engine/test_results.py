@@ -1,0 +1,127 @@
+"""Tests for RunResult metrics and the two runtime models."""
+
+import pytest
+
+from repro.engine.results import RunResult, build_result
+from repro.hmc.power import EnergyModel
+from repro.mshr.dmc import CoalesceOutcome
+
+
+def make_result(
+    n_raw=100, n_issued=50, runtime=1000, conflicts=10,
+    comparisons=500, energy_pj=1000.0, trace_end=500,
+    mean_latency=150.0, coalescer_latency=0.0,
+    payload=3200, transaction=4800,
+):
+    energy = EnergyModel()
+    if energy_pj:
+        energy.charge("VAULT-CTRL", energy_pj / 12.0)
+    return RunResult(
+        benchmark="t", coalescer="x", n_accesses=1000,
+        n_raw=n_raw, n_issued=n_issued, n_merged=n_raw - n_issued,
+        coalescing_efficiency=(n_raw - n_issued) / n_raw,
+        transaction_efficiency=payload / transaction,
+        payload_bytes=payload, transaction_bytes=transaction,
+        bank_conflicts=conflicts, bank_activations=n_issued,
+        comparisons=comparisons, stall_cycles=0,
+        runtime_cycles=runtime,
+        mean_memory_latency_cycles=mean_latency,
+        energy=energy,
+        trace_end_cycle=trace_end,
+        coalescer_latency_cycles=coalescer_latency,
+    )
+
+
+class TestDerivedMetrics:
+    def test_miss_rate(self):
+        assert make_result(n_raw=100).miss_rate == pytest.approx(0.1)
+
+    def test_mean_packet_bytes(self):
+        r = make_result(n_issued=50, payload=3200)
+        assert r.mean_packet_bytes == 64
+
+    def test_speedup_over(self):
+        fast = make_result(runtime=1000)
+        slow = make_result(runtime=1500)
+        assert fast.speedup_over(slow) == pytest.approx(0.5)
+        assert slow.speedup_over(fast) == pytest.approx(-1 / 3)
+
+    def test_bank_conflict_reduction(self):
+        a = make_result(conflicts=20)
+        b = make_result(conflicts=5)
+        assert b.bank_conflict_reduction(a) == pytest.approx(0.75)
+        assert b.bank_conflict_reduction(make_result(conflicts=0)) == 0.0
+
+    def test_comparison_reduction(self):
+        a = make_result(comparisons=1000)
+        b = make_result(comparisons=250)
+        assert b.comparison_reduction(a) == pytest.approx(0.75)
+
+    def test_bandwidth_saving(self):
+        a = make_result(transaction=9600)
+        b = make_result(transaction=4800)
+        assert b.bandwidth_saving_bytes(a) == 4800
+
+    def test_energy_saving(self):
+        a = make_result(energy_pj=1000)
+        b = make_result(energy_pj=400)
+        assert b.energy_saving(a) == pytest.approx(0.6)
+        assert b.energy_saving(make_result(energy_pj=0)) == 0.0
+
+    def test_as_row_flattens(self):
+        row = make_result().as_row()
+        assert row["benchmark"] == "t"
+        assert "coalescing_efficiency" in row
+
+
+class TestLatencyBoundModel:
+    def test_formula(self):
+        r = make_result(
+            n_raw=800, trace_end=500, mean_latency=100,
+            coalescer_latency=16,
+        )
+        # 500 + (800/8) * 116
+        assert r.latency_bound_runtime_cycles == pytest.approx(
+            500 + 100 * 116
+        )
+
+    def test_lower_latency_wins(self):
+        base = make_result(mean_latency=200)
+        better = make_result(mean_latency=100)
+        assert better.latency_bound_speedup_over(base) > 0
+
+    def test_coalescer_latency_charged(self):
+        free = make_result(coalescer_latency=0)
+        taxed = make_result(coalescer_latency=16)
+        assert (
+            taxed.latency_bound_runtime_cycles
+            > free.latency_bound_runtime_cycles
+        )
+
+
+class TestBuildResult:
+    class FakeDevice:
+        class banks:
+            total_activations = 7
+
+        bank_conflicts = 3
+        mean_latency_cycles = 120.0
+        energy = EnergyModel()
+
+    def test_runtime_is_max_of_trace_and_completion(self):
+        outcome = CoalesceOutcome(n_raw=10, n_issued=10)
+        outcome.last_completion_cycle = 2000
+        r = build_result(
+            "b", "pac", 100, outcome, self.FakeDevice(), trace_end_cycle=500
+        )
+        assert r.runtime_cycles == 2000
+        assert r.trace_end_cycle == 500
+
+    def test_pac_latency_threaded(self):
+        outcome = CoalesceOutcome(n_raw=10, n_issued=10)
+        r = build_result(
+            "b", "pac", 100, outcome, self.FakeDevice(),
+            trace_end_cycle=500,
+            pac_metrics={"mean_request_latency": 12.5},
+        )
+        assert r.coalescer_latency_cycles == 12.5

@@ -1,0 +1,46 @@
+"""Statistical robustness: results must be stable across seeds and
+monotone-in-expectation across trace lengths."""
+
+import pytest
+
+from repro.config import TABLE1
+from repro.engine.driver import run_benchmark
+from repro.engine.system import CoalescerKind
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("bench", ["gs", "bfs"])
+    def test_efficiency_stable_across_seeds(self, bench):
+        values = [
+            run_benchmark(
+                bench, CoalescerKind.PAC, n_accesses=6000, seed=seed
+            ).coalescing_efficiency
+            for seed in (1, 2, 3)
+        ]
+        spread = max(values) - min(values)
+        assert spread < 0.12, f"{bench} efficiency unstable: {values}"
+
+    def test_orderings_survive_seed_changes(self):
+        for seed in (7, 8):
+            gs = run_benchmark(
+                "gs", CoalescerKind.PAC, n_accesses=6000, seed=seed
+            )
+            bfs = run_benchmark(
+                "bfs", CoalescerKind.PAC, n_accesses=6000, seed=seed
+            )
+            assert gs.coalescing_efficiency > bfs.coalescing_efficiency
+
+
+class TestScaleStability:
+    def test_efficiency_converges_with_length(self):
+        short = run_benchmark("gs", CoalescerKind.PAC, n_accesses=4000)
+        long = run_benchmark("gs", CoalescerKind.PAC, n_accesses=16000)
+        assert abs(
+            short.coalescing_efficiency - long.coalescing_efficiency
+        ) < 0.1
+
+    def test_raw_requests_scale_with_accesses(self):
+        short = run_benchmark("gs", CoalescerKind.NONE, n_accesses=4000)
+        long = run_benchmark("gs", CoalescerKind.NONE, n_accesses=16000)
+        ratio = long.n_raw / short.n_raw
+        assert 2.0 < ratio < 8.0

@@ -1,0 +1,103 @@
+"""Tests for the System wiring and trace building."""
+
+import numpy as np
+import pytest
+
+from repro.config import TABLE1
+from repro.core.pac import PagedAdaptiveCoalescer
+from repro.engine.system import CoalescerKind, System
+from repro.mshr.dmc import MSHRBasedDMC, NullCoalescer
+
+
+class TestConstruction:
+    def test_coalescer_kinds(self):
+        assert isinstance(
+            System(TABLE1, CoalescerKind.NONE).coalescer, NullCoalescer
+        )
+        assert isinstance(
+            System(TABLE1, CoalescerKind.DMC).coalescer, MSHRBasedDMC
+        )
+        assert isinstance(
+            System(TABLE1, CoalescerKind.PAC).coalescer, PagedAdaptiveCoalescer
+        )
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError):
+            System(TABLE1, device="optane")
+
+    def test_hbm_device(self):
+        sys_ = System(TABLE1, CoalescerKind.PAC, device="hbm")
+        assert sys_.device.route_by_address
+        assert sys_.protocol.name == "hbm"
+
+    def test_incompatible_protocol_device_rejected(self):
+        from repro.core.protocols import HBM
+
+        with pytest.raises(ValueError, match="accepts at most"):
+            System(TABLE1, CoalescerKind.PAC, protocol=HBM, device="hmc")
+
+    def test_hmc1_protocol_on_hmc2_device_ok(self):
+        from repro.core.protocols import HMC1
+
+        System(TABLE1, CoalescerKind.PAC, protocol=HMC1, device="hmc")
+
+    def test_fine_grain_disables_prefetcher(self):
+        sys_ = System(TABLE1, CoalescerKind.PAC, fine_grain=True)
+        assert not sys_.hierarchy.prefetch_enabled
+        assert sys_.protocol.grain_bytes == 16
+
+
+class TestBuildTrace:
+    def test_single_process(self):
+        sys_ = System(TABLE1, CoalescerKind.NONE)
+        trace = sys_.build_trace(["stream"], 4000)
+        assert len(trace) == 4000
+        assert np.all(np.diff(trace.cycles) >= 0)
+
+    def test_multiprocess_disjoint_cores(self):
+        sys_ = System(TABLE1, CoalescerKind.NONE)
+        trace = sys_.build_trace(["stream", "bfs"], 4000)
+        assert len(trace) == 4000
+        cores = set(np.unique(trace.cores))
+        # Processes pinned to disjoint halves of the 8 cores.
+        assert cores <= set(range(8))
+        assert max(cores) >= 4
+
+    def test_multiprocess_disjoint_frames(self):
+        # Two processes never share physical pages (Figure 6b premise).
+        sys_ = System(TABLE1, CoalescerKind.NONE)
+        trace = sys_.build_trace(["stream", "stream"], 4000)
+        pages0 = set(trace.addrs[trace.cores < 4] // 4096)
+        pages1 = set(trace.addrs[trace.cores >= 4] // 4096)
+        assert not pages0 & pages1
+
+    def test_empty_benchmarks_rejected(self):
+        with pytest.raises(ValueError):
+            System(TABLE1).build_trace([], 100)
+
+    def test_deterministic(self):
+        a = System(TABLE1).build_trace(["gs"], 1000, seed=5)
+        b = System(TABLE1).build_trace(["gs"], 1000, seed=5)
+        assert np.array_equal(a.addrs, b.addrs)
+
+
+class TestRun:
+    def test_run_produces_result(self):
+        res = System(TABLE1, CoalescerKind.PAC).run("gs", 4000)
+        assert res.benchmark == "gs"
+        assert res.coalescer == "pac"
+        assert res.n_accesses == 4000
+        assert res.n_raw > 0
+        assert res.n_issued <= res.n_raw
+        assert 0 <= res.coalescing_efficiency < 1
+        assert res.pac_metrics is not None
+
+    def test_baseline_has_no_pac_metrics(self):
+        res = System(TABLE1, CoalescerKind.NONE).run("gs", 2000)
+        assert res.pac_metrics is None
+        assert res.coalescing_efficiency == 0.0
+
+    def test_runtime_positive(self):
+        res = System(TABLE1, CoalescerKind.DMC).run("stream", 2000)
+        assert res.runtime_cycles > 0
+        assert res.mean_memory_latency_cycles > 0

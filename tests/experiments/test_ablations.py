@@ -1,0 +1,79 @@
+"""Tests for the ablation sweep library (small traces)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    address_mapping_sweep,
+    core_scaling_sweep,
+    ddr_vs_hmc_sweep,
+    prefetch_sweep,
+    protocol_sweep,
+    shared_vs_private_sweep,
+    sorting_baseline_sweep,
+    stream_count_sweep,
+    timeout_sweep,
+)
+
+N = 3000
+
+
+class TestRegistry:
+    def test_all_nine_registered(self):
+        assert len(ABLATIONS) == 9
+        for name, fn in ABLATIONS.items():
+            assert callable(fn), name
+
+
+class TestSweeps:
+    def test_timeout_rows(self):
+        rows = timeout_sweep(timeouts=(4, 16), n_accesses=N)
+        assert [r["timeout_cycles"] for r in rows] == [4, 16]
+        assert all(0 <= r["coalescing_efficiency"] < 1 for r in rows)
+
+    def test_stream_count_rows(self):
+        rows = stream_count_sweep(counts=(4, 16), n_accesses=N)
+        assert rows[0]["comparators"] == 4
+        assert rows[1]["buffer_bytes"] > rows[0]["buffer_bytes"]
+
+    def test_protocol_rows(self):
+        rows = protocol_sweep(n_accesses=N)
+        assert [r["protocol"] for r in rows] == ["hmc1.0", "hmc2.1", "hbm"]
+        assert rows[2]["max_packet_bytes"] == 1024
+
+    def test_sorting_rows(self):
+        rows = sorting_baseline_sweep(benchmarks=("gs",), n_accesses=N)
+        assert rows[0]["pac_comparisons"] < rows[0]["sort_comparisons"]
+
+    def test_ddr_rows(self):
+        rows = ddr_vs_hmc_sweep(benchmarks=("stream",), n_accesses=N)
+        assert 0 <= rows[0]["ddr_row_hit_rate"] <= 1
+
+    def test_prefetch_rows(self):
+        rows = prefetch_sweep(regions=(0, 1), n_accesses=N)
+        assert rows[0]["prefetch_raw"] == 0
+        assert rows[1]["prefetch_raw"] > 0
+
+    def test_shared_private_rows(self):
+        rows = shared_vs_private_sweep(benchmarks=("gs",), n_accesses=N)
+        assert {"shared_efficiency", "private_efficiency"} <= set(rows[0])
+
+    def test_core_scaling_rows(self):
+        rows = core_scaling_sweep(core_counts=(1, 4), n_accesses=N)
+        assert [r["n_cores"] for r in rows] == [1, 4]
+
+    def test_address_mapping_rows(self):
+        rows = address_mapping_sweep(
+            policies=("vault-first", "row-major"), n_accesses=N
+        )
+        assert rows[0]["policy"] == "vault-first"
+        assert "pac_reduction" in rows[0]
+
+
+class TestCLIIntegration:
+    def test_cli_ablation_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--accesses", "3000", "ablation", "timeout"]) == 0
+        out = capsys.readouterr().out
+        assert "timeout_cycles" in out

@@ -1,0 +1,87 @@
+"""Tests for the report generator, the result cache, and package API."""
+
+import pytest
+
+from repro.engine.system import CoalescerKind
+from repro.experiments.figures import (
+    MULTIPROCESS_PARTNERS,
+    ResultCache,
+)
+from repro.experiments.summary import generate_report
+from repro.workloads import BENCHMARK_NAMES
+
+
+class TestResultCache:
+    def test_memoizes_runs(self):
+        cache = ResultCache(n_accesses=2000)
+        a = cache.get("gs", CoalescerKind.PAC)
+        b = cache.get("gs", CoalescerKind.PAC)
+        assert a is b
+
+    def test_distinct_keys_distinct_runs(self):
+        cache = ResultCache(n_accesses=2000)
+        a = cache.get("gs", CoalescerKind.PAC)
+        b = cache.get("gs", CoalescerKind.DMC)
+        c = cache.get("gs", CoalescerKind.PAC, extras=("bfs",))
+        assert a is not b and a is not c
+
+    def test_fine_grain_is_separate_key(self):
+        cache = ResultCache(n_accesses=2000)
+        a = cache.get("hpcg", CoalescerKind.PAC)
+        b = cache.get("hpcg", CoalescerKind.PAC, fine_grain=True)
+        assert a is not b
+        assert b.mean_packet_bytes < a.mean_packet_bytes
+
+
+class TestMultiprocessPartnerMap:
+    def test_every_suite_has_a_partner(self):
+        assert set(MULTIPROCESS_PARTNERS) == set(BENCHMARK_NAMES)
+
+    def test_no_self_partnering(self):
+        # "different tests with diverse memory access patterns"
+        for bench, partner in MULTIPROCESS_PARTNERS.items():
+            assert bench != partner
+            assert partner in BENCHMARK_NAMES
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(n_accesses=3000)
+
+    def test_markdown_structure(self, report):
+        assert report.startswith("# EXPERIMENTS")
+        assert report.count("## ") >= 18  # Table 1 + every figure
+
+    def test_every_figure_present(self, report):
+        for marker in (
+            "Figure 1 / 6a", "Figure 2", "Figure 6b", "Figure 6c",
+            "Figure 7", "Figures 8/9", "Figure 10a", "Figure 10b",
+            "Figure 10c", "Figure 11a", "Figure 11b", "Figure 11c",
+            "Figure 12a", "Figure 12b", "Figure 12c", "Figure 13",
+            "Figure 14", "Figure 15",
+        ):
+            assert marker in report, marker
+
+    def test_divergence_notes_present(self, report):
+        assert "Divergence note" in report or "Model note" in report
+        assert "Accounting note" in report
+
+    def test_paper_numbers_cited(self, report):
+        for number in ("56.01%", "85.16%", "73.76%", "14.35%", "20.76"):
+            assert number in report, number
+
+
+class TestPackageAPI:
+    def test_lazy_top_level_imports(self):
+        import repro
+
+        assert callable(repro.run_benchmark)
+        assert repro.CoalescerKind.PAC.value == "pac"
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,47 @@
+"""Tests for the paper-claim validation checklist."""
+
+import pytest
+
+from repro.experiments.validation import Check, render_checks, validate
+
+
+@pytest.fixture(scope="module")
+def checks():
+    # Small traces: this is a smoke-level validation; the benchmark
+    # harness runs the full-size version.
+    return validate(n_accesses=6000)
+
+
+class TestValidation:
+    def test_all_claims_evaluated(self, checks):
+        assert len(checks) >= 15
+
+    def test_structural_claims_always_pass(self, checks):
+        by_claim = {c.claim: c for c in checks}
+        assert by_claim[
+            "Comparator counts at N=64 match the paper exactly"
+        ].passed
+        assert by_claim[
+            "Cross-page coalescing opportunity is negligible"
+        ].passed
+
+    def test_headline_claims_pass_at_small_scale(self, checks):
+        by_claim = {c.claim: c for c in checks}
+        assert by_claim["PAC coalesces more than DMC on average"].passed
+        assert by_claim[
+            "PAC saves more energy than DMC, both positive"
+        ].passed
+
+    def test_majority_pass(self, checks):
+        # Small traces may flip a marginal check; the bulk must hold.
+        passed = sum(c.passed for c in checks)
+        assert passed >= len(checks) - 2
+
+    def test_render(self, checks):
+        out = render_checks(checks)
+        assert "shape claims reproduced" in out
+        assert "paper:" in out
+
+    def test_check_dataclass(self):
+        c = Check("x", "1", "2", True)
+        assert c.passed and c.claim == "x"

@@ -1,0 +1,44 @@
+"""Tests for per-bank heat accounting."""
+
+from repro.hmc.bank import BankArray
+from repro.mem.address import AddressMap
+
+
+class TestBankHeat:
+    def test_heat_counts_activations(self):
+        banks = BankArray(AddressMap())
+        banks.access(0, 64, 0)        # vault 0, bank 0
+        banks.access(0, 64, 1000)     # same bank again
+        banks.access(256, 64, 0)      # vault 1, bank 0
+        heat = banks.bank_heat()
+        assert heat[(0, 0)] == 2
+        assert heat[(1, 0)] == 1
+
+    def test_busiest_banks_ordering(self):
+        banks = BankArray(AddressMap())
+        for _ in range(3):
+            banks.access(0, 64, 0)
+        banks.access(256, 64, 0)
+        busiest = banks.busiest_banks(top=2)
+        assert busiest[0] == ((0, 0), 3)
+        assert busiest[1] == ((1, 0), 1)
+
+    def test_empty_heat(self):
+        banks = BankArray(AddressMap())
+        assert banks.bank_heat() == {}
+        assert banks.busiest_banks() == []
+
+    def test_multi_row_packet_heats_each_bank(self):
+        banks = BankArray(AddressMap())
+        banks.access(0, 512, 0)  # two rows -> two vaults' banks
+        assert len(banks.bank_heat()) == 2
+
+    def test_pac_flattens_heat(self):
+        # 4 x 64B raw to one row hammer one bank; one 256B packet
+        # touches it once — the conflict story at the heat level.
+        raw, coal = BankArray(AddressMap()), BankArray(AddressMap())
+        for i in range(4):
+            raw.access(i * 64, 64, 0)
+        coal.access(0, 256, 0)
+        assert raw.bank_heat()[(0, 0)] == 4
+        assert coal.bank_heat()[(0, 0)] == 1

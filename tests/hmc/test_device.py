@@ -1,0 +1,97 @@
+"""Tests for the end-to-end HMC device model (and the HBM variant)."""
+
+import pytest
+
+from repro.common.types import CoalescedRequest, MemOp
+from repro.config import HMCConfig
+from repro.hmc.device import HMCDevice
+from repro.hmc.hbm import HBMDevice, hbm_config
+
+
+def pkt(addr=0, size=64, op=MemOp.LOAD):
+    return CoalescedRequest(addr=addr, size=size, op=op, constituents=(1,))
+
+
+class TestHMCDevice:
+    def test_latency_in_plausible_band(self):
+        # Table 1: average HMC access latency 93ns = 186 cycles at 2GHz.
+        # An unloaded access should land in the same order of magnitude.
+        dev = HMCDevice()
+        completion = dev.submit(pkt(), 0)
+        assert 80 <= completion <= 300
+
+    def test_oversized_packet_rejected(self):
+        dev = HMCDevice()
+        with pytest.raises(ValueError):
+            dev.submit(pkt(size=512), 0)
+
+    def test_bank_conflicts_from_raw_requests(self):
+        dev = HMCDevice()
+        for i in range(4):
+            dev.submit(pkt(addr=i * 64), 0)
+        assert dev.bank_conflicts == 3
+
+    def test_coalesced_request_avoids_conflicts(self):
+        dev = HMCDevice()
+        dev.submit(pkt(size=256), 0)
+        assert dev.bank_conflicts == 0
+        assert dev.banks.total_activations == 1
+
+    def test_round_robin_causes_remote_routes(self):
+        # Section 2.1.2: round-robin dispatch sends same-vault packets
+        # down different links; most become remote.
+        dev = HMCDevice()
+        for _ in range(4):
+            dev.submit(pkt(addr=0), 0)
+        assert dev.stats.count("remote_routes") >= 3
+
+    def test_energy_accumulates(self):
+        dev = HMCDevice()
+        dev.submit(pkt(), 0)
+        assert dev.energy.total_pj > 0
+        assert dev.energy.picojoules["DRAM-ACTIVATE"] > 0
+
+    def test_fewer_packets_less_energy(self):
+        # 4 x 64B raw vs 1 x 256B coalesced, same data.
+        raw_dev, coal_dev = HMCDevice(), HMCDevice()
+        for i in range(4):
+            raw_dev.submit(pkt(addr=i * 64), 0)
+        coal_dev.submit(pkt(addr=0, size=256), 0)
+        assert coal_dev.energy.total_pj < raw_dev.energy.total_pj
+
+    def test_transaction_byte_accounting(self):
+        dev = HMCDevice()
+        dev.submit(pkt(size=128), 0)
+        assert dev.total_payload_bytes == 128
+        assert dev.total_transaction_bytes == 160  # +32B control
+
+    def test_latency_grows_under_load(self):
+        light, heavy = HMCDevice(), HMCDevice()
+        light.submit(pkt(addr=0), 0)
+        for i in range(64):
+            heavy.submit(pkt(addr=(i % 4) * 64), 0)  # hammer one vault
+        assert heavy.mean_latency_cycles > light.mean_latency_cycles
+
+    def test_store_packets_charge_request_flits(self):
+        dev = HMCDevice()
+        dev.submit(pkt(size=256, op=MemOp.STORE), 0)
+        assert dev.links.stats.count("request_flits") == 17
+        assert dev.links.stats.count("response_flits") == 1
+
+
+class TestHBMDevice:
+    def test_all_routing_local(self):
+        dev = HBMDevice()
+        for i in range(16):
+            dev.submit(pkt(addr=i * 1024), 0)
+        assert dev.stats.count("remote_routes") == 0
+        assert dev.energy.picojoules["LINK-REMOTE-ROUTE"] == 0.0
+
+    def test_row_sized_packets_accepted(self):
+        dev = HBMDevice()
+        dev.submit(pkt(size=1024), 0)
+        assert dev.banks.total_activations == 1
+
+    def test_hbm_config_shape(self):
+        cfg = hbm_config()
+        assert cfg.max_packet_bytes == cfg.row_bytes == 1024

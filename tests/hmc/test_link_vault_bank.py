@@ -1,0 +1,118 @@
+"""Tests for links, vault controllers, and banks."""
+
+import pytest
+
+from repro.hmc.bank import BankArray
+from repro.hmc.link import LinkSet
+from repro.hmc.vault import VAULT_CTRL_CYCLES, VaultSet
+from repro.mem.address import AddressMap
+
+
+class TestLinkSet:
+    def test_round_robin(self):
+        links = LinkSet(4, 32)
+        assert [links.next_link() for _ in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_locality_quadrants(self):
+        links = LinkSet(4, 32)
+        assert links.is_local(0, 0)
+        assert links.is_local(0, 7)
+        assert not links.is_local(0, 8)
+        assert links.is_local(3, 31)
+
+    def test_serialization_occupies_link(self):
+        links = LinkSet(4, 32)
+        done1 = links.serialize_request(0, flits=5, cycle=0)
+        assert done1 == 5
+        # A second packet on the same link queues behind the first.
+        done2 = links.serialize_request(0, flits=1, cycle=2)
+        assert done2 == 6
+
+    def test_directions_independent(self):
+        links = LinkSet(4, 32)
+        links.serialize_request(0, flits=10, cycle=0)
+        assert links.serialize_response(0, flits=1, cycle=0) == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LinkSet(0, 32)
+        with pytest.raises(ValueError):
+            LinkSet(3, 32)
+
+
+class TestVaultSet:
+    def test_admission_latency(self):
+        vaults = VaultSet(4)
+        assert vaults.admit(0, cycle=10) == 10 + VAULT_CTRL_CYCLES
+
+    def test_backlog_queues(self):
+        vaults = VaultSet(4)
+        vaults.admit(0, 0)
+        done = vaults.admit(0, 1)
+        assert done == 2 * VAULT_CTRL_CYCLES
+        assert vaults.stats.count("queue_wait_cycles") > 0
+
+    def test_vaults_independent(self):
+        vaults = VaultSet(4)
+        vaults.admit(0, 0)
+        assert vaults.admit(1, 0) == VAULT_CTRL_CYCLES
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            VaultSet(0)
+
+
+class TestBankArray:
+    def _banks(self, busy=96):
+        return BankArray(AddressMap(), busy_cycles=busy)
+
+    def test_single_row_access(self):
+        banks = self._banks()
+        finish, rows = banks.access(0, 64, cycle=0)
+        assert rows == 1
+        assert finish == 96
+        assert banks.total_conflicts == 0
+
+    def test_conflict_when_bank_busy(self):
+        banks = self._banks()
+        banks.access(0, 64, cycle=0)
+        finish, _ = banks.access(32, 64, cycle=10)  # same row 0 -> same bank
+        assert banks.total_conflicts == 1
+        assert finish == 192  # serialized behind the first activation
+
+    def test_no_conflict_after_precharge(self):
+        banks = self._banks()
+        banks.access(0, 64, 0)
+        banks.access(0, 64, cycle=200)
+        assert banks.total_conflicts == 0
+
+    def test_different_vaults_parallel(self):
+        banks = self._banks()
+        banks.access(0, 64, 0)
+        finish, _ = banks.access(256, 64, 0)  # next row -> next vault
+        assert finish == 96
+        assert banks.total_conflicts == 0
+
+    def test_four_raw_vs_one_coalesced(self):
+        # The Section 2.1.1 motivating example: four 64B requests to one
+        # 256B row cause repeated activations; one 256B request
+        # activates once.
+        raw = self._banks()
+        for i in range(4):
+            raw.access(i * 64, 64, cycle=0)
+        assert raw.total_activations == 4
+        assert raw.total_conflicts == 3
+
+        coalesced = self._banks()
+        coalesced.access(0, 256, cycle=0)
+        assert coalesced.total_activations == 1
+        assert coalesced.total_conflicts == 0
+
+    def test_unaligned_packet_spans_rows(self):
+        banks = self._banks()
+        _, rows = banks.access(128, 256, cycle=0)
+        assert rows == 2
+
+    def test_invalid_busy(self):
+        with pytest.raises(ValueError):
+            BankArray(AddressMap(), busy_cycles=0)

@@ -1,0 +1,49 @@
+"""Tests for FLIT accounting."""
+
+import pytest
+
+from repro.common.types import CoalescedRequest, MemOp
+from repro.hmc.packet import data_flits, packet_flits
+
+
+def pkt(size, op=MemOp.LOAD):
+    return CoalescedRequest(addr=0, size=size, op=op, constituents=(1,))
+
+
+class TestDataFlits:
+    def test_rounding(self):
+        assert data_flits(0) == 0
+        assert data_flits(1) == 1
+        assert data_flits(16) == 1
+        assert data_flits(17) == 2
+        assert data_flits(256) == 16
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            data_flits(-1)
+
+
+class TestPacketFlits:
+    def test_read_64B(self):
+        f = packet_flits(pkt(64, MemOp.LOAD))
+        assert f.request == 1
+        assert f.response == 5
+        assert f.data == 4
+
+    def test_write_64B(self):
+        f = packet_flits(pkt(64, MemOp.STORE))
+        assert f.request == 5
+        assert f.response == 1
+
+    def test_256B_read(self):
+        # Section 2.2.2: a 256B request is 18 FLITs (16 data + 2 control)
+        # in total across the transaction.
+        f = packet_flits(pkt(256, MemOp.LOAD))
+        assert f.total == 18
+
+    def test_control_overhead_constant(self):
+        # Exactly 2 control FLITs per transaction regardless of payload.
+        for size in (16, 64, 128, 256):
+            for op in (MemOp.LOAD, MemOp.STORE):
+                f = packet_flits(pkt(size, op))
+                assert f.total - f.data == 2

@@ -1,0 +1,58 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.hmc.power import ENERGY_CATEGORIES, ENERGY_PJ, EnergyModel, savings
+
+
+class TestEnergyModel:
+    def test_charge_accumulates(self):
+        e = EnergyModel()
+        e.charge("VAULT-CTRL", 2)
+        assert e.picojoules["VAULT-CTRL"] == 2 * ENERGY_PJ["VAULT-CTRL"]
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            EnergyModel().charge("FLUX-CAPACITOR", 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().charge("VAULT-CTRL", -1)
+
+    def test_total(self):
+        e = EnergyModel()
+        e.charge("VAULT-CTRL", 1)
+        e.charge("DRAM-ACTIVATE", 1)
+        assert e.total_pj == ENERGY_PJ["VAULT-CTRL"] + ENERGY_PJ["DRAM-ACTIVATE"]
+        assert e.total_nj == e.total_pj / 1000
+
+    def test_remote_route_costs_more_than_local(self):
+        # The premise of the Section 2.1.2 power argument.
+        assert ENERGY_PJ["LINK-REMOTE-ROUTE"] > ENERGY_PJ["LINK-LOCAL-ROUTE"]
+
+    def test_merge(self):
+        a, b = EnergyModel(), EnergyModel()
+        a.charge("VAULT-CTRL", 1)
+        b.charge("VAULT-CTRL", 2)
+        a.merge_from(b)
+        assert a.picojoules["VAULT-CTRL"] == 3 * ENERGY_PJ["VAULT-CTRL"]
+
+
+class TestSavings:
+    def test_fractional_savings(self):
+        base, improved = EnergyModel(), EnergyModel()
+        base.charge("VAULT-CTRL", 10)
+        improved.charge("VAULT-CTRL", 4)
+        s = savings(base, improved)
+        assert s["VAULT-CTRL"] == pytest.approx(0.6)
+        assert s["TOTAL"] == pytest.approx(0.6)
+
+    def test_zero_baseline_category(self):
+        s = savings(EnergyModel(), EnergyModel())
+        assert all(v == 0.0 for v in s.values())
+
+    def test_all_categories_present(self):
+        s = savings(EnergyModel(), EnergyModel())
+        for cat in ENERGY_CATEGORIES:
+            assert cat in s
+        assert "TOTAL" in s

@@ -1,0 +1,112 @@
+"""Tests for HMC telemetry (latency breakdown, vault heat)."""
+
+import pytest
+
+from repro.common.types import CoalescedRequest, MemOp
+from repro.hmc.device import HMCDevice
+from repro.hmc.telemetry import PacketRecord, Telemetry
+
+
+def pkt(addr=0, size=64, op=MemOp.LOAD):
+    return CoalescedRequest(addr=addr, size=size, op=op, constituents=(1,))
+
+
+class TestTelemetryRecorder:
+    def _rec(self, vault=0, remote=False, dram=96):
+        return PacketRecord(
+            addr=0, size=64, vault=vault, link=0, remote=remote,
+            submit_cycle=0, link_wait=5, route=2, vault_wait=4,
+            dram=dram, response=7,
+        )
+
+    def test_record_and_total(self):
+        t = Telemetry()
+        t.record(self._rec())
+        assert len(t) == 1
+        assert t.records[0].total == 5 + 2 + 4 + 96 + 7
+
+    def test_capacity_drops(self):
+        t = Telemetry(capacity=1)
+        t.record(self._rec())
+        t.record(self._rec())
+        assert len(t) == 1
+        assert t.dropped == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Telemetry(capacity=0)
+
+    def test_component_means(self):
+        t = Telemetry()
+        t.record(self._rec(dram=90))
+        t.record(self._rec(dram=110))
+        means = t.component_means()
+        assert means["dram"] == pytest.approx(100)
+        assert means["route"] == pytest.approx(2)
+
+    def test_empty_summary(self):
+        s = Telemetry().summary()
+        assert s["p99"] == 0.0
+        assert s["n_records"] == 0.0
+
+    def test_percentiles_ordered(self):
+        t = Telemetry()
+        for d in range(100):
+            t.record(self._rec(dram=d))
+        p = t.latency_percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"] <= p["max"]
+
+    def test_vault_heat(self):
+        t = Telemetry()
+        t.record(self._rec(vault=3))
+        t.record(self._rec(vault=3))
+        t.record(self._rec(vault=7))
+        assert t.vault_heat() == {3: 2, 7: 1}
+
+    def test_remote_fraction(self):
+        t = Telemetry()
+        t.record(self._rec(remote=True))
+        t.record(self._rec(remote=False))
+        assert t.remote_fraction() == pytest.approx(0.5)
+
+
+class TestDeviceIntegration:
+    def test_disabled_by_default(self):
+        dev = HMCDevice()
+        dev.submit(pkt(), 0)
+        assert dev.telemetry is None
+
+    def test_enabled_records_every_packet(self):
+        dev = HMCDevice(telemetry=True)
+        for i in range(5):
+            dev.submit(pkt(addr=i * 256), 0)
+        assert len(dev.telemetry) == 5
+
+    def test_breakdown_sums_to_latency(self):
+        dev = HMCDevice(telemetry=True)
+        completion = dev.submit(pkt(), 0)
+        rec = dev.telemetry.records[0]
+        assert rec.total == completion - 0
+
+    def test_vault_heat_matches_address_map(self):
+        dev = HMCDevice(telemetry=True)
+        dev.submit(pkt(addr=0), 0)        # vault 0
+        dev.submit(pkt(addr=256), 0)      # vault 1
+        heat = dev.telemetry.vault_heat()
+        assert set(heat) == {0, 1}
+
+    def test_dram_component_dominates_unloaded(self):
+        dev = HMCDevice(telemetry=True)
+        dev.submit(pkt(), 0)
+        means = dev.telemetry.component_means()
+        assert means["dram"] >= max(
+            means["link_wait"], means["route"], means["response"]
+        )
+
+    def test_custom_recorder_instance(self):
+        recorder = Telemetry(capacity=2)
+        dev = HMCDevice(telemetry=recorder)
+        for i in range(4):
+            dev.submit(pkt(addr=i * 256), 0)
+        assert len(recorder) == 2
+        assert recorder.dropped == 2

@@ -1,0 +1,123 @@
+"""Unit tests for address decomposition and device interleaving."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.types import CACHE_LINE_BYTES, PAGE_BYTES
+from repro.mem.address import AddressMap, block_of, decompose, page_of
+
+
+class TestDecompose:
+    def test_round_trip(self):
+        addr = 5 * PAGE_BYTES + 17 * CACHE_LINE_BYTES + 9
+        d = decompose(addr)
+        assert d.ppn == 5
+        assert d.block == 17
+        assert d.offset == 9
+        assert d.ppn * PAGE_BYTES + d.block * CACHE_LINE_BYTES + d.offset == addr
+
+    def test_helpers_agree(self):
+        addr = 0xDEADBEEF
+        assert page_of(addr) == decompose(addr).ppn
+        assert block_of(addr) == decompose(addr).block
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(-1)
+
+    @given(st.integers(min_value=0, max_value=2**52 - 1))
+    def test_decompose_reconstruction(self, addr):
+        d = decompose(addr)
+        assert 0 <= d.block < 64
+        assert 0 <= d.offset < 64
+        assert d.ppn * PAGE_BYTES + d.block * CACHE_LINE_BYTES + d.offset == addr
+
+
+class TestAddressMap:
+    def test_default_matches_table1(self):
+        amap = AddressMap()
+        assert amap.n_vaults == 32
+        assert amap.row_bytes == 256
+        assert amap.total_banks == 256
+
+    def test_consecutive_rows_rotate_vaults(self):
+        # Low-order vault interleaving: adjacent 256B rows hit different
+        # vaults, maximizing vault-level parallelism.
+        amap = AddressMap()
+        locs = [amap.locate(i * 256) for i in range(32)]
+        assert sorted(l.vault for l in locs) == list(range(32))
+        assert all(l.bank == 0 for l in locs)
+
+    def test_bank_rotation_after_vault_wrap(self):
+        amap = AddressMap()
+        loc = amap.locate(32 * 256)  # one full vault rotation later
+        assert loc.vault == 0
+        assert loc.bank == 1
+
+    def test_same_row_same_location(self):
+        amap = AddressMap()
+        assert amap.locate(1000) == amap.locate(1023)
+
+    def test_rows_spanned(self):
+        amap = AddressMap()
+        assert amap.rows_spanned(0, 256) == 1
+        assert amap.rows_spanned(0, 257) == 2
+        assert amap.rows_spanned(255, 2) == 2
+        # A 256B-aligned 256B packet touches exactly one row — the whole
+        # point of coalescing to the row size (Section 2.1.1).
+        assert amap.rows_spanned(256 * 7, 256) == 1
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            AddressMap(n_vaults=0)
+        with pytest.raises(ValueError):
+            AddressMap(row_bytes=100)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_locate_in_range(self, addr):
+        amap = AddressMap()
+        loc = amap.locate(addr)
+        assert 0 <= loc.vault < 32
+        assert 0 <= loc.bank < 8
+        assert loc.row >= 0
+
+
+class TestMappingPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap(policy="diagonal")
+
+    def test_bank_first_rotates_banks(self):
+        amap = AddressMap(policy="bank-first")
+        locs = [amap.locate(i * 256) for i in range(8)]
+        assert sorted(l.bank for l in locs) == list(range(8))
+        assert all(l.vault == 0 for l in locs)
+
+    def test_row_major_concentrates(self):
+        amap = AddressMap(policy="row-major")
+        locs = [amap.locate(i * 256) for i in range(64)]
+        assert all(l.vault == 0 and l.bank == 0 for l in locs)
+        assert [l.row for l in locs] == list(range(64))
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.sampled_from(["vault-first", "bank-first", "row-major"]),
+    )
+    def test_all_policies_in_range(self, addr, policy):
+        amap = AddressMap(policy=policy)
+        loc = amap.locate(addr)
+        assert 0 <= loc.vault < 32
+        assert 0 <= loc.bank < 8
+        assert loc.row >= 0
+
+    @given(
+        st.sampled_from(["vault-first", "bank-first", "row-major"]),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_policies_are_injective_over_rows(self, policy, row_index):
+        # Two distinct row indices never collide on (vault, bank, row).
+        amap = AddressMap(policy=policy)
+        a = amap.locate(row_index * 256)
+        b = amap.locate((row_index + 1) * 256)
+        assert a != b

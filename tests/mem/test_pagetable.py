@@ -1,0 +1,106 @@
+"""Unit tests for the page table and frame allocator."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import PAGE_BYTES
+from repro.mem.pagetable import FrameAllocator, OutOfFramesError, PageTable
+
+
+class TestFrameAllocator:
+    def test_sequential_mode(self):
+        alloc = FrameAllocator(total_frames=10, shuffle=False)
+        assert [alloc.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_shuffled_mode_is_permutation(self):
+        alloc = FrameAllocator(total_frames=100, shuffle=True, seed=1)
+        frames = [alloc.allocate() for _ in range(100)]
+        assert sorted(frames) == list(range(100))
+        assert frames != list(range(100))  # actually shuffled
+
+    def test_exhaustion(self):
+        alloc = FrameAllocator(total_frames=2, shuffle=False)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(OutOfFramesError):
+            alloc.allocate()
+
+    def test_deterministic_given_seed(self):
+        a = FrameAllocator(total_frames=50, seed=7)
+        b = FrameAllocator(total_frames=50, seed=7)
+        assert [a.allocate() for _ in range(50)] == [
+            b.allocate() for _ in range(50)
+        ]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(total_frames=0)
+
+
+class TestPageTable:
+    def _pt(self, shuffle=True):
+        return PageTable(FrameAllocator(total_frames=1024, shuffle=shuffle, seed=3))
+
+    def test_offset_preserved(self):
+        pt = self._pt()
+        paddr = pt.translate(5 * PAGE_BYTES + 123)
+        assert paddr % PAGE_BYTES == 123
+
+    def test_same_page_same_frame(self):
+        pt = self._pt()
+        a = pt.translate(PAGE_BYTES + 0)
+        b = pt.translate(PAGE_BYTES + 100)
+        assert a // PAGE_BYTES == b // PAGE_BYTES
+
+    def test_distinct_pages_distinct_frames(self):
+        pt = self._pt()
+        frames = {pt.translate(i * PAGE_BYTES) // PAGE_BYTES for i in range(20)}
+        assert len(frames) == 20
+
+    def test_contiguity_within_page_survives(self):
+        pt = self._pt()
+        base = pt.translate(7 * PAGE_BYTES)
+        nxt = pt.translate(7 * PAGE_BYTES + 64)
+        assert nxt - base == 64
+
+    def test_cross_page_contiguity_destroyed(self):
+        # With a shuffled allocator, virtually adjacent pages are almost
+        # never physically adjacent — the premise of paged coalescing.
+        pt = self._pt()
+        gaps = []
+        for i in range(50):
+            a = pt.translate(i * PAGE_BYTES)
+            b = pt.translate((i + 1) * PAGE_BYTES)
+            gaps.append(b - a == PAGE_BYTES)
+        assert sum(gaps) < 5
+
+    def test_translate_array_matches_scalar(self):
+        pt_a = self._pt()
+        pt_b = PageTable(FrameAllocator(total_frames=1024, shuffle=True, seed=3))
+        vaddrs = np.array([0, 64, PAGE_BYTES, 5 * PAGE_BYTES + 7, 64])
+        batch = pt_a.translate_array(vaddrs)
+        scalar = np.array([pt_b.translate(int(v)) for v in vaddrs])
+        assert np.array_equal(batch, scalar)
+
+    def test_translate_array_empty(self):
+        pt = self._pt()
+        out = pt.translate_array(np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_translate_array_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self._pt().translate_array(np.array([-5]))
+
+    def test_resident_pages(self):
+        pt = self._pt()
+        pt.translate(0)
+        pt.translate(100)  # same page
+        pt.translate(PAGE_BYTES)
+        assert pt.resident_pages == 2
+
+    def test_two_processes_disjoint_frames(self):
+        alloc = FrameAllocator(total_frames=1024, shuffle=True, seed=9)
+        p0, p1 = PageTable(alloc, pid=0), PageTable(alloc, pid=1)
+        f0 = {p0.translate(i * PAGE_BYTES) // PAGE_BYTES for i in range(16)}
+        f1 = {p1.translate(i * PAGE_BYTES) // PAGE_BYTES for i in range(16)}
+        assert not f0 & f1

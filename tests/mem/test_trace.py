@@ -1,0 +1,93 @@
+"""Unit tests for the AccessTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import MemOp
+from repro.mem.trace import AccessTrace
+
+
+def make_trace(n=10):
+    return AccessTrace(
+        addrs=np.arange(n) * 64,
+        sizes=np.full(n, 8),
+        ops=np.array([int(MemOp.LOAD)] * (n // 2) + [int(MemOp.STORE)] * (n - n // 2)),
+        cores=np.zeros(n),
+        cycles=np.arange(n),
+    )
+
+
+class TestAccessTrace:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTrace(
+                addrs=np.zeros(3),
+                sizes=np.zeros(2),
+                ops=np.zeros(3),
+                cores=np.zeros(3),
+                cycles=np.zeros(3),
+            )
+
+    def test_empty(self):
+        t = AccessTrace.empty()
+        assert len(t) == 0
+        assert t.unique_pages() == 0
+        assert t.store_fraction() == 0.0
+
+    def test_from_rows_roundtrip(self):
+        rows = [(64, 8, 0, 1, 5), (128, 4, 1, 2, 6)]
+        t = AccessTrace.from_rows(rows)
+        assert len(t) == 2
+        assert t.addrs[1] == 128
+        assert t.cores[0] == 1
+
+    def test_from_rows_empty(self):
+        assert len(AccessTrace.from_rows([])) == 0
+
+    def test_requests_iteration(self):
+        t = make_trace(4)
+        reqs = list(t.requests())
+        assert len(reqs) == 4
+        assert reqs[0].op == MemOp.LOAD
+        assert reqs[-1].op == MemOp.STORE
+        assert reqs[2].addr == 128
+
+    def test_slice_and_concat(self):
+        t = make_trace(10)
+        a, b = t.slice(0, 4), t.slice(4, 10)
+        merged = a.concat(b)
+        assert np.array_equal(merged.addrs, t.addrs)
+
+    def test_sorted_by_cycle_is_stable(self):
+        t = AccessTrace(
+            addrs=np.array([1, 2, 3, 4]),
+            sizes=np.full(4, 8),
+            ops=np.zeros(4),
+            cores=np.array([0, 1, 0, 1]),
+            cycles=np.array([5, 1, 5, 0]),
+        )
+        s = t.sorted_by_cycle()
+        assert list(s.cycles) == [0, 1, 5, 5]
+        assert list(s.addrs) == [4, 2, 1, 3]  # ties keep original order
+
+    def test_store_fraction(self):
+        assert make_trace(10).store_fraction() == pytest.approx(0.5)
+
+    def test_unique_pages(self):
+        t = AccessTrace(
+            addrs=np.array([0, 100, 4096, 8192]),
+            sizes=np.full(4, 8),
+            ops=np.zeros(4),
+            cores=np.zeros(4),
+            cycles=np.arange(4),
+        )
+        assert t.unique_pages() == 3
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = make_trace(16)
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = AccessTrace.load(path)
+        assert np.array_equal(loaded.addrs, t.addrs)
+        assert np.array_equal(loaded.ops, t.ops)
+        assert loaded.sizes.dtype == np.int32

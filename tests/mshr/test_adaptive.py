@@ -1,0 +1,109 @@
+"""Tests for the adaptive MSHR file."""
+
+import pytest
+
+from repro.common.types import CoalescedRequest, MemOp
+from repro.mshr.adaptive import AdaptiveMSHRFile
+from repro.mshr.file import MSHRFileFullError
+
+
+def packet(addr=0, size=256, op=MemOp.LOAD, n=4):
+    return CoalescedRequest(
+        addr=addr, size=size, op=op, constituents=tuple(range(n))
+    )
+
+
+class TestAllocatePacket:
+    def test_span_matches_packet(self):
+        f = AdaptiveMSHRFile(4)
+        _, entry = f.allocate_packet(packet(size=256), now=0)
+        assert entry.span_blocks == 4
+        assert entry.covers(192)
+
+    def test_subentries_get_block_indices(self):
+        f = AdaptiveMSHRFile(4)
+        _, entry = f.allocate_packet(packet(size=128, n=2), now=0)
+        assert [s.block_index for s in entry.subentries] == [0, 1]
+
+    def test_more_constituents_than_blocks(self):
+        # Duplicate same-block raw requests folded into one packet.
+        f = AdaptiveMSHRFile(4)
+        _, entry = f.allocate_packet(packet(size=64, n=3), now=0)
+        assert [s.block_index for s in entry.subentries] == [0, 0, 0]
+
+    def test_full(self):
+        f = AdaptiveMSHRFile(1)
+        f.allocate_packet(packet(addr=0), now=0)
+        with pytest.raises(MSHRFileFullError):
+            f.allocate_packet(packet(addr=4096), now=0)
+
+    def test_subline_packet_tracks_covering_lines(self):
+        # Fine-grain (Figure 10b) packets are 16B-grain aligned; the
+        # entry spans the cache lines they touch.
+        f = AdaptiveMSHRFile(4)
+        _, entry = f.allocate_packet(packet(addr=48, size=32, n=2), now=0)
+        assert entry.base_block_addr == 0
+        assert entry.span_blocks == 2  # bytes 48..79 straddle lines 0-1
+
+    def test_same_base_different_op_coexist(self):
+        f = AdaptiveMSHRFile(4)
+        f.allocate_packet(packet(addr=0, op=MemOp.LOAD), now=0)
+        f.allocate_packet(packet(addr=0, op=MemOp.STORE), now=0)
+        assert f.occupancy == 2
+
+
+class TestMergePacket:
+    def test_covered_packet_merges(self):
+        f = AdaptiveMSHRFile(4)
+        f.allocate_packet(packet(addr=0, size=256, n=4), now=0)
+        merged = f.try_merge_packet(packet(addr=64, size=128, n=2))
+        assert merged is not None
+        assert f.occupancy == 1
+        assert f.stats.count("packet_merges") == 1
+
+    def test_partially_covered_rejected(self):
+        f = AdaptiveMSHRFile(4)
+        f.allocate_packet(packet(addr=0, size=128, n=2), now=0)
+        # Blocks 1-2: block 2 is outside the entry span.
+        assert f.try_merge_packet(packet(addr=64, size=128, n=2)) is None
+
+    def test_op_mismatch_rejected(self):
+        # Section 3.1.3: loads and stores never merge (the OP bit).
+        f = AdaptiveMSHRFile(4)
+        f.allocate_packet(packet(addr=0, op=MemOp.LOAD), now=0)
+        assert f.try_merge_packet(packet(addr=0, op=MemOp.STORE)) is None
+
+    def test_merge_attaches_block_indexed_subentries(self):
+        f = AdaptiveMSHRFile(4)
+        _, entry = f.allocate_packet(packet(addr=0, size=256, n=4), now=0)
+        f.try_merge_packet(packet(addr=128, size=128, n=2))
+        merged_indices = [s.block_index for s in entry.subentries[4:]]
+        assert merged_indices == [2, 3]
+
+
+class TestReleases:
+    def test_release_lifecycle(self):
+        f = AdaptiveMSHRFile(2)
+        slot, _ = f.allocate_packet(packet(addr=0), now=0)
+        f.schedule_release(slot, 90)
+        assert f.next_release_cycle() == 90
+        assert f.advance(89) == []
+        released = f.advance(90)
+        assert len(released) == 1
+        assert f.occupancy == 0
+
+    def test_schedule_unknown_slot(self):
+        f = AdaptiveMSHRFile(2)
+        with pytest.raises(KeyError):
+            f.schedule_release(5, 10)
+
+    def test_find_covering_after_release(self):
+        f = AdaptiveMSHRFile(2)
+        slot, _ = f.allocate_packet(packet(addr=0), now=0)
+        f.schedule_release(slot, 10)
+        f.advance(10)
+        assert f.find_covering(0, MemOp.LOAD) is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AdaptiveMSHRFile(0)

@@ -1,0 +1,57 @@
+"""Tests for MSHR entries and subentries."""
+
+import pytest
+
+from repro.common.types import MemOp
+from repro.mshr.entry import MSHREntry, Subentry
+
+
+class TestSubentry:
+    def test_index_range(self):
+        # 2-bit field for HMC (0..3); the model caps at the widest
+        # protocol need (HBM rows: 16 blocks).
+        Subentry(req_id=1, block_index=3)
+        Subentry(req_id=1, block_index=15)
+        with pytest.raises(ValueError):
+            Subentry(req_id=1, block_index=16)
+        with pytest.raises(ValueError):
+            Subentry(req_id=1, block_index=-1)
+
+
+class TestMSHREntry:
+    def test_alignment_required(self):
+        with pytest.raises(ValueError):
+            MSHREntry(base_block_addr=10, op=MemOp.LOAD)
+
+    def test_span_limits(self):
+        MSHREntry(base_block_addr=0, op=MemOp.LOAD, span_blocks=4)
+        MSHREntry(base_block_addr=0, op=MemOp.LOAD, span_blocks=16)
+        with pytest.raises(ValueError):
+            MSHREntry(base_block_addr=0, op=MemOp.LOAD, span_blocks=17)
+        with pytest.raises(ValueError):
+            MSHREntry(base_block_addr=0, op=MemOp.LOAD, span_blocks=0)
+
+    def test_covers_span(self):
+        e = MSHREntry(base_block_addr=256, op=MemOp.LOAD, span_blocks=4)
+        assert e.covers(256)
+        assert e.covers(256 + 3 * 64)
+        assert not e.covers(256 + 4 * 64)
+        assert not e.covers(192)
+
+    def test_block_index_encoding(self):
+        # Paper Section 3.1.3: indexes 00,01,10,11 -> blocks N..N+3.
+        e = MSHREntry(base_block_addr=1024, op=MemOp.STORE, span_blocks=4)
+        assert e.block_index_of(1024) == 0
+        assert e.block_index_of(1024 + 64) == 1
+        assert e.block_index_of(1024 + 192) == 3
+
+    def test_block_index_outside_raises(self):
+        e = MSHREntry(base_block_addr=0, op=MemOp.LOAD, span_blocks=2)
+        with pytest.raises(ValueError):
+            e.block_index_of(192)
+
+    def test_attach_derives_index(self):
+        e = MSHREntry(base_block_addr=0, op=MemOp.LOAD, span_blocks=4)
+        sub = e.attach(req_id=42, line_addr=128)
+        assert sub.block_index == 2
+        assert e.n_merged == 1

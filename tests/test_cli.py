@@ -1,0 +1,84 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import FIGURES, main
+from repro.mem.trace import AccessTrace
+
+
+class TestConfigCommand:
+    def test_config_prints_table1(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "Coalescing Streams" in out
+        assert "93 ns" in out
+
+
+class TestRunCommands:
+    def test_run(self, capsys):
+        assert main(["--accesses", "2000", "run", "gs"]) == 0
+        out = capsys.readouterr().out
+        assert "coalescing_efficiency" in out
+
+    def test_run_ddr_rejected_but_hbm_ok(self, capsys):
+        assert main(
+            ["--accesses", "2000", "run", "stream", "--device", "hbm"]
+        ) == 0
+
+    def test_run_json_output(self, capsys):
+        import json
+
+        assert main(["--accesses", "2000", "run", "gs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["coalescer"] == "pac"
+        assert "energy_pj_by_category" in payload
+        assert "cache" in payload
+        assert 0 <= payload["cache"]["l1_hit_rate"] <= 1
+
+    def test_run_with_scale_class(self, capsys):
+        assert main(
+            ["--accesses", "2000", "run", "gs", "--scale", "S"]
+        ) == 0
+
+    def test_compare(self, capsys):
+        assert main(["--accesses", "2000", "compare", "bfs"]) == 0
+        out = capsys.readouterr().out
+        for arm in ("none", "dmc", "pac"):
+            assert arm in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom"])
+
+    def test_figure_11a(self, capsys):
+        assert main(["figure", "11a"]) == 0
+        out = capsys.readouterr().out
+        assert "672" in out  # bitonic at N=64
+
+    def test_every_paper_figure_registered(self):
+        expected = {
+            "1", "2", "6a", "6b", "6c", "7", "8", "10a", "10b", "10c",
+            "11a", "11b", "11c", "12a", "12b", "12c", "13", "14", "15",
+        }
+        assert expected <= set(FIGURES)
+
+
+class TestTraceCommand:
+    def test_export_raw_stream(self, tmp_path, capsys):
+        path = tmp_path / "gs_raw.npz"
+        assert main(
+            ["--accesses", "2000", "trace", "gs", str(path)]
+        ) == 0
+        loaded = AccessTrace.load(path)
+        assert len(loaded) > 0
+        assert np.all(loaded.sizes > 0)
+
+    def test_export_cpu_trace(self, tmp_path):
+        path = tmp_path / "gs_cpu.npz"
+        assert main(
+            ["--accesses", "2000", "trace", "gs", str(path),
+             "--stage", "cpu"]
+        ) == 0
+        loaded = AccessTrace.load(path)
+        assert len(loaded) == 2000

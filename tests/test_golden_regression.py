@@ -1,0 +1,60 @@
+"""Golden-results regression guard.
+
+``tests/golden_results.json`` pins the (seed=1234, 8000-access)
+efficiencies of every suite for the DMC and PAC arms. Any change that
+shifts a benchmark's calibration shows up here before it silently drifts
+the paper comparison. Deterministic components (n_raw) must match
+exactly; efficiencies get a small tolerance for future model tweaks that
+are *intended* to be neutral.
+
+Regenerate after an intentional calibration change with::
+
+    python -c "..."   # see the header of golden_results.json's git log
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.driver import run_benchmark
+from repro.engine.system import CoalescerKind
+from repro.workloads import BENCHMARK_NAMES
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_results.json").read_text()
+)
+
+N_ACCESSES = 8000
+SEED = 1234
+TOLERANCE = 0.02  # absolute efficiency drift allowed
+
+
+class TestGoldenCorpusShape:
+    def test_covers_all_benchmarks(self):
+        assert set(GOLDEN) == set(BENCHMARK_NAMES)
+
+    def test_has_both_arms(self):
+        for bench, entry in GOLDEN.items():
+            assert {"dmc", "pac"} <= set(entry), bench
+
+
+@pytest.mark.parametrize("bench", sorted(GOLDEN))
+class TestGoldenRegression:
+    def test_matches_golden(self, bench):
+        for kind in (CoalescerKind.DMC, CoalescerKind.PAC):
+            expected = GOLDEN[bench][kind.value]
+            result = run_benchmark(
+                bench, kind, n_accesses=N_ACCESSES, seed=SEED
+            )
+            # The raw stream is fully deterministic given the seed.
+            assert result.n_raw == expected["n_raw"], (
+                f"{bench}/{kind.value}: raw stream changed "
+                f"({result.n_raw} vs golden {expected['n_raw']})"
+            )
+            assert result.coalescing_efficiency == pytest.approx(
+                expected["coalescing_efficiency"], abs=TOLERANCE
+            ), f"{bench}/{kind.value}: coalescing efficiency drifted"
+            assert result.transaction_efficiency == pytest.approx(
+                expected["transaction_efficiency"], abs=TOLERANCE
+            ), f"{bench}/{kind.value}: transaction efficiency drifted"

@@ -1,0 +1,155 @@
+"""Tests for the access-pattern building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.types import PAGE_BYTES
+from repro.workloads import patterns
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestSequential:
+    def test_basic(self):
+        out = patterns.sequential(1000, 4, elem_bytes=8)
+        assert list(out) == [1000, 1008, 1016, 1024]
+
+    def test_start_index(self):
+        out = patterns.sequential(0, 2, elem_bytes=4, start_index=10)
+        assert list(out) == [40, 44]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            patterns.sequential(0, -1)
+
+
+class TestStrided:
+    def test_stride(self):
+        out = patterns.strided(0, 3, stride_bytes=4096)
+        assert list(out) == [0, 4096, 8192]
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            patterns.strided(0, 3, stride_bytes=0)
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = np.array([1, 2])
+        b = np.array([10, 20])
+        assert list(patterns.interleave(a, b)) == [1, 10, 2, 20]
+
+    def test_truncates_to_shortest(self):
+        a = np.array([1, 2, 3])
+        b = np.array([10])
+        assert list(patterns.interleave(a, b)) == [1, 10]
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            patterns.interleave()
+
+
+class TestUniformRandom:
+    def test_range_and_alignment(self):
+        out = patterns.uniform_random(rng(), 4096, 8192, 100, align=8)
+        assert np.all(out >= 4096)
+        assert np.all(out < 4096 + 8192)
+        assert np.all(out % 8 == 0)
+
+    def test_region_too_small(self):
+        with pytest.raises(ValueError):
+            patterns.uniform_random(rng(), 0, 4, 10, align=8)
+
+
+class TestPageClusteredRandom:
+    def test_bursts_share_page(self):
+        out = patterns.page_clustered_random(
+            rng(), 0, 1 << 24, 400, burst=4, spread_bytes=512
+        )
+        bursts = out.reshape(-1, 4)
+        assert np.all(bursts // PAGE_BYTES == (bursts[:, :1] // PAGE_BYTES))
+
+    def test_stays_in_region(self):
+        out = patterns.page_clustered_random(rng(), 1 << 20, 1 << 22, 1000)
+        assert np.all(out >= 1 << 20)
+        assert np.all(out < (1 << 20) + (1 << 22))
+
+    def test_spread_bounded(self):
+        out = patterns.page_clustered_random(
+            rng(), 0, 1 << 24, 40, burst=4, spread_bytes=256
+        )
+        bursts = out.reshape(-1, 4)
+        spans = bursts.max(axis=1) - bursts.min(axis=1)
+        assert np.all(spans <= 256)
+
+    def test_count_not_multiple_of_burst(self):
+        out = patterns.page_clustered_random(rng(), 0, 1 << 24, 10, burst=4)
+        assert len(out) == 10
+
+    def test_invalid_burst(self):
+        with pytest.raises(ValueError):
+            patterns.page_clustered_random(rng(), 0, 1 << 24, 10, burst=0)
+
+
+class TestPowerlawVertices:
+    def test_in_range(self):
+        out = patterns.powerlaw_vertices(rng(), 1000, 5000, alpha=1.5)
+        assert out.min() >= 0
+        assert out.max() < 1000
+
+    def test_skew(self):
+        out = patterns.powerlaw_vertices(rng(), 100000, 20000, alpha=1.8)
+        # Low ids (hubs) dominate under a power law.
+        assert np.mean(out < 1000) > 0.3
+
+    def test_single_vertex(self):
+        out = patterns.powerlaw_vertices(rng(), 1, 10)
+        assert np.all(out == 0)
+
+    def test_alpha_one_branch(self):
+        out = patterns.powerlaw_vertices(rng(), 1000, 100, alpha=1.0)
+        assert np.all((out >= 0) & (out < 1000))
+
+
+class TestCsrGraph:
+    def test_shapes_consistent(self):
+        offsets, targets = patterns.csr_graph(rng(), 500, 4)
+        assert len(offsets) == 501
+        assert offsets[0] == 0
+        assert offsets[-1] == len(targets)
+        assert np.all(np.diff(offsets) >= 1)
+
+    def test_targets_in_range(self):
+        offsets, targets = patterns.csr_graph(rng(), 200, 3)
+        assert np.all((targets >= 0) & (targets < 200))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            patterns.csr_graph(rng(), 0, 4)
+
+
+class TestTileAddresses:
+    def test_wraps_within_tile(self):
+        out = patterns.tile_addresses(0, tile_id=2, tile_bytes=64, count=10)
+        assert np.all(out >= 128)
+        assert np.all(out < 192)
+
+    def test_sequential_prefix(self):
+        out = patterns.tile_addresses(1000, 0, 8192, 4)
+        assert list(out) == [1000, 1008, 1016, 1024]
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=8),
+)
+def test_page_clustered_property(count, burst):
+    out = patterns.page_clustered_random(
+        np.random.default_rng(0), 0, 1 << 22, count, burst=burst
+    )
+    assert len(out) == count
+    assert np.all(out % 8 == 0)

@@ -1,0 +1,142 @@
+"""Quantitative per-suite signature tests.
+
+Each of the 14 benchmarks commits to the access-pattern properties that
+drive its paper-reported behaviour. These tests pin those properties at
+the trace level, independent of the cache/coalescer models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.types import CACHE_LINE_BYTES, MemOp, PAGE_BYTES
+from repro.workloads import get_workload
+
+N = 6000
+
+
+def trace_of(name, n=N, cores=4, seed=9):
+    return get_workload(name, seed=seed).generate(n, n_cores=cores)
+
+
+def sequential_fraction(trace, max_lag=4):
+    """Best per-core fraction of accesses continuing a small positive
+    stride at *some* lag up to ``max_lag`` — interleaved array sweeps
+    (load b[i], load c[i], store a[i], ...) are sequential at their
+    interleave period, not at lag 1."""
+    best = 0.0
+    for lag in range(1, max_lag + 1):
+        total = 0
+        seq = 0
+        for c in np.unique(trace.cores):
+            addrs = trace.addrs[trace.cores == c]
+            if len(addrs) <= lag:
+                continue
+            deltas = addrs[lag:] - addrs[:-lag]
+            total += len(deltas)
+            seq += int(np.sum((deltas > 0) & (deltas <= 64)))
+        if total:
+            best = max(best, seq / total)
+    return best
+
+
+class TestDenseSuites:
+    @pytest.mark.parametrize("name", ["stream", "sort", "lu"])
+    def test_mostly_sequential(self, name):
+        assert sequential_fraction(trace_of(name)) > 0.5
+
+    def test_sparselu_block_dense(self):
+        trace = trace_of("sparselu", cores=1)
+        pages = trace.addrs // PAGE_BYTES
+        accesses_per_page = len(trace) / len(np.unique(pages))
+        assert accesses_per_page > 100  # dense 2-page task blocks
+
+    def test_ep_write_dominated(self):
+        trace = trace_of("ep")
+        assert trace.store_fraction() > 0.5
+
+    def test_mg_mixes_unit_and_stride2(self):
+        trace = trace_of("mg", cores=1)
+        deltas = np.diff(trace.addrs)
+        assert np.sum(deltas == 8) > 0
+        assert np.sum(np.abs(deltas) == 16) > 0
+
+
+class TestSparseSuites:
+    @pytest.mark.parametrize("name", ["bfs", "cg", "ssca2"])
+    def test_wide_page_footprint(self, name):
+        trace = trace_of(name)
+        # Far more pages touched than the dense suites at equal length.
+        assert trace.unique_pages() > trace_of("sparselu").unique_pages()
+
+    def test_bfs_probes_dominate(self):
+        trace = trace_of("bfs", cores=1)
+        # 8B probes outnumber the 4B neighbour-id reads.
+        n8 = int(np.sum(trace.sizes == 8))
+        n4 = int(np.sum(trace.sizes == 4))
+        assert n8 > n4
+
+    def test_sp_touches_many_arrays(self):
+        trace = trace_of("sp", cores=1)
+        # 10 state arrays: >= 8 distinct 1MB-aligned regions in use.
+        regions = np.unique(trace.addrs >> 20)
+        assert len(regions) >= 8
+
+    def test_cg_gathers_scattered(self):
+        trace = trace_of("cg", cores=1)
+        # The x-gather column (every 3rd access) spans many pages.
+        gathers = trace.addrs[2::3][:500]
+        assert len(np.unique(gathers // PAGE_BYTES)) > 100
+
+
+class TestStructuredSuites:
+    def test_gs_bursts_page_local(self):
+        trace = trace_of("gs", cores=1)
+        pages = trace.addrs // PAGE_BYTES
+        # Long same-page runs (the bucket bursts).
+        run_lengths = np.diff(np.flatnonzero(np.diff(pages) != 0))
+        assert np.median(run_lengths) >= 3
+
+    def test_hpcg_stencil_three_planes(self):
+        trace = trace_of("hpcg", cores=1)
+        # The x-gather stream visits three z-plane neighbourhoods: the
+        # gather deltas include +-plane-sized jumps.
+        deltas = np.abs(np.diff(trace.addrs))
+        assert np.sum(deltas > 8 * 1024) > 0
+
+    def test_fft_strided_pairs(self):
+        trace = trace_of("fft", cores=1)
+        deltas = np.abs(np.diff(trace.addrs.astype(np.int64)))
+        big = deltas[deltas > 256]
+        # Butterfly partners are power-of-two strides apart (x16 bytes).
+        assert len(big) > 0
+        strides = np.unique(big)
+        pow2 = [s for s in strides if (s & (s - 1)) == 0]
+        assert len(pow2) >= 1
+
+    def test_pr_alternates_sequential_and_gather(self):
+        trace = trace_of("pr", cores=1)
+        # Target-id reads (every other access within a vertex's edge
+        # group) advance 4 bytes at lag 2: a partial sequential backbone
+        # under scattered rank gathers.
+        frac = sequential_fraction(trace, max_lag=2)
+        assert 0.0 < frac < 0.8  # a genuine mix, not a pure sweep
+
+
+class TestOpMixes:
+    @pytest.mark.parametrize("name", ["stream", "sort", "fft", "ep"])
+    def test_declared_store_fraction_tracks(self, name):
+        gen = get_workload(name, seed=9)
+        trace = gen.generate(N, n_cores=4)
+        assert trace.store_fraction() == pytest.approx(
+            gen.spec.store_fraction, abs=0.15
+        )
+
+    @pytest.mark.parametrize(
+        "name",
+        ["bfs", "cg", "ep", "fft", "gs", "hpcg", "lu", "mg", "pr",
+         "sort", "sp", "sparselu", "ssca2", "stream"],
+    )
+    def test_only_loads_and_stores(self, name):
+        trace = trace_of(name, n=2000)
+        ops = set(np.unique(trace.ops))
+        assert ops <= {int(MemOp.LOAD), int(MemOp.STORE)}
