@@ -9,7 +9,10 @@ Commands
 ``ablation``  Run a design-choice sweep (timeout, streams, ddr, ...).
 ``validate``  Check every committed paper shape claim.
 ``report``    Regenerate the full EXPERIMENTS.md report to stdout.
-``trace``     Export a benchmark's CPU or raw request stream to .npz.
+``trace``     Print a run's per-window telemetry timeline (MAQ occupancy,
+              bank conflicts, bypass rate, ...), optionally exporting the
+              probes as CSV/JSON — or, with an output path, export the
+              benchmark's CPU or raw request stream to .npz.
 ``config``    Print the Table 1 configuration.
 """
 
@@ -110,13 +113,46 @@ def main(argv=None) -> int:
     )
 
     p_trace = sub.add_parser(
-        "trace", help="export a benchmark's raw request stream to .npz"
+        "trace",
+        help="per-window telemetry timeline (or .npz stream export)",
     )
     p_trace.add_argument("benchmark", choices=BENCHMARK_NAMES)
-    p_trace.add_argument("output", help="output .npz path")
+    p_trace.add_argument(
+        "output", nargs="?", default=None,
+        help="optional .npz path: when given, export the request stream "
+             "instead of printing the telemetry timeline",
+    )
     p_trace.add_argument(
         "--stage", choices=["cpu", "raw"], default="raw",
-        help="'cpu' = translated access trace; 'raw' = LLC miss stream",
+        help="'cpu' = translated access trace; 'raw' = LLC miss stream "
+             "(.npz export mode only)",
+    )
+    # Subparser options must not share a dest with the global options:
+    # argparse applies subparser defaults after the main parse, which
+    # would clobber `repro --accesses N trace ...`.
+    p_trace.add_argument(
+        "--accesses", type=int, default=None, dest="trace_accesses",
+        help="trace length (overrides the global --accesses)",
+    )
+    p_trace.add_argument(
+        "--seed", type=int, default=None, dest="trace_seed",
+        help="RNG seed (overrides the global --seed)",
+    )
+    p_trace.add_argument(
+        "--coalescer", choices=[k.value for k in CoalescerKind],
+        default="pac", help="arm to instrument (timeline mode)",
+    )
+    p_trace.add_argument(
+        "--window", type=int, default=None,
+        help="telemetry window width in cycles (default 1024)",
+    )
+    p_trace.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the long-form probe CSV to PATH",
+    )
+    p_trace.add_argument(
+        "--json", metavar="PATH", default=None, dest="trace_json",
+        help="also write the full probe registry as JSON to PATH",
     )
 
     args = parser.parse_args(argv)
@@ -201,9 +237,57 @@ def main(argv=None) -> int:
         from repro.engine.system import System
         from repro.mem.trace import AccessTrace
 
+        n_accesses = (
+            args.trace_accesses
+            if args.trace_accesses is not None
+            else args.accesses
+        )
+        seed = args.trace_seed if args.trace_seed is not None else args.seed
+
+        if args.output is None:
+            # Telemetry timeline mode: run the benchmark with probes on
+            # and print the merged per-window table.
+            from repro.telemetry import (
+                TelemetryRegistry,
+                timeline_rows,
+                write_csv,
+            )
+
+            registry = (
+                TelemetryRegistry(window_cycles=args.window)
+                if args.window
+                else TelemetryRegistry()
+            )
+            result = run_benchmark(
+                args.benchmark,
+                coalescer=CoalescerKind(args.coalescer),
+                n_accesses=n_accesses,
+                seed=seed,
+                telemetry=registry,
+            )
+            rows = timeline_rows(registry)
+            title = (
+                f"{args.benchmark} / {args.coalescer} — "
+                f"{len(rows)} windows x {registry.window_cycles} cycles"
+            )
+            print(render_table(rows, title=title))
+            print(
+                f"  n_raw={result.n_raw:,}  n_issued={result.n_issued:,}  "
+                f"bank_conflicts={result.bank_conflicts:,}  "
+                f"probes={len(registry.probe_names())}"
+            )
+            if args.csv:
+                n = write_csv(registry, args.csv)
+                print(f"wrote {n:,} probe-window rows to {args.csv}")
+            if args.trace_json:
+                with open(args.trace_json, "w") as fh:
+                    fh.write(registry.to_json(indent=2))
+                print(f"wrote probe registry JSON to {args.trace_json}")
+            return 0
+
         system = System(TABLE1, CoalescerKind.NONE)
         trace = system.build_trace(
-            [args.benchmark], args.accesses, seed=args.seed
+            [args.benchmark], n_accesses, seed=seed
         )
         if args.stage == "cpu":
             trace.save(args.output)

@@ -43,6 +43,7 @@ from repro.common.types import MemOp, MemoryRequest, PAGE_BYTES
 from repro.config import CacheConfig
 from repro.cache.setassoc import SetAssociativeCache
 from repro.mem.trace import AccessTrace
+from repro.telemetry import NULL_TELEMETRY
 
 #: Streamer prefetch region: matches the HMC row / maximum packet size.
 PREFETCH_REGION_BYTES = 256
@@ -81,6 +82,7 @@ class CacheHierarchy:
         secondary_cap: int = DEFAULT_SECONDARY_CAP,
         lookahead_window: int = DEFAULT_LOOKAHEAD,
         prefetch_enabled: bool = True,
+        probes=NULL_TELEMETRY,
     ) -> None:
         if n_cores <= 0:
             raise ValueError("need at least one core")
@@ -110,6 +112,15 @@ class CacheHierarchy:
             config.llc_bytes, config.llc_ways, config.line_bytes, "llc"
         )
         self.stats = StatsRegistry("hierarchy")
+        self._probes_on = probes.enabled
+        #: `raw_requests` counts *every* request entering the coalescer
+        #: (demand + secondary + prefetch + write-back + atomic + fence) —
+        #: the per-window load the `repro trace` timeline leads with.
+        self._t_raw = probes.counter("raw_requests")
+        self._t_demand = probes.counter("demand_misses")
+        self._t_secondary = probes.counter("secondary_raw")
+        self._t_prefetch = probes.counter("prefetch_raw")
+        self._t_writebacks = probes.counter("writebacks")
 
     # ------------------------------------------------------------------ #
 
@@ -147,8 +158,13 @@ class CacheHierarchy:
         ]
         core_pos = [0] * self.n_cores
 
+        t_raw = self._t_raw
+        probes_on = self._probes_on
+
         def emit(addr, op, core, cycle, size=None):
             raw_count.add()
+            if probes_on:
+                t_raw.add(cycle)
             out.append(
                 MemoryRequest(addr=addr, size=size if size else line,
                               op=op, core_id=core, cycle=cycle)
@@ -156,6 +172,9 @@ class CacheHierarchy:
 
         def emit_wb(addr, core, cycle):
             wb_count.add()
+            if probes_on:
+                t_raw.add(cycle)
+                self._t_writebacks.add(cycle)
             out.append(
                 MemoryRequest(addr=addr, size=line, op=MemOp.STORE,
                               core_id=core, cycle=cycle)
@@ -179,6 +198,8 @@ class CacheHierarchy:
                 self.l1s[core].invalidate(line_addr)
                 self.llc.invalidate(line_addr)
                 self.stats.counter("atomics").add()
+                if probes_on:
+                    t_raw.add(cycle)
                 out.append(
                     MemoryRequest(
                         addr=addr, size=int(trace.sizes[i]),
@@ -190,6 +211,8 @@ class CacheHierarchy:
                 # Fences carry no data; they propagate as markers that
                 # drain the coalescer's stage 1 (Section 3.3.1).
                 self.stats.counter("fences").add()
+                if probes_on:
+                    t_raw.add(cycle)
                 out.append(
                     MemoryRequest(
                         addr=line_addr, size=line, op=MemOp.FENCE,
@@ -215,6 +238,8 @@ class CacheHierarchy:
 
             # LLC demand miss -> primary raw request.
             op = MemOp.STORE if is_store else MemOp.LOAD
+            if probes_on:
+                self._t_demand.add(cycle)
             if fine_grain:
                 emit(addr, op, core, cycle, size=int(trace.sizes[i]))
             else:
@@ -231,6 +256,8 @@ class CacheHierarchy:
                     future = int(addrs[j])
                     if future - (future % line) == line_addr:
                         secondary_count.add()
+                        if probes_on:
+                            self._t_secondary.add(cycle)
                         if fine_grain:
                             emit(future, op, core, cycle,
                                  size=int(trace.sizes[j]))
@@ -283,6 +310,8 @@ class CacheHierarchy:
                 if wb is not None:
                     emit_wb(wb, core, cycle)
                 prefetch_count.add()
+                if self._probes_on:
+                    self._t_prefetch.add(cycle)
                 emit(pf, op, core, cycle)
             pf += line
 

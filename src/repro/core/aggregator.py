@@ -17,6 +17,7 @@ from repro.common.stats import StatsRegistry
 from repro.common.types import MemOp, MemoryRequest
 from repro.core.protocols import MemoryProtocol
 from repro.core.stream import CoalescingStream, new_stream
+from repro.telemetry import NULL_TELEMETRY
 
 
 class PagedRequestAggregator:
@@ -27,6 +28,7 @@ class PagedRequestAggregator:
         protocol: MemoryProtocol,
         n_streams: int = 16,
         timeout_cycles: int = 16,
+        probes=NULL_TELEMETRY,
     ) -> None:
         if n_streams <= 0:
             raise ValueError("need at least one coalescing stream")
@@ -37,6 +39,11 @@ class PagedRequestAggregator:
         self.timeout_cycles = timeout_cycles
         self.streams: List[CoalescingStream] = []
         self.stats = StatsRegistry("pra")
+        self._probes_on = probes.enabled
+        self._t_alloc = probes.counter("allocations")
+        self._t_merge = probes.counter("merged_inserts")
+        self._t_forced = probes.counter("forced_flushes")
+        self._t_occupancy = probes.gauge("occupancy")
         #: Lower bound on the earliest stream deadline — lets expire()
         #: early-out without scanning (exact after every expire()).
         self._min_deadline: Optional[int] = None
@@ -82,11 +89,15 @@ class PagedRequestAggregator:
         # One parallel comparator sweep across all active streams.
         self.stats.counter("comparisons").add(len(self.streams))
         self.stats.histogram("occupancy_at_insert").add(len(self.streams))
+        if self._probes_on:
+            self._t_occupancy.observe(now, len(self.streams))
 
         for stream in self.streams:
             if stream.matches(req):
                 stream.add(req, now)
                 self.stats.counter("merged_inserts").add()
+                if self._probes_on:
+                    self._t_merge.add(now)
                 return []
 
         flushed: List[CoalescingStream] = []
@@ -97,11 +108,15 @@ class PagedRequestAggregator:
             self.streams.remove(oldest)
             flushed.append(oldest)
             self.stats.counter("forced_flushes").add()
+            if self._probes_on:
+                self._t_forced.add(now)
         self.streams.append(new_stream(req, self.protocol, now))
         deadline = now + self.timeout_cycles
         if self._min_deadline is None or deadline < self._min_deadline:
             self._min_deadline = deadline
         self.stats.counter("allocations").add()
+        if self._probes_on:
+            self._t_alloc.add(now)
         return flushed
 
     def fence(self, now: int) -> List[CoalescingStream]:

@@ -13,6 +13,7 @@ from repro.common.stats import StatsRegistry
 from repro.common.types import CoalescedRequest, PAGE_BYTES
 from repro.core.decoder import BlockSequence
 from repro.core.protocols import CoalescingTable, MemoryProtocol
+from repro.telemetry import NULL_TELEMETRY
 
 #: Table lookup latency per block sequence, cycles.
 LOOKUP_CYCLES = 1
@@ -23,12 +24,21 @@ ASSEMBLE_CYCLES = 1
 class RequestAssembler:
     """Turns block sequences into protocol-legal coalesced packets."""
 
-    def __init__(self, protocol: MemoryProtocol, table: CoalescingTable = None) -> None:
+    def __init__(
+        self,
+        protocol: MemoryProtocol,
+        table: CoalescingTable = None,
+        probes=NULL_TELEMETRY,
+    ) -> None:
         self.protocol = protocol
         # The 16-entry coalescing table is shared by all request
         # assemblers (Section 5.3.3); callers may pass a shared instance.
         self.table = table if table is not None else CoalescingTable(protocol)
         self.stats = StatsRegistry("assembler")
+        self._probes_on = probes.enabled
+        self._t_packets = probes.counter("packets")
+        self._t_cycles = probes.gauge("cycles")
+        self._t_packet_bytes = probes.histogram("packet_bytes")
 
     def assemble(
         self, seq: BlockSequence, start_cycle: int
@@ -72,4 +82,9 @@ class RequestAssembler:
         self.stats.counter("sequences_assembled").add()
         self.stats.counter("packets_produced").add(len(packets))
         self.stats.accumulator("stage3_cycles").add(cycle - start_cycle)
+        if self._probes_on:
+            self._t_packets.add(start_cycle, len(packets))
+            self._t_cycles.observe(start_cycle, cycle - start_cycle)
+            for packet in packets:
+                self._t_packet_bytes.add(packet.size)
         return packets, cycle

@@ -17,6 +17,7 @@ from repro.common import bitops
 from repro.common.stats import StatsRegistry
 from repro.core.protocols import MemoryProtocol
 from repro.core.stream import CoalescingStream
+from repro.telemetry import NULL_TELEMETRY
 
 #: Decode + first store, in cycles (Section 3.3.2: "the latency of the
 #: decoding procedure is restricted to 2 pipeline cycles").
@@ -41,9 +42,12 @@ class BlockSequence:
 class BlockMapDecoder:
     """Decodes flushed streams into block sequences."""
 
-    def __init__(self, protocol: MemoryProtocol) -> None:
+    def __init__(self, protocol: MemoryProtocol, probes=NULL_TELEMETRY) -> None:
         self.protocol = protocol
         self.stats = StatsRegistry("decoder")
+        self._probes_on = probes.enabled
+        self._t_sequences = probes.counter("sequences")
+        self._t_cycles = probes.gauge("cycles")
 
     def decode(
         self, stream: CoalescingStream, flush_cycle: int
@@ -83,4 +87,9 @@ class BlockMapDecoder:
             self.stats.accumulator("stage2_cycles").add(
                 DECODE_CYCLES + len(sequences) - 1
             )
+            if self._probes_on:
+                self._t_sequences.add(flush_cycle, len(sequences))
+                self._t_cycles.observe(
+                    flush_cycle, DECODE_CYCLES + len(sequences) - 1
+                )
         return sequences

@@ -13,18 +13,23 @@ from typing import List, Optional, Tuple
 from repro.common.fifo import BoundedFIFO
 from repro.common.stats import StatsRegistry
 from repro.common.types import CoalescedRequest
+from repro.telemetry import NULL_TELEMETRY
 
 
 class MemoryAccessQueue:
     """Bounded FIFO of coalesced packets with fill-latency accounting."""
 
-    def __init__(self, capacity: int = 16) -> None:
+    def __init__(self, capacity: int = 16, probes=NULL_TELEMETRY) -> None:
         self._fifo: BoundedFIFO[Tuple[CoalescedRequest, int]] = BoundedFIFO(
             capacity, "maq"
         )
         self.capacity = capacity
         self.stats = StatsRegistry("maq")
         self._episode_start: Optional[int] = None
+        self._probes_on = probes.enabled
+        self._t_occupancy = probes.gauge("occupancy")
+        self._t_full_stalls = probes.counter("full_stalls")
+        self._t_fill_cycles = probes.gauge("fill_cycles")
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -44,15 +49,20 @@ class MemoryAccessQueue:
         subsequently blocked")."""
         if self._fifo.full:
             self.stats.counter("full_stalls").add()
+            if self._probes_on:
+                self._t_full_stalls.add(ready_cycle)
             return False
         if self._fifo.empty:
             self._episode_start = ready_cycle
         self._fifo.push((packet, ready_cycle))
+        if self._probes_on:
+            self._t_occupancy.observe(ready_cycle, len(self._fifo))
         if self._fifo.full and self._episode_start is not None:
             # Fill episode complete: empty -> full (Figure 12b).
-            self.stats.accumulator("fill_cycles").add(
-                max(0, ready_cycle - self._episode_start)
-            )
+            fill = max(0, ready_cycle - self._episode_start)
+            self.stats.accumulator("fill_cycles").add(fill)
+            if self._probes_on:
+                self._t_fill_cycles.observe(ready_cycle, fill)
             self._episode_start = None
         return True
 

@@ -23,20 +23,33 @@ from repro.core.assembler import RequestAssembler
 from repro.core.decoder import BlockMapDecoder
 from repro.core.protocols import CoalescingTable, MemoryProtocol
 from repro.core.stream import CoalescingStream
+from repro.telemetry import NULL_TELEMETRY
 
 #: Exit latency of a C=0 stream that skips stages 2–3.
 BYPASS_CYCLES = 1
 
 
 class CoalescingNetwork:
-    """Stages 2–3 of the pipeline, shared coalescing table included."""
+    """Stages 2–3 of the pipeline, shared coalescing table included.
 
-    def __init__(self, protocol: MemoryProtocol) -> None:
+    ``probes`` is the *coalescer-level* telemetry scope: the network
+    claims its own ``network`` namespace and hands ``stage2``/``stage3``
+    sub-scopes to the decoder and assembler.
+    """
+
+    def __init__(self, protocol: MemoryProtocol, probes=NULL_TELEMETRY) -> None:
         self.protocol = protocol
         self.table = CoalescingTable(protocol)
-        self.decoder = BlockMapDecoder(protocol)
-        self.assembler = RequestAssembler(protocol, table=self.table)
+        self.decoder = BlockMapDecoder(protocol, probes=probes.scope("stage2"))
+        self.assembler = RequestAssembler(
+            protocol, table=self.table, probes=probes.scope("stage3")
+        )
         self.stats = StatsRegistry("network")
+        net_probes = probes.scope("network")
+        self._probes_on = probes.enabled
+        self._t_bypassed = net_probes.counter("bypassed_requests")
+        self._t_coalesced = net_probes.counter("coalesced_requests")
+        self._t_pipeline_cycles = net_probes.gauge("stream_pipeline_cycles")
 
     def flush_stream(
         self, stream: CoalescingStream, flush_cycle: int
@@ -52,6 +65,8 @@ class CoalescingNetwork:
             # (one 64B grain on HMC; e.g. two 32B grains on HBM).
             self.stats.counter("bypassed_streams").add()
             self.stats.counter("bypassed_requests").add(stream.n_requests)
+            if self._probes_on:
+                self._t_bypassed.add(flush_cycle, stream.n_requests)
             grains = sorted(stream.grain_requests)
             first, last = grains[0], grains[-1]
             packet = CoalescedRequest(
@@ -68,6 +83,8 @@ class CoalescingNetwork:
 
         self.stats.counter("coalesced_streams").add()
         self.stats.counter("coalesced_requests").add(stream.n_requests)
+        if self._probes_on:
+            self._t_coalesced.add(flush_cycle, stream.n_requests)
         sequences = self.decoder.decode(stream, flush_cycle)
         packets: List[CoalescedRequest] = []
         # Sequences pop from the block sequence buffer in FIFO order and
@@ -82,4 +99,6 @@ class CoalescingNetwork:
         self.stats.accumulator("stream_pipeline_cycles").add(
             stage3_free - flush_cycle
         )
+        if self._probes_on:
+            self._t_pipeline_cycles.observe(flush_cycle, stage3_free - flush_cycle)
         return packets

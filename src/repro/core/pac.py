@@ -37,6 +37,7 @@ from repro.core.network import CoalescingNetwork
 from repro.core.protocols import HMC2, HMC2_FINE, MemoryProtocol
 from repro.mshr.adaptive import AdaptiveMSHRFile
 from repro.mshr.dmc import Coalescer, CoalesceOutcome, MemoryDevice
+from repro.telemetry import NULL_TELEMETRY
 
 #: Sampling period for coalescing-stream occupancy (Figure 11b: "we
 #: accumulate the number of occupied coalescing streams every 16 cycles").
@@ -50,6 +51,7 @@ class PagedAdaptiveCoalescer(Coalescer):
         self,
         config: PACConfig = None,
         protocol: MemoryProtocol = None,
+        probes=NULL_TELEMETRY,
     ) -> None:
         super().__init__("pac")
         self.config = config if config is not None else PACConfig()
@@ -60,13 +62,26 @@ class PagedAdaptiveCoalescer(Coalescer):
             protocol,
             n_streams=self.config.n_streams,
             timeout_cycles=self.config.timeout_cycles,
+            probes=probes.scope("stage1"),
         )
-        self.network = CoalescingNetwork(protocol)
-        self.maq = MemoryAccessQueue(self.config.maq_entries)
-        self.mshrs = AdaptiveMSHRFile(self.config.n_mshrs, name="pac.amshr")
+        self.network = CoalescingNetwork(protocol, probes=probes)
+        maq_probes = probes.scope("maq")
+        self.maq = MemoryAccessQueue(self.config.maq_entries, probes=maq_probes)
+        self.mshrs = AdaptiveMSHRFile(
+            self.config.n_mshrs, name="pac.amshr", probes=probes.scope("mshr")
+        )
         #: Network controller state: disabled while idle (Section 3.2).
         self.network_enabled = not self.config.idle_bypass
         self._last_sample = 0
+        # Controller-level probes (the `repro trace` bypass-rate series
+        # joins direct_requests with the network's bypass counters).
+        ctrl = probes.scope("controller")
+        self._probes_on = probes.enabled
+        self._t_direct = ctrl.counter("direct_requests")
+        self._t_enables = ctrl.counter("network_enables")
+        self._t_disables = ctrl.counter("network_disables")
+        self._t_entry_wait = ctrl.gauge("entry_wait")
+        self._t_maq_occupancy = maq_probes.gauge("occupancy")
 
     # ------------------------------------------------------------------ #
     # main loop
@@ -94,6 +109,8 @@ class PagedAdaptiveCoalescer(Coalescer):
             # miss — so the open-loop backlog does not inflate it.
             self._arrivals[req.req_id] = now
             out.stall_cycles += now - req.cycle
+            if self._probes_on:
+                self._t_entry_wait.observe(now, now - req.cycle)
             self._entry_clock = now + 1
             self._advance(now)
 
@@ -127,6 +144,8 @@ class PagedAdaptiveCoalescer(Coalescer):
                 if self.mshrs.full:
                     self.network_enabled = True
                     self.stats.counter("network_enables").add()
+                    if self._probes_on:
+                        self._t_enables.add(now)
                 else:
                     self._direct_to_mshr(req, now)
                     latency_acc.add(1.0)
@@ -219,6 +238,8 @@ class PagedAdaptiveCoalescer(Coalescer):
         ):
             self.network_enabled = False
             self.stats.counter("network_disables").add()
+            if self._probes_on:
+                self._t_disables.add(now)
 
     def _flush_stream(self, stream, flush_cycle: int) -> None:
         """Send a stage-1 stream through the network and into the MAQ."""
@@ -285,6 +306,8 @@ class PagedAdaptiveCoalescer(Coalescer):
         merged = self.mshrs.try_merge_packet(packet)
         if merged is not None:
             self.maq.pop()
+            if self._probes_on:
+                self._t_maq_occupancy.observe(ready, len(self.maq))
             self._out.n_merged += packet.n_raw
             if merged.release_cycle is not None:
                 self._account_packet(packet, merged.release_cycle)
@@ -316,6 +339,8 @@ class PagedAdaptiveCoalescer(Coalescer):
             merged = self.mshrs.try_merge_packet(packet)
             if merged is not None:
                 self.maq.pop()
+                if self._probes_on:
+                    self._t_maq_occupancy.observe(t, len(self.maq))
                 self._out.n_merged += packet.n_raw
                 if merged.release_cycle is not None:
                     self._account_packet(packet, merged.release_cycle)
@@ -323,6 +348,8 @@ class PagedAdaptiveCoalescer(Coalescer):
                 return t
 
         self.maq.pop()
+        if self._probes_on:
+            self._t_maq_occupancy.observe(t, len(self.maq))
         slot, _ = self.mshrs.allocate_packet(packet, t)
         completion = self._memory.submit(packet, t)
         self.mshrs.schedule_release(slot, completion)
@@ -338,6 +365,8 @@ class PagedAdaptiveCoalescer(Coalescer):
         """Network-disabled fast path: raw request straight to the MSHRs."""
         self.mshrs.advance(now)
         self.stats.counter("direct_requests").add()
+        if self._probes_on:
+            self._t_direct.add(now)
         self.stats.counter("direct_cam_comparisons").add(self.mshrs.occupancy)
         grain = self.protocol.grain_bytes
         base = req.addr - (req.addr % grain)

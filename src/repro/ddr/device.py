@@ -26,6 +26,7 @@ from typing import Dict, Tuple
 from repro.common.stats import StatsRegistry
 from repro.common.types import CoalescedRequest
 from repro.hmc.power import EnergyModel
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -69,13 +70,19 @@ class _Bank:
 class DDRDevice:
     """Open-page DDR4 behind per-channel shared data buses."""
 
-    def __init__(self, config: DDRConfig = None) -> None:
+    def __init__(self, config: DDRConfig = None, probes=NULL_TELEMETRY) -> None:
         self.config = config if config is not None else DDRConfig()
         cfg = self.config
         self._banks: Dict[Tuple[int, int], _Bank] = {}
         self._bus_busy_until = [0] * cfg.n_channels
         self.energy = EnergyModel()
         self.stats = StatsRegistry("ddr")
+        self._probes_on = probes.enabled
+        self._t_packets = probes.counter("packets")
+        self._t_latency = probes.gauge("latency_cycles")
+        self._t_conflicts = probes.scope("banks").counter("conflicts")
+        self._t_activations = probes.scope("banks").counter("activations")
+        self._t_energy = probes.counter("energy_pj")
 
     # -- address mapping -------------------------------------------------- #
 
@@ -103,11 +110,14 @@ class DDRDevice:
         channel, bank_id, row = self.locate(packet.addr)
         bank = self._banks.setdefault((channel, bank_id), _Bank())
 
+        pj_before = self.energy.total_pj if self._probes_on else 0.0
         start = max(cycle, bank.busy_until)
         if bank.open_row is None:
             access = cfg.row_empty_cycles
             self.stats.counter("row_empties").add()
             self.energy.charge("DRAM-ACTIVATE", 1)
+            if self._probes_on:
+                self._t_activations.add(cycle)
         elif bank.open_row == row:
             access = cfg.row_hit_cycles
             self.stats.counter("row_hits").add()
@@ -115,6 +125,9 @@ class DDRDevice:
             access = cfg.row_conflict_cycles
             self.stats.counter("row_conflicts").add()
             self.energy.charge("DRAM-ACTIVATE", 1)
+            if self._probes_on:
+                self._t_activations.add(cycle)
+                self._t_conflicts.add(cycle)
         bank.open_row = row  # open-page: row stays open after access
 
         n_bursts = -(-packet.size // cfg.burst_bytes)
@@ -132,6 +145,10 @@ class DDRDevice:
         # (command/address travel on dedicated pins).
         self.stats.counter("transaction_bytes").add(packet.size)
         self.stats.accumulator("latency_cycles").add(completion - cycle)
+        if self._probes_on:
+            self._t_packets.add(cycle)
+            self._t_latency.observe(cycle, completion - cycle)
+            self._t_energy.add(cycle, self.energy.total_pj - pj_before)
         return completion
 
     # -- accounting surface (mirrors HMCDevice) ----------------------------- #

@@ -34,12 +34,15 @@ def run_benchmark(
     fine_grain: bool = False,
     extra_benchmarks: Sequence[str] = (),
     scale=1.0,
+    telemetry=False,
 ) -> RunResult:
     """Run one benchmark through one coalescer configuration.
 
     ``extra_benchmarks`` adds co-running processes (the paper's
     multiprocessing mode); ``fine_grain`` enables the Figure 10b
     data-size coalescing mode; ``device`` selects ``"hmc"`` or ``"hbm"``.
+    ``telemetry=True`` (or a :class:`repro.telemetry.TelemetryRegistry`)
+    collects the windowed probe timeline onto ``result.telemetry``.
     """
     system = System(
         config=config,
@@ -47,6 +50,7 @@ def run_benchmark(
         protocol=protocol,
         device=device,
         fine_grain=fine_grain,
+        telemetry=telemetry,
     )
     return system.run(
         benchmark, n_accesses, seed=seed,
@@ -66,11 +70,13 @@ def run_comparison(
     seed: Optional[int] = None,
     device: str = "hmc",
     extra_benchmarks: Sequence[str] = (),
+    telemetry=False,
 ) -> Dict[CoalescerKind, RunResult]:
     """Run the same trace through several coalescer configurations.
 
     The trace is regenerated identically (same seed) for each arm so the
-    comparison isolates the coalescer.
+    comparison isolates the coalescer. Each arm gets its own telemetry
+    registry when ``telemetry`` is truthy.
     """
     out: Dict[CoalescerKind, RunResult] = {}
     for kind in kinds:
@@ -82,6 +88,7 @@ def run_comparison(
             seed=seed,
             device=device,
             extra_benchmarks=extra_benchmarks,
+            telemetry=bool(telemetry),
         )
     return out
 

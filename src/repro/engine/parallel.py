@@ -21,7 +21,7 @@ from repro.workloads import BENCHMARK_NAMES
 
 
 def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
-    benchmark, kind_value, n_accesses, config, seed, device = args
+    benchmark, kind_value, n_accesses, config, seed, device, telemetry = args
     result = run_benchmark(
         benchmark,
         coalescer=CoalescerKind(kind_value),
@@ -29,6 +29,7 @@ def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
         config=config,
         seed=seed,
         device=device,
+        telemetry=telemetry,
     )
     return (benchmark, kind_value), result
 
@@ -43,15 +44,22 @@ def run_suite_parallel(
     seed: Optional[int] = None,
     device: str = "hmc",
     max_workers: Optional[int] = None,
+    telemetry: bool = False,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (benchmark, kind) pair concurrently.
 
     Returns ``{(benchmark, kind.value): RunResult}``. ``max_workers``
     defaults to the CPU count; pass 1 to force serial execution
     (useful under debuggers and in constrained CI).
+    ``telemetry=True`` attaches a windowed-probe registry to each result
+    (registries pickle back from workers bit-identically).
     """
+    # Resolve the default seed HERE, not in the workers: every job must
+    # carry the same concrete seed so per-benchmark seeds derive
+    # identically regardless of worker count or config pickling.
+    seed = config.seed if seed is None else seed
     jobs = [
-        (bench, kind.value, n_accesses, config, seed, device)
+        (bench, kind.value, n_accesses, config, seed, device, telemetry)
         for bench in benchmarks
         for kind in kinds
     ]

@@ -51,6 +51,11 @@ class RunResult:
     #: (covering packet's completion) — measured per raw request by the
     #: coalescer. 0 when unavailable.
     mean_raw_service_cycles: float = 0.0
+    #: Windowed telemetry collected during the run
+    #: (:class:`repro.telemetry.TelemetryRegistry`); None unless the
+    #: system was built with ``telemetry=True``. Participates in ``==``,
+    #: so the determinism harness compares full timelines.
+    telemetry: Optional[object] = None
 
     @property
     def miss_rate(self) -> float:
@@ -161,6 +166,8 @@ class RunResult:
         }
         if self.cache_metrics:
             out["cache"] = dict(self.cache_metrics)
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.as_dict()
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -178,6 +185,7 @@ def build_result(
     trace_end_cycle: int,
     pac_metrics: Optional[Dict[str, float]] = None,
     cache_metrics: Optional[Dict[str, float]] = None,
+    telemetry=None,
 ) -> RunResult:
     """Assemble a :class:`RunResult` from a coalescer outcome + device."""
     # The run ends when the CPU trace ends or the last memory response
@@ -210,4 +218,5 @@ def build_result(
         energy=device.energy,
         pac_metrics=pac_metrics,
         cache_metrics=cache_metrics,
+        telemetry=telemetry,
     )

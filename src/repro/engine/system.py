@@ -31,6 +31,7 @@ from repro.hmc.hbm import HBMDevice, hbm_config
 from repro.mem.pagetable import FrameAllocator, PageTable
 from repro.mem.trace import AccessTrace
 from repro.mshr.dmc import Coalescer, MSHRBasedDMC, NullCoalescer
+from repro.telemetry import NULL_TELEMETRY, TelemetryRegistry
 from repro.workloads import get_workload
 
 
@@ -54,15 +55,28 @@ class System:
         protocol: Optional[MemoryProtocol] = None,
         device: str = "hmc",
         fine_grain: bool = False,
+        telemetry=False,
     ) -> None:
         self.config = config
         self.kind = coalescer
         self.fine_grain = fine_grain
+        # ``telemetry`` is False (off), True (fresh registry at the
+        # default window), or a caller-supplied TelemetryRegistry (e.g.
+        # with a custom window_cycles).
+        if telemetry is True:
+            self.telemetry = TelemetryRegistry()
+        elif telemetry is False or telemetry is None:
+            self.telemetry = None
+        else:
+            self.telemetry = telemetry
+        probes = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
         if device == "hmc":
-            self.device = HMCDevice(config.hmc)
+            self.device = HMCDevice(config.hmc, probes=probes.scope("device"))
             default_protocol = HMC2_FINE if fine_grain else HMC2
         elif device == "hbm":
-            self.device = HBMDevice(hbm_config())
+            self.device = HBMDevice(
+                hbm_config(), probes=probes.scope("device")
+            )
             from repro.core.protocols import HBM as HBM_PROTO
 
             default_protocol = HBM_PROTO
@@ -71,7 +85,7 @@ class System:
             # bursts. Coalesced packets transfer as consecutive bursts.
             from repro.ddr.device import DDRDevice
 
-            self.device = DDRDevice()
+            self.device = DDRDevice(probes=probes.scope("device"))
             default_protocol = HMC2_FINE if fine_grain else HMC2
         else:
             raise ValueError(f"unknown device {device!r}")
@@ -94,14 +108,19 @@ class System:
             config.cache,
             n_cores=config.n_cores,
             prefetch_enabled=not fine_grain,
+            probes=probes.scope("cache"),
         )
-        self.coalescer = self._build_coalescer()
+        self.coalescer = self._build_coalescer(probes)
 
-    def _build_coalescer(self) -> Coalescer:
+    def _build_coalescer(self, probes=NULL_TELEMETRY) -> Coalescer:
         if self.kind == CoalescerKind.NONE:
-            return NullCoalescer(self.config.pac.n_mshrs)
+            return NullCoalescer(
+                self.config.pac.n_mshrs, probes=probes.scope("none")
+            )
         if self.kind == CoalescerKind.DMC:
-            return MSHRBasedDMC(self.config.pac.n_mshrs)
+            return MSHRBasedDMC(
+                self.config.pac.n_mshrs, probes=probes.scope("dmc")
+            )
         if self.kind == CoalescerKind.SORT:
             from repro.mshr.sorting import SortingNetworkCoalescer
 
@@ -116,7 +135,9 @@ class System:
             from dataclasses import replace
 
             pac_cfg = replace(pac_cfg, fine_grain=True)
-        return PagedAdaptiveCoalescer(pac_cfg, protocol=self.protocol)
+        return PagedAdaptiveCoalescer(
+            pac_cfg, protocol=self.protocol, probes=probes.scope("pac")
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -198,6 +219,7 @@ class System:
             trace_end_cycle=trace_end,
             pac_metrics=pac_metrics,
             cache_metrics=cache_metrics,
+            telemetry=self.telemetry,
         )
 
     def run(

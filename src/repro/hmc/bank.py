@@ -15,6 +15,7 @@ from typing import Dict, Tuple
 
 from repro.common.stats import StatsRegistry
 from repro.mem.address import AddressMap
+from repro.telemetry import NULL_TELEMETRY
 
 
 class BankArray:
@@ -24,6 +25,7 @@ class BankArray:
         self,
         address_map: AddressMap,
         busy_cycles: int = 96,
+        probes=NULL_TELEMETRY,
     ) -> None:
         if busy_cycles <= 0:
             raise ValueError("bank busy time must be positive")
@@ -32,6 +34,10 @@ class BankArray:
         self._busy_until: Dict[Tuple[int, int], int] = {}
         self._access_counts: Dict[Tuple[int, int], int] = {}
         self.stats = StatsRegistry("banks")
+        self._probes_on = probes.enabled
+        self._t_conflicts = probes.counter("conflicts")
+        self._t_activations = probes.counter("activations")
+        self._t_conflict_wait = probes.gauge("conflict_wait")
 
     def access(self, addr: int, size: int, cycle: int) -> Tuple[int, int]:
         """Perform a (possibly multi-row) access beginning at ``cycle``.
@@ -52,6 +58,9 @@ class BankArray:
             busy = self._busy_until.get(key, 0)
             if busy > cycle:
                 conflicts.add()
+                if self._probes_on:
+                    self._t_conflicts.add(cycle)
+                    self._t_conflict_wait.observe(cycle, busy - cycle)
                 start = busy
             else:
                 start = cycle
@@ -59,6 +68,8 @@ class BankArray:
             self._busy_until[key] = end
             self._access_counts[key] = self._access_counts.get(key, 0) + 1
             activations.add()
+            if self._probes_on:
+                self._t_activations.add(cycle)
             finish = max(finish, end)
         return finish, n_rows
 

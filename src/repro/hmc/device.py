@@ -40,7 +40,9 @@ class HMCDevice:
     instance) to record a per-packet latency breakdown.
     """
 
-    def __init__(self, config: HMCConfig = None, telemetry=False) -> None:
+    def __init__(
+        self, config: HMCConfig = None, telemetry=False, probes=None
+    ) -> None:
         self.config = config if config is not None else HMCConfig()
         if telemetry is True:
             from repro.hmc.telemetry import Telemetry
@@ -52,6 +54,10 @@ class HMCDevice:
             # A caller-supplied Telemetry instance (may be empty, which
             # is falsy — compare by identity above, not truthiness).
             self.telemetry = telemetry
+        if probes is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            probes = NULL_TELEMETRY
         cfg = self.config
         self.address_map = AddressMap(
             n_vaults=cfg.n_vaults,
@@ -59,14 +65,25 @@ class HMCDevice:
             row_bytes=cfg.row_bytes,
             policy=cfg.address_policy,
         )
-        self.links = LinkSet(cfg.n_links, cfg.n_vaults)
-        self.vaults = VaultSet(cfg.n_vaults)
-        self.banks = BankArray(self.address_map, cfg.bank_busy_cycles)
+        self.links = LinkSet(
+            cfg.n_links, cfg.n_vaults, probes=probes.scope("links")
+        )
+        self.vaults = VaultSet(cfg.n_vaults, probes=probes.scope("vaults"))
+        self.banks = BankArray(
+            self.address_map, cfg.bank_busy_cycles,
+            probes=probes.scope("banks"),
+        )
         self.energy = EnergyModel()
         self.stats = StatsRegistry("hmc")
         #: When True (HBM), a packet uses the channel its address maps to
         #: instead of the HMC controller's round-robin link choice.
         self.route_by_address = False
+        self._probes_on = probes.enabled
+        self._t_packets = probes.counter("packets")
+        self._t_payload = probes.counter("payload_bytes")
+        self._t_latency = probes.gauge("latency_cycles")
+        self._t_energy = probes.counter("energy_pj")
+        self._t_remote = probes.counter("remote_routes")
 
     def submit(self, packet: CoalescedRequest, cycle: int) -> int:
         """Process one packet; returns the response-arrival cycle."""
@@ -77,6 +94,7 @@ class HMCDevice:
             )
         flits = packet_flits(packet)
         vault = self.address_map.locate(packet.addr).vault
+        pj_before = self.energy.total_pj if self._probes_on else 0.0
 
         # 1. Link serialization (request direction).
         if self.route_by_address:
@@ -129,6 +147,13 @@ class HMCDevice:
         self.stats.counter("payload_bytes").add(packet.size)
         self.stats.counter("transaction_bytes").add(packet.transaction_bytes())
         self.stats.accumulator("latency_cycles").add(completion - cycle)
+        if self._probes_on:
+            self._t_packets.add(cycle)
+            self._t_payload.add(cycle, packet.size)
+            self._t_latency.observe(cycle, completion - cycle)
+            self._t_energy.add(cycle, self.energy.total_pj - pj_before)
+            if not local:
+                self._t_remote.add(cycle)
         if self.telemetry is not None:
             from repro.hmc.telemetry import PacketRecord
 

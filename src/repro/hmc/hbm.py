@@ -35,6 +35,8 @@ def hbm_config(
 class HBMDevice(HMCDevice):
     """High Bandwidth Memory stack: HMC machinery, HBM geometry."""
 
-    def __init__(self, config: HMCConfig = None) -> None:
-        super().__init__(config if config is not None else hbm_config())
+    def __init__(self, config: HMCConfig = None, probes=None) -> None:
+        super().__init__(
+            config if config is not None else hbm_config(), probes=probes
+        )
         self.route_by_address = True

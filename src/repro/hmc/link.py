@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.common.stats import StatsRegistry
+from repro.telemetry import NULL_TELEMETRY
 
 #: Cycles to serialize one FLIT across a link (at the 2GHz model clock a
 #: 16B FLIT per cycle = 32GB/s per link direction — HMC-class bandwidth).
@@ -21,7 +22,9 @@ CYCLES_PER_FLIT = 1
 class LinkSet:
     """The device's external links plus round-robin dispatch state."""
 
-    def __init__(self, n_links: int = 4, n_vaults: int = 32) -> None:
+    def __init__(
+        self, n_links: int = 4, n_vaults: int = 32, probes=NULL_TELEMETRY
+    ) -> None:
         if n_links <= 0:
             raise ValueError("need at least one link")
         if n_vaults % n_links:
@@ -34,6 +37,9 @@ class LinkSet:
         self.req_busy_until: List[int] = [0] * n_links
         self.rsp_busy_until: List[int] = [0] * n_links
         self.stats = StatsRegistry("links")
+        self._probes_on = probes.enabled
+        self._t_request_flits = probes.counter("request_flits")
+        self._t_response_flits = probes.counter("response_flits")
 
     def next_link(self) -> int:
         """Round-robin link selection (the HMC controller policy)."""
@@ -52,6 +58,8 @@ class LinkSet:
         done = start + flits * CYCLES_PER_FLIT
         self.req_busy_until[link] = done
         self.stats.counter("request_flits").add(flits)
+        if self._probes_on:
+            self._t_request_flits.add(cycle, flits)
         return done
 
     def serialize_response(self, link: int, flits: int, cycle: int) -> int:
@@ -59,4 +67,6 @@ class LinkSet:
         done = start + flits * CYCLES_PER_FLIT
         self.rsp_busy_until[link] = done
         self.stats.counter("response_flits").add(flits)
+        if self._probes_on:
+            self._t_response_flits.add(cycle, flits)
         return done

@@ -67,6 +67,17 @@ class EnergyModel:
         for cat, pj in other.picojoules.items():
             self.picojoules[cat] += pj
 
+    def __eq__(self, other) -> bool:
+        """Value equality, so RunResult comparisons (and the parallel ==
+        serial determinism harness) see through the pickle round-trip."""
+        return (
+            isinstance(other, EnergyModel)
+            and self.picojoules == other.picojoules
+        )
+
+    def __repr__(self) -> str:
+        return f"EnergyModel(total={self.total_pj:.1f}pJ)"
+
 
 def savings(baseline: EnergyModel, improved: EnergyModel) -> Dict[str, float]:
     """Fractional per-category savings of ``improved`` vs ``baseline``

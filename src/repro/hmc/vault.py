@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.common.stats import StatsRegistry
+from repro.telemetry import NULL_TELEMETRY
 
 #: Vault controller processing overhead per packet, cycles.
 VAULT_CTRL_CYCLES = 4
@@ -19,12 +20,14 @@ VAULT_CTRL_CYCLES = 4
 class VaultSet:
     """Busy-horizon model of the vault controllers."""
 
-    def __init__(self, n_vaults: int = 32) -> None:
+    def __init__(self, n_vaults: int = 32, probes=NULL_TELEMETRY) -> None:
         if n_vaults <= 0:
             raise ValueError("need at least one vault")
         self.n_vaults = n_vaults
         self._busy_until: List[int] = [0] * n_vaults
         self.stats = StatsRegistry("vaults")
+        self._probes_on = probes.enabled
+        self._t_queue_wait = probes.gauge("queue_wait")
 
     def admit(self, vault: int, cycle: int) -> int:
         """Pass a packet through the vault controller; returns the cycle
@@ -36,6 +39,8 @@ class VaultSet:
         wait = start - cycle
         if wait > 0:
             self.stats.counter("queue_wait_cycles").add(wait)
+        if self._probes_on:
+            self._t_queue_wait.observe(cycle, wait)
         return done
 
     def busy_until(self, vault: int) -> int:

@@ -20,12 +20,15 @@ from repro.common.stats import StatsRegistry
 from repro.common.types import CACHE_LINE_BYTES, CoalescedRequest, MemOp
 from repro.mshr.entry import MSHREntry, Subentry
 from repro.mshr.file import MSHRFileFullError
+from repro.telemetry import NULL_TELEMETRY
 
 
 class AdaptiveMSHRFile:
     """Fixed-size file of multi-block (adaptive) MSHR entries."""
 
-    def __init__(self, n_entries: int = 16, name: str = "amshr") -> None:
+    def __init__(
+        self, n_entries: int = 16, name: str = "amshr", probes=NULL_TELEMETRY
+    ) -> None:
         if n_entries <= 0:
             raise ValueError("need at least one MSHR")
         self.n_entries = n_entries
@@ -34,6 +37,11 @@ class AdaptiveMSHRFile:
         self._release_heap: List[Tuple[int, int]] = []  # (cycle, slot)
         self._next_slot = itertools.count()
         self.stats = StatsRegistry(name)
+        self._probes_on = probes.enabled
+        self._t_occupancy = probes.gauge("occupancy")
+        self._t_merges = probes.counter("packet_merges")
+        self._t_allocations = probes.counter("allocations")
+        self._t_span_blocks = probes.histogram("span_blocks")
 
     # -- time ----------------------------------------------------------------
 
@@ -109,6 +117,8 @@ class AdaptiveMSHRFile:
                 line_addr=packet.addr + b * CACHE_LINE_BYTES,
             )
         self.stats.counter("packet_merges").add()
+        if self._probes_on:
+            self._t_merges.add(packet.issue_cycle)
         return entry
 
     def allocate_packet(
@@ -137,4 +147,8 @@ class AdaptiveMSHRFile:
         slot = next(self._next_slot)
         self._slots[slot] = entry
         self.stats.counter("allocations").add()
+        if self._probes_on:
+            self._t_allocations.add(now)
+            self._t_occupancy.observe(now, len(self._slots))
+            self._t_span_blocks.add(entry.span_blocks)
         return slot, entry

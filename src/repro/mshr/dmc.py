@@ -35,6 +35,7 @@ from repro.common.types import (
     MemoryRequest,
 )
 from repro.mshr.file import MSHRFile
+from repro.telemetry import NULL_TELEMETRY
 
 
 class MemoryDevice(Protocol):
@@ -130,9 +131,11 @@ class NullCoalescer(Coalescer):
     """Pass-through controller: one fixed-size packet per raw request,
     gated only by MSHR availability."""
 
-    def __init__(self, n_mshrs: int = 16) -> None:
+    def __init__(self, n_mshrs: int = 16, probes=NULL_TELEMETRY) -> None:
         super().__init__("null")
         self.mshrs = MSHRFile(n_mshrs, name="null.mshr")
+        self._probes_on = probes.enabled
+        self._t_occupancy = probes.scope("mshr").gauge("occupancy")
 
     def process(self, raw, memory) -> CoalesceOutcome:
         out = CoalesceOutcome()
@@ -155,6 +158,8 @@ class NullCoalescer(Coalescer):
             out.stall_cycles += now - req.cycle
             entry_clock = now + 1  # one admission per cycle
             slot, _ = self.mshrs.allocate(req.line_addr, req.op, now)
+            if self._probes_on:
+                self._t_occupancy.observe(now, self.mshrs.occupancy)
             packet = CoalescedRequest(
                 addr=req.line_addr,
                 size=CACHE_LINE_BYTES,
@@ -181,9 +186,13 @@ class MSHRBasedDMC(Coalescer):
     adjacency between the raw requests" (Section 2.2.2).
     """
 
-    def __init__(self, n_mshrs: int = 16) -> None:
+    def __init__(self, n_mshrs: int = 16, probes=NULL_TELEMETRY) -> None:
         super().__init__("dmc")
         self.mshrs = MSHRFile(n_mshrs, name="dmc.mshr")
+        self._probes_on = probes.enabled
+        mshr_probes = probes.scope("mshr")
+        self._t_occupancy = mshr_probes.gauge("occupancy")
+        self._t_merges = mshr_probes.counter("merges")
 
     def _try_merge(self, req: MemoryRequest) -> bool:
         entry = self.mshrs.lookup(req.line_addr)
@@ -211,9 +220,13 @@ class MSHRBasedDMC(Coalescer):
             # their subentries (the unpaged per-request comparison cost
             # that the Figure 7 reduction is measured against).
             out.comparisons += self.mshrs.occupancy + self.mshrs.total_subentries()
+            if self._probes_on:
+                self._t_occupancy.observe(now, self.mshrs.occupancy)
 
             if self._try_merge(req):
                 merged_counter.add()
+                if self._probes_on:
+                    self._t_merges.add(now)
                 out.n_merged += 1
                 out.stall_cycles += now - req.cycle
                 entry_clock = now + 1

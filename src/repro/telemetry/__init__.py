@@ -1,0 +1,39 @@
+"""Cycle-level telemetry: windowed probes, registry, and exporters.
+
+Enable with ``run_benchmark(..., telemetry=True)`` (or ``repro trace``);
+the populated :class:`TelemetryRegistry` rides on
+:attr:`repro.engine.results.RunResult.telemetry`. See ARCHITECTURE.md,
+"Telemetry" for the probe taxonomy.
+"""
+
+from repro.telemetry.probe import (
+    CounterProbe,
+    GaugeProbe,
+    HistogramProbe,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    TelemetryRegistry,
+    TelemetryScope,
+)
+from repro.telemetry.export import (
+    csv_rows,
+    timeline_csv,
+    timeline_rows,
+    to_csv,
+    write_csv,
+)
+
+__all__ = [
+    "CounterProbe",
+    "GaugeProbe",
+    "HistogramProbe",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "TelemetryRegistry",
+    "TelemetryScope",
+    "csv_rows",
+    "timeline_csv",
+    "timeline_rows",
+    "to_csv",
+    "write_csv",
+]

@@ -1,0 +1,180 @@
+"""Unit tests for the telemetry probes, registry, scoping and export."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    CounterProbe,
+    GaugeProbe,
+    HistogramProbe,
+    TelemetryRegistry,
+    csv_rows,
+    timeline_rows,
+    to_csv,
+    write_csv,
+)
+
+
+class TestCounterProbe:
+    def test_windows_accumulate(self):
+        c = CounterProbe("x", window_cycles=100)
+        c.add(0)
+        c.add(99)
+        c.add(100, 3)
+        assert c.total == 5
+        assert c.window_value(0) == 2
+        assert c.window_value(1) == 3
+        assert c.window_value(7) == 0
+
+    def test_equality_is_by_value(self):
+        a = CounterProbe("x", 100)
+        b = CounterProbe("x", 100)
+        a.add(5)
+        b.add(5)
+        assert a == b
+        b.add(5)
+        assert a != b
+
+
+class TestGaugeProbe:
+    def test_window_aggregates_exact(self):
+        g = GaugeProbe("q", window_cycles=10)
+        g.observe(0, 4.0)
+        g.observe(5, 8.0)
+        g.observe(12, 1.0)
+        assert g.count == 3
+        assert g.mean == pytest.approx(13.0 / 3)
+        assert g.window_mean(0) == pytest.approx(6.0)
+        assert g.window_max(0) == 8.0
+        assert g.window_mean(1) == 1.0
+        assert g.window_mean(9) == 0.0
+
+    def test_min_max_tracking(self):
+        g = GaugeProbe("q", 10)
+        for v in (5.0, 2.0, 9.0):
+            g.observe(3, v)
+        assert g.windows[0] == [3, 16.0, 2.0, 9.0]
+
+
+class TestHistogramProbe:
+    def test_bins_and_mean(self):
+        h = HistogramProbe("sizes")
+        h.add(64, 3)
+        h.add(128)
+        assert h.total == 4
+        assert h.mean == pytest.approx((64 * 3 + 128) / 4)
+
+
+class TestNullTelemetry:
+    def test_probes_are_shared_noops(self):
+        a = NULL_TELEMETRY.counter("a")
+        b = NULL_TELEMETRY.scope("deep").scope("er").counter("b")
+        assert a is b  # one shared null per kind: zero allocation
+        a.add(5)
+        NULL_TELEMETRY.gauge("g").observe(1, 2.0)
+        NULL_TELEMETRY.histogram("h").add(64)
+
+    def test_scope_returns_self(self):
+        assert NULL_TELEMETRY.scope("x") is NULL_TELEMETRY
+        assert NULL_TELEMETRY.enabled is False
+
+
+class TestTelemetryRegistry:
+    def test_lazy_idempotent_probes(self):
+        reg = TelemetryRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.enabled is True
+
+    def test_scope_builds_dotted_names(self):
+        reg = TelemetryRegistry()
+        probe = reg.scope("pac").scope("maq").gauge("occupancy")
+        assert probe.name == "pac.maq.occupancy"
+        assert probe is reg.gauges["pac.maq.occupancy"]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryRegistry(window_cycles=0)
+
+    def test_span_windows(self):
+        reg = TelemetryRegistry(window_cycles=10)
+        assert reg.span_windows() == (0, -1)
+        reg.counter("c").add(35)
+        reg.gauge("g").observe(91, 1.0)
+        assert reg.span_windows() == (3, 9)
+
+    def test_equality_and_pickle_roundtrip(self):
+        def build():
+            reg = TelemetryRegistry(window_cycles=64)
+            reg.scope("pac").counter("events").add(10, 2)
+            reg.gauge("occ").observe(70, 5.0)
+            reg.histogram("sizes").add(128)
+            return reg
+
+        a, b = build(), build()
+        assert a == b
+        back = pickle.loads(pickle.dumps(a))
+        assert back == a
+        b.counter("pac.events").add(999)
+        assert a != b
+
+    def test_as_dict_json_safe(self):
+        reg = TelemetryRegistry(window_cycles=10)
+        reg.counter("c").add(5)
+        reg.gauge("g").observe(5, 2.0)
+        reg.histogram("h").add(64)
+        blob = json.loads(reg.to_json())
+        assert blob["window_cycles"] == 10
+        assert set(blob["probes"]) == {"c", "g", "h"}
+        assert blob["probes"]["c"]["total"] == 1
+
+
+class TestExport:
+    def _populated(self):
+        reg = TelemetryRegistry(window_cycles=100)
+        reg.counter("cache.raw_requests").add(10, 4)
+        reg.scope("pac").scope("maq").gauge("occupancy").observe(50, 3.0)
+        reg.counter("device.banks.conflicts").add(150, 2)
+        reg.counter("device.packets").add(150, 5)
+        reg.histogram("sizes").add(128, 7)
+        return reg
+
+    def test_csv_rows_long_form(self):
+        rows = csv_rows(self._populated())
+        kinds = {r["kind"] for r in rows}
+        assert kinds == {"counter", "gauge", "histogram"}
+        counter = next(
+            r for r in rows if r["probe"] == "cache.raw_requests"
+        )
+        assert counter["count"] == 4
+        assert counter["start_cycle"] == 0
+
+    def test_to_csv_header(self):
+        text = to_csv(self._populated())
+        assert text.splitlines()[0] == (
+            "probe,kind,window,start_cycle,count,value,mean,min,max"
+        )
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "probes.csv"
+        n = write_csv(self._populated(), path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n + 1  # header + rows
+
+    def test_timeline_covers_span_with_derived_bypass(self):
+        reg = self._populated()
+        reg.counter("pac.controller.direct_requests").add(10, 1)
+        reg.counter("pac.network.coalesced_requests").add(10, 3)
+        rows = timeline_rows(reg)
+        assert [r["window"] for r in rows] == [0, 1]
+        assert rows[0]["raw_reqs"] == 4
+        assert rows[0]["maq_occ_mean"] == 3.0
+        assert rows[1]["bank_conflicts"] == 2
+        assert rows[1]["issued_pkts"] == 5
+        assert rows[0]["bypass_rate"] == pytest.approx(0.25)
+
+    def test_timeline_empty_registry(self):
+        assert timeline_rows(TelemetryRegistry()) == []

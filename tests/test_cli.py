@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -82,3 +84,29 @@ class TestTraceCommand:
         ) == 0
         loaded = AccessTrace.load(path)
         assert len(loaded) == 2000
+
+    def test_timeline_mode_without_output_path(self, capsys):
+        assert main(["trace", "gs", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        for column in ("maq_occ_mean", "bank_conflicts", "bypass_rate"):
+            assert column in out
+        assert "windows x 1024 cycles" in out
+
+    def test_timeline_mode_csv_and_json_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "probes.csv"
+        json_path = tmp_path / "probes.json"
+        assert main(
+            ["trace", "gs", "--accesses", "2000", "--window", "512",
+             "--csv", str(csv_path), "--json", str(json_path)]
+        ) == 0
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("probe,kind,window,start_cycle")
+        payload = json.loads(json_path.read_text())
+        assert payload["window_cycles"] == 512
+        assert "device.packets" in payload["probes"]
+
+    def test_timeline_mode_other_arms(self, capsys):
+        assert main(
+            ["trace", "gs", "--accesses", "1000", "--coalescer", "dmc"]
+        ) == 0
+        assert "gs / dmc" in capsys.readouterr().out
