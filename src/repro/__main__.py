@@ -13,6 +13,10 @@ Commands
               bank conflicts, bypass rate, ...), optionally exporting the
               probes as CSV/JSON — or, with an output path, export the
               benchmark's CPU or raw request stream to .npz.
+``spans``     Trace sampled per-request lifecycle spans and print the
+              per-stage latency-attribution table (p50/p95/p99 cycles in
+              queue/stage1/network/maq/mshr/device); ``--perfetto``
+              exports Chrome trace-event JSON loadable in Perfetto.
 ``config``    Print the Table 1 configuration.
 """
 
@@ -155,6 +159,45 @@ def main(argv=None) -> int:
         help="also write the full probe registry as JSON to PATH",
     )
 
+    p_spans = sub.add_parser(
+        "spans",
+        help="per-request span tracing with latency attribution",
+    )
+    p_spans.add_argument(
+        "benchmark", choices=[*BENCHMARK_NAMES, "all"],
+        help="benchmark to trace, or 'all' for the whole suite",
+    )
+    p_spans.add_argument(
+        "--coalescer", choices=[k.value for k in CoalescerKind],
+        default="pac", help="arm to trace",
+    )
+    p_spans.add_argument(
+        "--sample-rate", type=int, default=16, dest="sample_rate",
+        help="track 1 raw request in N (default 16; 1 = every request)",
+    )
+    p_spans.add_argument(
+        "--perfetto", metavar="PATH", default=None,
+        help="write Chrome trace-event JSON to PATH (single benchmark "
+             "only; open in ui.perfetto.dev or chrome://tracing)",
+    )
+    p_spans.add_argument(
+        "--csv", metavar="PATH", default=None, dest="spans_csv",
+        help="write the long-form span CSV to PATH (single benchmark only)",
+    )
+    p_spans.add_argument(
+        "--top-k", type=int, default=0, dest="top_k", metavar="K",
+        help="also print the K slowest tracked requests",
+    )
+    # Same dest-separation trick as `trace` (see comment above).
+    p_spans.add_argument(
+        "--accesses", type=int, default=None, dest="spans_accesses",
+        help="trace length (overrides the global --accesses)",
+    )
+    p_spans.add_argument(
+        "--seed", type=int, default=None, dest="spans_seed",
+        help="RNG seed (overrides the global --seed)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "config":
@@ -276,12 +319,33 @@ def main(argv=None) -> int:
                 f"bank_conflicts={result.bank_conflicts:,}  "
                 f"probes={len(registry.probe_names())}"
             )
+            gauge_rows = [
+                {
+                    "gauge": name,
+                    "n": g.count,
+                    "p50": g.p50,
+                    "p95": g.p95,
+                    "p99": g.p99,
+                    "max": max(agg[3] for agg in g.windows.values()),
+                }
+                for name, g in sorted(registry.gauges.items())
+                if g.count
+            ]
+            if gauge_rows:
+                print(render_table(gauge_rows, title="gauge percentiles"))
+            metadata = {
+                "benchmark": args.benchmark,
+                "coalescer": args.coalescer,
+                "seed": seed if seed is not None else TABLE1.seed,
+                "config_hash": TABLE1.config_hash(),
+                "window_cycles": registry.window_cycles,
+            }
             if args.csv:
-                n = write_csv(registry, args.csv)
+                n = write_csv(registry, args.csv, metadata=metadata)
                 print(f"wrote {n:,} probe-window rows to {args.csv}")
             if args.trace_json:
                 with open(args.trace_json, "w") as fh:
-                    fh.write(registry.to_json(indent=2))
+                    fh.write(registry.to_json(indent=2, metadata=metadata))
                 print(f"wrote probe registry JSON to {args.trace_json}")
             return 0
 
@@ -302,6 +366,58 @@ def main(argv=None) -> int:
                 f"wrote {len(raw.requests):,} raw requests "
                 f"({raw.miss_rate:.1%} of accesses) to {args.output}"
             )
+        return 0
+
+    if args.command == "spans":
+        from repro.telemetry import (
+            attribution_rows,
+            top_k_rows,
+            write_perfetto,
+            write_spans_csv,
+        )
+
+        n_accesses = (
+            args.spans_accesses
+            if args.spans_accesses is not None
+            else args.accesses
+        )
+        seed = args.spans_seed if args.spans_seed is not None else args.seed
+        if args.sample_rate <= 0:
+            parser.error("--sample-rate must be positive")
+        names = (
+            list(BENCHMARK_NAMES)
+            if args.benchmark == "all"
+            else [args.benchmark]
+        )
+        if len(names) > 1 and (args.perfetto or args.spans_csv):
+            parser.error("--perfetto/--csv export a single benchmark's "
+                         "trace; pick one benchmark")
+        for name in names:
+            result = run_benchmark(
+                name,
+                coalescer=CoalescerKind(args.coalescer),
+                n_accesses=n_accesses,
+                seed=seed,
+                spans=args.sample_rate,
+            )
+            span_trace = result.spans
+            title = (
+                f"{name} / {args.coalescer} — {len(span_trace)} of "
+                f"{result.n_raw:,} raw requests traced "
+                f"(1 in {span_trace.sample_rate}), cycles per stage"
+            )
+            print(render_table(attribution_rows(span_trace), title=title))
+            if args.top_k:
+                print(render_table(
+                    top_k_rows(span_trace, args.top_k),
+                    title=f"{name}: {args.top_k} slowest tracked requests",
+                ))
+            if args.perfetto:
+                n = write_perfetto(span_trace, args.perfetto)
+                print(f"wrote {n:,} trace events to {args.perfetto}")
+            if args.spans_csv:
+                n = write_spans_csv(span_trace, args.spans_csv)
+                print(f"wrote {n:,} span rows to {args.spans_csv}")
         return 0
 
     return 1

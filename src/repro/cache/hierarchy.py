@@ -43,7 +43,7 @@ from repro.common.types import MemOp, MemoryRequest, PAGE_BYTES
 from repro.config import CacheConfig
 from repro.cache.setassoc import SetAssociativeCache
 from repro.mem.trace import AccessTrace
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import NULL_SPANS, NULL_TELEMETRY
 
 #: Streamer prefetch region: matches the HMC row / maximum packet size.
 PREFETCH_REGION_BYTES = 256
@@ -83,6 +83,7 @@ class CacheHierarchy:
         lookahead_window: int = DEFAULT_LOOKAHEAD,
         prefetch_enabled: bool = True,
         probes=NULL_TELEMETRY,
+        spans=NULL_SPANS,
     ) -> None:
         if n_cores <= 0:
             raise ValueError("need at least one core")
@@ -113,6 +114,11 @@ class CacheHierarchy:
         )
         self.stats = StatsRegistry("hierarchy")
         self._probes_on = probes.enabled
+        #: Span tracer: the hierarchy stamps each sampled raw request's
+        #: *origin* (demand/secondary/prefetch/writeback/atomic/fence) at
+        #: emission time, keyed by its raw-stream ordinal.
+        self._spans = spans
+        self._spans_on = spans.enabled
         #: `raw_requests` counts *every* request entering the coalescer
         #: (demand + secondary + prefetch + write-back + atomic + fence) —
         #: the per-window load the `repro trace` timeline leads with.
@@ -160,11 +166,15 @@ class CacheHierarchy:
 
         t_raw = self._t_raw
         probes_on = self._probes_on
+        spans = self._spans
+        spans_on = self._spans_on
 
-        def emit(addr, op, core, cycle, size=None):
+        def emit(addr, op, core, cycle, size=None, kind="demand"):
             raw_count.add()
             if probes_on:
                 t_raw.add(cycle)
+            if spans_on and spans.is_sampled(len(out)):
+                spans.origin(len(out), kind)
             out.append(
                 MemoryRequest(addr=addr, size=size if size else line,
                               op=op, core_id=core, cycle=cycle)
@@ -175,6 +185,8 @@ class CacheHierarchy:
             if probes_on:
                 t_raw.add(cycle)
                 self._t_writebacks.add(cycle)
+            if spans_on and spans.is_sampled(len(out)):
+                spans.origin(len(out), "writeback")
             out.append(
                 MemoryRequest(addr=addr, size=line, op=MemOp.STORE,
                               core_id=core, cycle=cycle)
@@ -200,6 +212,8 @@ class CacheHierarchy:
                 self.stats.counter("atomics").add()
                 if probes_on:
                     t_raw.add(cycle)
+                if spans_on and spans.is_sampled(len(out)):
+                    spans.origin(len(out), "atomic")
                 out.append(
                     MemoryRequest(
                         addr=addr, size=int(trace.sizes[i]),
@@ -213,6 +227,8 @@ class CacheHierarchy:
                 self.stats.counter("fences").add()
                 if probes_on:
                     t_raw.add(cycle)
+                if spans_on and spans.is_sampled(len(out)):
+                    spans.origin(len(out), "fence")
                 out.append(
                     MemoryRequest(
                         addr=line_addr, size=line, op=MemOp.FENCE,
@@ -260,9 +276,10 @@ class CacheHierarchy:
                             self._t_secondary.add(cycle)
                         if fine_grain:
                             emit(future, op, core, cycle,
-                                 size=int(trace.sizes[j]))
+                                 size=int(trace.sizes[j]), kind="secondary")
                         else:
-                            emit(line_addr, op, core, cycle)
+                            emit(line_addr, op, core, cycle,
+                                 kind="secondary")
                         emitted += 1
                         if emitted >= self.secondary_cap:
                             break
@@ -312,7 +329,7 @@ class CacheHierarchy:
                 prefetch_count.add()
                 if self._probes_on:
                     self._t_prefetch.add(cycle)
-                emit(pf, op, core, cycle)
+                emit(pf, op, core, cycle, kind="prefetch")
             pf += line
 
     # ------------------------------------------------------------------ #

@@ -141,6 +141,14 @@ class SimulationConfig:
     def cycles_to_ns(self, cycles: float) -> float:
         return cycles * self.ns_per_cycle
 
+    def config_hash(self) -> str:
+        """Short stable digest of the full configuration, stamped into
+        telemetry/span export metadata so result files are traceable to
+        the exact parameter set that produced them."""
+        import hashlib
+
+        return hashlib.sha256(repr(self).encode()).hexdigest()[:12]
+
     def with_pac(self, **kwargs) -> "SimulationConfig":
         """Copy with PAC parameters overridden (ablation helper)."""
         return replace(self, pac=replace(self.pac, **kwargs))

@@ -37,7 +37,7 @@ from repro.core.network import CoalescingNetwork
 from repro.core.protocols import HMC2, HMC2_FINE, MemoryProtocol
 from repro.mshr.adaptive import AdaptiveMSHRFile
 from repro.mshr.dmc import Coalescer, CoalesceOutcome, MemoryDevice
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import NULL_SPANS, NULL_TELEMETRY
 
 #: Sampling period for coalescing-stream occupancy (Figure 11b: "we
 #: accumulate the number of occupied coalescing streams every 16 cycles").
@@ -52,6 +52,7 @@ class PagedAdaptiveCoalescer(Coalescer):
         config: PACConfig = None,
         protocol: MemoryProtocol = None,
         probes=NULL_TELEMETRY,
+        spans=NULL_SPANS,
     ) -> None:
         super().__init__("pac")
         self.config = config if config is not None else PACConfig()
@@ -77,6 +78,11 @@ class PagedAdaptiveCoalescer(Coalescer):
         # joins direct_requests with the network's bypass counters).
         ctrl = probes.scope("controller")
         self._probes_on = probes.enabled
+        #: Span tracer: stage boundaries are stamped as sampled requests
+        #: cross admission, stage-1 flush, network exit, MAQ pop, MSHR
+        #: merge release, and device completion.
+        self._spans = spans
+        self._spans_on = spans.enabled
         self._t_direct = ctrl.counter("direct_requests")
         self._t_enables = ctrl.counter("network_enables")
         self._t_disables = ctrl.counter("network_disables")
@@ -101,6 +107,9 @@ class PagedAdaptiveCoalescer(Coalescer):
         self._arrivals = {}
         latency_acc = self.stats.accumulator("request_latency")
 
+        spans = self._spans
+        spans_on = self._spans_on
+
         for req in raw:
             out.n_raw += 1
             now = max(req.cycle, self._entry_clock)
@@ -111,6 +120,10 @@ class PagedAdaptiveCoalescer(Coalescer):
             out.stall_cycles += now - req.cycle
             if self._probes_on:
                 self._t_entry_wait.observe(now, now - req.cycle)
+            if spans_on:
+                # index = raw-stream ordinal: deterministic across
+                # serial/parallel runs, unlike the process-global req_id.
+                spans.admit(out.n_raw - 1, req, now)
             self._entry_clock = now + 1
             self._advance(now)
 
@@ -129,6 +142,8 @@ class PagedAdaptiveCoalescer(Coalescer):
                     out.last_completion_cycle, completion
                 )
                 out.account_service(now, completion)
+                if spans_on:
+                    spans.mark(req.req_id, "device", completion)
                 self.stats.counter("atomics").add()
                 continue
 
@@ -250,8 +265,17 @@ class PagedAdaptiveCoalescer(Coalescer):
         latency_acc_value = flush_cycle - stream.alloc_cycle
         for _ in range(stream.n_requests):
             latency_acc.add(float(max(1, latency_acc_value)))
+        if self._spans_on:
+            # Stage-1 residency ends at the flush; the grain lists repeat
+            # multi-grain req_ids, which mark_many de-duplicates.
+            for rids in stream.grain_requests.values():
+                self._spans.mark_many(rids, "stage1", flush_cycle)
         packets = self.network.flush_stream(stream, flush_cycle)
         for packet in packets:
+            if self._spans_on:
+                self._spans.mark_many(
+                    packet.constituents, "network", packet.issue_cycle
+                )
             self._enqueue_packet(packet)
 
     def _enqueue_packet(self, packet: CoalescedRequest) -> None:
@@ -311,6 +335,13 @@ class PagedAdaptiveCoalescer(Coalescer):
             self._out.n_merged += packet.n_raw
             if merged.release_cycle is not None:
                 self._account_packet(packet, merged.release_cycle)
+                if self._spans_on:
+                    self._spans.mark_many(
+                        packet.constituents, "maq", ready
+                    )
+                    self._spans.mark_many(
+                        packet.constituents, "mshr", merged.release_cycle
+                    )
             self.stats.counter("mshr_packet_merges").add()
             return ready
 
@@ -344,12 +375,21 @@ class PagedAdaptiveCoalescer(Coalescer):
                 self._out.n_merged += packet.n_raw
                 if merged.release_cycle is not None:
                     self._account_packet(packet, merged.release_cycle)
+                    if self._spans_on:
+                        self._spans.mark_many(
+                            packet.constituents, "maq", t
+                        )
+                        self._spans.mark_many(
+                            packet.constituents, "mshr", merged.release_cycle
+                        )
                 self.stats.counter("mshr_packet_merges").add()
                 return t
 
         self.maq.pop()
         if self._probes_on:
             self._t_maq_occupancy.observe(t, len(self.maq))
+        if self._spans_on:
+            self._spans.mark_many(packet.constituents, "maq", t)
         slot, _ = self.mshrs.allocate_packet(packet, t)
         completion = self._memory.submit(packet, t)
         self.mshrs.schedule_release(slot, completion)
@@ -359,6 +399,8 @@ class PagedAdaptiveCoalescer(Coalescer):
             self._out.last_completion_cycle, completion
         )
         self._account_packet(packet, completion)
+        if self._spans_on:
+            self._spans.mark_many(packet.constituents, "device", completion)
         return t
 
     def _direct_to_mshr(self, req: MemoryRequest, now: int) -> None:
@@ -383,6 +425,10 @@ class PagedAdaptiveCoalescer(Coalescer):
             self._out.n_merged += 1
             if merged.release_cycle is not None:
                 self._account_packet(packet, merged.release_cycle)
+                if self._spans_on:
+                    self._spans.mark(
+                        req.req_id, "mshr", merged.release_cycle
+                    )
             self.stats.counter("mshr_packet_merges").add()
             return
         # The caller guarantees a free MSHR (it flips to enabled when
@@ -396,6 +442,8 @@ class PagedAdaptiveCoalescer(Coalescer):
             self._out.last_completion_cycle, completion
         )
         self._account_packet(packet, completion)
+        if self._spans_on:
+            self._spans.mark(req.req_id, "device", completion)
 
     # ------------------------------------------------------------------ #
     # derived metrics

@@ -26,7 +26,7 @@ from typing import Dict, Tuple
 from repro.common.stats import StatsRegistry
 from repro.common.types import CoalescedRequest
 from repro.hmc.power import EnergyModel
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import NULL_SPANS, NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -70,8 +70,13 @@ class _Bank:
 class DDRDevice:
     """Open-page DDR4 behind per-channel shared data buses."""
 
-    def __init__(self, config: DDRConfig = None, probes=NULL_TELEMETRY) -> None:
+    def __init__(
+        self, config: DDRConfig = None, probes=NULL_TELEMETRY,
+        spans=NULL_SPANS,
+    ) -> None:
         self.config = config if config is not None else DDRConfig()
+        self._spans = spans
+        self._spans_on = spans.enabled
         cfg = self.config
         self._banks: Dict[Tuple[int, int], _Bank] = {}
         self._bus_busy_until = [0] * cfg.n_channels
@@ -149,6 +154,20 @@ class DDRDevice:
             self._t_packets.add(cycle)
             self._t_latency.observe(cycle, completion - cycle)
             self._t_energy.add(cycle, self.energy.total_pj - pj_before)
+        if self._spans_on:
+            # The channel plays the vault role in the span taxonomy.
+            self._spans.device_span(
+                packet,
+                vault=channel,
+                link=channel,
+                start=cycle,
+                completion=completion,
+                segments=(
+                    ("vault_wait", cycle, start),
+                    ("dram", start, dram_done),
+                    ("response", dram_done, completion),
+                ),
+            )
         return completion
 
     # -- accounting surface (mirrors HMCDevice) ----------------------------- #

@@ -35,6 +35,7 @@ def run_benchmark(
     extra_benchmarks: Sequence[str] = (),
     scale=1.0,
     telemetry=False,
+    spans=False,
 ) -> RunResult:
     """Run one benchmark through one coalescer configuration.
 
@@ -43,6 +44,9 @@ def run_benchmark(
     data-size coalescing mode; ``device`` selects ``"hmc"`` or ``"hbm"``.
     ``telemetry=True`` (or a :class:`repro.telemetry.TelemetryRegistry`)
     collects the windowed probe timeline onto ``result.telemetry``.
+    ``spans=True`` (or an int sample rate, or a
+    :class:`repro.telemetry.SpanRecorder`) traces sampled per-request
+    lifecycle spans onto ``result.spans``.
     """
     system = System(
         config=config,
@@ -51,6 +55,7 @@ def run_benchmark(
         device=device,
         fine_grain=fine_grain,
         telemetry=telemetry,
+        spans=spans,
     )
     return system.run(
         benchmark, n_accesses, seed=seed,
@@ -71,12 +76,13 @@ def run_comparison(
     device: str = "hmc",
     extra_benchmarks: Sequence[str] = (),
     telemetry=False,
+    spans=False,
 ) -> Dict[CoalescerKind, RunResult]:
     """Run the same trace through several coalescer configurations.
 
     The trace is regenerated identically (same seed) for each arm so the
     comparison isolates the coalescer. Each arm gets its own telemetry
-    registry when ``telemetry`` is truthy.
+    registry / span recorder when ``telemetry`` / ``spans`` is truthy.
     """
     out: Dict[CoalescerKind, RunResult] = {}
     for kind in kinds:
@@ -89,6 +95,7 @@ def run_comparison(
             device=device,
             extra_benchmarks=extra_benchmarks,
             telemetry=bool(telemetry),
+            spans=spans if isinstance(spans, (bool, int)) else bool(spans),
         )
     return out
 

@@ -21,7 +21,10 @@ from repro.workloads import BENCHMARK_NAMES
 
 
 def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
-    benchmark, kind_value, n_accesses, config, seed, device, telemetry = args
+    (
+        benchmark, kind_value, n_accesses, config, seed, device, telemetry,
+        spans,
+    ) = args
     result = run_benchmark(
         benchmark,
         coalescer=CoalescerKind(kind_value),
@@ -30,6 +33,7 @@ def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
         seed=seed,
         device=device,
         telemetry=telemetry,
+        spans=spans,
     )
     return (benchmark, kind_value), result
 
@@ -45,6 +49,7 @@ def run_suite_parallel(
     device: str = "hmc",
     max_workers: Optional[int] = None,
     telemetry: bool = False,
+    spans=False,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (benchmark, kind) pair concurrently.
 
@@ -52,14 +57,21 @@ def run_suite_parallel(
     defaults to the CPU count; pass 1 to force serial execution
     (useful under debuggers and in constrained CI).
     ``telemetry=True`` attaches a windowed-probe registry to each result
-    (registries pickle back from workers bit-identically).
+    (registries pickle back from workers bit-identically);
+    ``spans=True`` (or an int sample rate) attaches a span trace the
+    same way — each worker builds its own recorder, and sampling keys on
+    the raw-stream ordinal, so span sets are bit-identical to serial
+    runs.
     """
     # Resolve the default seed HERE, not in the workers: every job must
     # carry the same concrete seed so per-benchmark seeds derive
     # identically regardless of worker count or config pickling.
     seed = config.seed if seed is None else seed
     jobs = [
-        (bench, kind.value, n_accesses, config, seed, device, telemetry)
+        (
+            bench, kind.value, n_accesses, config, seed, device, telemetry,
+            spans,
+        )
         for bench in benchmarks
         for kind in kinds
     ]

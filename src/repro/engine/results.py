@@ -56,6 +56,11 @@ class RunResult:
     #: system was built with ``telemetry=True``. Participates in ``==``,
     #: so the determinism harness compares full timelines.
     telemetry: Optional[object] = None
+    #: Per-request span trace (:class:`repro.telemetry.SpanTrace`); None
+    #: unless the system was built with ``spans=True``. A frozen
+    #: dataclass of plain data, so it participates in ``==`` and the
+    #: determinism harness compares full span sets.
+    spans: Optional[object] = None
 
     @property
     def miss_rate(self) -> float:
@@ -168,6 +173,8 @@ class RunResult:
             out["cache"] = dict(self.cache_metrics)
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.as_dict()
+        if self.spans is not None:
+            out["spans"] = self.spans.as_dict()
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -186,6 +193,7 @@ def build_result(
     pac_metrics: Optional[Dict[str, float]] = None,
     cache_metrics: Optional[Dict[str, float]] = None,
     telemetry=None,
+    spans=None,
 ) -> RunResult:
     """Assemble a :class:`RunResult` from a coalescer outcome + device."""
     # The run ends when the CPU trace ends or the last memory response
@@ -219,4 +227,5 @@ def build_result(
         pac_metrics=pac_metrics,
         cache_metrics=cache_metrics,
         telemetry=telemetry,
+        spans=spans,
     )

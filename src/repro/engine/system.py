@@ -31,7 +31,12 @@ from repro.hmc.hbm import HBMDevice, hbm_config
 from repro.mem.pagetable import FrameAllocator, PageTable
 from repro.mem.trace import AccessTrace
 from repro.mshr.dmc import Coalescer, MSHRBasedDMC, NullCoalescer
-from repro.telemetry import NULL_TELEMETRY, TelemetryRegistry
+from repro.telemetry import (
+    NULL_SPANS,
+    NULL_TELEMETRY,
+    SpanRecorder,
+    TelemetryRegistry,
+)
 from repro.workloads import get_workload
 
 
@@ -56,6 +61,7 @@ class System:
         device: str = "hmc",
         fine_grain: bool = False,
         telemetry=False,
+        spans=False,
     ) -> None:
         self.config = config
         self.kind = coalescer
@@ -70,12 +76,25 @@ class System:
         else:
             self.telemetry = telemetry
         probes = self.telemetry if self.telemetry is not None else NULL_TELEMETRY
+        # ``spans`` is False (off), True (default 1-in-16 sampling), an
+        # int sample rate, or a caller-supplied SpanRecorder.
+        if spans is True:
+            self.spans = SpanRecorder(seed=config.seed)
+        elif spans is False or spans is None:
+            self.spans = None
+        elif isinstance(spans, int):
+            self.spans = SpanRecorder(sample_rate=spans, seed=config.seed)
+        else:
+            self.spans = spans
+        span_rec = self.spans if self.spans is not None else NULL_SPANS
         if device == "hmc":
-            self.device = HMCDevice(config.hmc, probes=probes.scope("device"))
+            self.device = HMCDevice(
+                config.hmc, probes=probes.scope("device"), spans=span_rec
+            )
             default_protocol = HMC2_FINE if fine_grain else HMC2
         elif device == "hbm":
             self.device = HBMDevice(
-                hbm_config(), probes=probes.scope("device")
+                hbm_config(), probes=probes.scope("device"), spans=span_rec
             )
             from repro.core.protocols import HBM as HBM_PROTO
 
@@ -85,7 +104,9 @@ class System:
             # bursts. Coalesced packets transfer as consecutive bursts.
             from repro.ddr.device import DDRDevice
 
-            self.device = DDRDevice(probes=probes.scope("device"))
+            self.device = DDRDevice(
+                probes=probes.scope("device"), spans=span_rec
+            )
             default_protocol = HMC2_FINE if fine_grain else HMC2
         else:
             raise ValueError(f"unknown device {device!r}")
@@ -109,17 +130,22 @@ class System:
             n_cores=config.n_cores,
             prefetch_enabled=not fine_grain,
             probes=probes.scope("cache"),
+            spans=span_rec,
         )
-        self.coalescer = self._build_coalescer(probes)
+        self.coalescer = self._build_coalescer(probes, span_rec)
 
-    def _build_coalescer(self, probes=NULL_TELEMETRY) -> Coalescer:
+    def _build_coalescer(
+        self, probes=NULL_TELEMETRY, spans=NULL_SPANS
+    ) -> Coalescer:
         if self.kind == CoalescerKind.NONE:
             return NullCoalescer(
-                self.config.pac.n_mshrs, probes=probes.scope("none")
+                self.config.pac.n_mshrs, probes=probes.scope("none"),
+                spans=spans,
             )
         if self.kind == CoalescerKind.DMC:
             return MSHRBasedDMC(
-                self.config.pac.n_mshrs, probes=probes.scope("dmc")
+                self.config.pac.n_mshrs, probes=probes.scope("dmc"),
+                spans=spans,
             )
         if self.kind == CoalescerKind.SORT:
             from repro.mshr.sorting import SortingNetworkCoalescer
@@ -136,7 +162,8 @@ class System:
 
             pac_cfg = replace(pac_cfg, fine_grain=True)
         return PagedAdaptiveCoalescer(
-            pac_cfg, protocol=self.protocol, probes=probes.scope("pac")
+            pac_cfg, protocol=self.protocol, probes=probes.scope("pac"),
+            spans=spans,
         )
 
     # ------------------------------------------------------------------ #
@@ -158,6 +185,10 @@ class System:
         if not benchmarks:
             raise ValueError("need at least one benchmark")
         seed = self.config.seed if seed is None else seed
+        if self.spans is not None:
+            # Bind the resolved run seed so serial and parallel suites
+            # derive the same sampling offset.
+            self.spans.bind(seed=seed)
         allocator = FrameAllocator(
             total_frames=self.config.hmc.capacity_bytes // 4096,
             shuffle=True,
@@ -210,6 +241,15 @@ class System:
             "prefetch_fraction": h.stats.count("prefetch_raw") / n_raw_total,
             "writeback_fraction": h.stats.count("writebacks") / n_raw_total,
         }
+        span_trace = None
+        if self.spans is not None:
+            span_trace = self.spans.finalize(
+                benchmark=benchmark,
+                coalescer=self.kind.value,
+                n_accesses=len(trace),
+                n_raw=outcome.n_raw,
+                config_hash=self.config.config_hash(),
+            )
         return build_result(
             benchmark=benchmark,
             coalescer_name=self.kind.value,
@@ -220,6 +260,7 @@ class System:
             pac_metrics=pac_metrics,
             cache_metrics=cache_metrics,
             telemetry=self.telemetry,
+            spans=span_trace,
         )
 
     def run(

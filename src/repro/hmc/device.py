@@ -41,7 +41,8 @@ class HMCDevice:
     """
 
     def __init__(
-        self, config: HMCConfig = None, telemetry=False, probes=None
+        self, config: HMCConfig = None, telemetry=False, probes=None,
+        spans=None,
     ) -> None:
         self.config = config if config is not None else HMCConfig()
         if telemetry is True:
@@ -58,6 +59,12 @@ class HMCDevice:
             from repro.telemetry import NULL_TELEMETRY
 
             probes = NULL_TELEMETRY
+        if spans is None:
+            from repro.telemetry import NULL_SPANS
+
+            spans = NULL_SPANS
+        self._spans = spans
+        self._spans_on = spans.enabled
         cfg = self.config
         self.address_map = AddressMap(
             n_vaults=cfg.n_vaults,
@@ -154,6 +161,21 @@ class HMCDevice:
             self._t_energy.add(cycle, self.energy.total_pj - pj_before)
             if not local:
                 self._t_remote.add(cycle)
+        if self._spans_on:
+            self._spans.device_span(
+                packet,
+                vault=vault,
+                link=link,
+                start=cycle,
+                completion=completion,
+                segments=(
+                    ("link_wait", cycle, link_done),
+                    ("route", link_done, arrival_at_vault),
+                    ("vault_wait", arrival_at_vault, dram_start),
+                    ("dram", dram_start, dram_done),
+                    ("response", dram_done, completion),
+                ),
+            )
         if self.telemetry is not None:
             from repro.hmc.telemetry import PacketRecord
 

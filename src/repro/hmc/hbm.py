@@ -35,8 +35,11 @@ def hbm_config(
 class HBMDevice(HMCDevice):
     """High Bandwidth Memory stack: HMC machinery, HBM geometry."""
 
-    def __init__(self, config: HMCConfig = None, probes=None) -> None:
+    def __init__(
+        self, config: HMCConfig = None, probes=None, spans=None
+    ) -> None:
         super().__init__(
-            config if config is not None else hbm_config(), probes=probes
+            config if config is not None else hbm_config(), probes=probes,
+            spans=spans,
         )
         self.route_by_address = True

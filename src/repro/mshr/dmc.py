@@ -35,7 +35,7 @@ from repro.common.types import (
     MemoryRequest,
 )
 from repro.mshr.file import MSHRFile
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import NULL_SPANS, NULL_TELEMETRY
 
 
 class MemoryDevice(Protocol):
@@ -102,6 +102,10 @@ class Coalescer(abc.ABC):
 
     def __init__(self, name: str) -> None:
         self.stats = StatsRegistry(name)
+        # Span tracer wiring; subclasses overwrite when handed a live
+        # recorder. Kept on the base so `_submit_atomic` can stamp.
+        self._spans = NULL_SPANS
+        self._spans_on = False
 
     @abc.abstractmethod
     def process(
@@ -124,6 +128,8 @@ class Coalescer(abc.ABC):
         out.n_issued += 1
         out.last_completion_cycle = max(out.last_completion_cycle, completion)
         out.account_service(now, completion)
+        if self._spans_on:
+            self._spans.mark(req.req_id, "device", completion)
         self.stats.counter("atomics").add()
 
 
@@ -131,19 +137,27 @@ class NullCoalescer(Coalescer):
     """Pass-through controller: one fixed-size packet per raw request,
     gated only by MSHR availability."""
 
-    def __init__(self, n_mshrs: int = 16, probes=NULL_TELEMETRY) -> None:
+    def __init__(
+        self, n_mshrs: int = 16, probes=NULL_TELEMETRY, spans=NULL_SPANS
+    ) -> None:
         super().__init__("null")
         self.mshrs = MSHRFile(n_mshrs, name="null.mshr")
         self._probes_on = probes.enabled
         self._t_occupancy = probes.scope("mshr").gauge("occupancy")
+        self._spans = spans
+        self._spans_on = spans.enabled
 
     def process(self, raw, memory) -> CoalesceOutcome:
         out = CoalesceOutcome()
         entry_clock = 0
+        spans = self._spans
+        spans_on = self._spans_on
         for req in raw:
             out.n_raw += 1
             now = max(req.cycle, entry_clock)
             if req.op == MemOp.ATOMIC:
+                if spans_on:
+                    spans.admit(out.n_raw - 1, req, now)
                 self._submit_atomic(req, now, memory, out)
                 entry_clock = now + 1
                 continue
@@ -157,6 +171,10 @@ class NullCoalescer(Coalescer):
                 self.mshrs.advance(now)
             out.stall_cycles += now - req.cycle
             entry_clock = now + 1  # one admission per cycle
+            if spans_on:
+                # Queue span covers trace arrival through the MSHR-full
+                # wait; allocation+dispatch are same-cycle.
+                spans.admit(out.n_raw - 1, req, now)
             slot, _ = self.mshrs.allocate(req.line_addr, req.op, now)
             if self._probes_on:
                 self._t_occupancy.observe(now, self.mshrs.occupancy)
@@ -174,6 +192,8 @@ class NullCoalescer(Coalescer):
             out.n_issued += 1
             out.last_completion_cycle = max(out.last_completion_cycle, completion)
             out.account_service(now, completion)
+            if spans_on:
+                spans.mark(req.req_id, "device", completion)
         return out
 
 
@@ -186,13 +206,17 @@ class MSHRBasedDMC(Coalescer):
     adjacency between the raw requests" (Section 2.2.2).
     """
 
-    def __init__(self, n_mshrs: int = 16, probes=NULL_TELEMETRY) -> None:
+    def __init__(
+        self, n_mshrs: int = 16, probes=NULL_TELEMETRY, spans=NULL_SPANS
+    ) -> None:
         super().__init__("dmc")
         self.mshrs = MSHRFile(n_mshrs, name="dmc.mshr")
         self._probes_on = probes.enabled
         mshr_probes = probes.scope("mshr")
         self._t_occupancy = mshr_probes.gauge("occupancy")
         self._t_merges = mshr_probes.counter("merges")
+        self._spans = spans
+        self._spans_on = spans.enabled
 
     def _try_merge(self, req: MemoryRequest) -> bool:
         entry = self.mshrs.lookup(req.line_addr)
@@ -205,10 +229,14 @@ class MSHRBasedDMC(Coalescer):
         out = CoalesceOutcome()
         entry_clock = 0
         merged_counter = self.stats.counter("merged")
+        spans = self._spans
+        spans_on = self._spans_on
         for req in raw:
             out.n_raw += 1
             now = max(req.cycle, entry_clock)
             if req.op == MemOp.ATOMIC:
+                if spans_on:
+                    spans.admit(out.n_raw - 1, req, now)
                 self._submit_atomic(req, now, memory, out)
                 entry_clock = now + 1
                 continue
@@ -233,6 +261,11 @@ class MSHRBasedDMC(Coalescer):
                 entry = self.mshrs.lookup(req.line_addr)
                 if entry is not None and entry.release_cycle is not None:
                     out.account_service(now, entry.release_cycle)
+                    if spans_on:
+                        # Merged miss rides the in-flight entry: its wait
+                        # is an MSHR span ending at the entry's release.
+                        spans.admit(out.n_raw - 1, req, now)
+                        spans.mark(req.req_id, "mshr", entry.release_cycle)
                 continue
             if self.mshrs.full:
                 release = self.mshrs.next_release_cycle()
@@ -247,9 +280,16 @@ class MSHRBasedDMC(Coalescer):
                     entry = self.mshrs.lookup(req.line_addr)
                     if entry is not None and entry.release_cycle is not None:
                         out.account_service(now, entry.release_cycle)
+                        if spans_on:
+                            spans.admit(out.n_raw - 1, req, now)
+                            spans.mark(
+                                req.req_id, "mshr", entry.release_cycle
+                            )
                     continue
             out.stall_cycles += now - req.cycle
             entry_clock = now + 1
+            if spans_on:
+                spans.admit(out.n_raw - 1, req, now)
             slot, _ = self.mshrs.allocate(req.line_addr, req.op, now)
             packet = CoalescedRequest(
                 addr=req.line_addr,
@@ -265,4 +305,6 @@ class MSHRBasedDMC(Coalescer):
             out.n_issued += 1
             out.last_completion_cycle = max(out.last_completion_cycle, completion)
             out.account_service(now, completion)
+            if spans_on:
+                spans.mark(req.req_id, "device", completion)
         return out

@@ -1,0 +1,144 @@
+"""Latency attribution over a span trace.
+
+Turns the raw per-request spans of :class:`repro.telemetry.spans.SpanTrace`
+into the answers an optimization pass actually needs:
+
+* **per-stage breakdown** — p50/p95/p99/mean cycles spent in each
+  pipeline stage across tracked requests (absent stages count as 0, so
+  stage means sum to the end-to-end mean);
+* **critical-path classification** — for each request, which stage
+  dominated it; reported as the fraction of requests each stage
+  dominates;
+* **top-k** — the slowest tracked requests with their full breakdown,
+  for drilling into tail latency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.telemetry.spans import STAGES, SpanTrace
+
+__all__ = [
+    "attribution_rows",
+    "critical_path",
+    "end_to_end_percentiles",
+    "stage_breakdown",
+    "top_k_rows",
+]
+
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    idx = min(
+        len(sorted_values) - 1,
+        max(0, math.ceil(q * len(sorted_values)) - 1),
+    )
+    return float(sorted_values[idx])
+
+
+def stage_breakdown(trace: SpanTrace) -> Dict[str, Dict[str, float]]:
+    """Per-stage duration statistics across all tracked requests.
+
+    Every request contributes to every stage (0 where it skipped the
+    stage), so ``sum(stage means) == mean end-to-end latency``.
+    """
+    n = len(trace.requests)
+    out: Dict[str, Dict[str, float]] = {}
+    for stage in STAGES:
+        values = sorted(r.stage_cycles(stage) for r in trace.requests)
+        total = sum(values)
+        out[stage] = {
+            "n": n,
+            "mean": total / n if n else 0.0,
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
+            "p99": _percentile(values, 0.99),
+            "max": float(values[-1]) if values else 0.0,
+        }
+    return out
+
+
+def end_to_end_percentiles(trace: SpanTrace) -> Dict[str, float]:
+    """p50/p95/p99/mean/max of tracked end-to-end latencies."""
+    totals = sorted(r.total_cycles for r in trace.requests)
+    n = len(totals)
+    return {
+        "n": n,
+        "mean": sum(totals) / n if n else 0.0,
+        "p50": _percentile(totals, 0.50),
+        "p95": _percentile(totals, 0.95),
+        "p99": _percentile(totals, 0.99),
+        "max": float(totals[-1]) if totals else 0.0,
+    }
+
+
+def critical_path(trace: SpanTrace) -> Dict[str, float]:
+    """Fraction of tracked requests dominated by each stage (the stage
+    holding the request's largest span; earliest stage wins ties)."""
+    counts = {stage: 0 for stage in STAGES}
+    for r in trace.requests:
+        counts[r.dominant_stage()] += 1
+    n = len(trace.requests)
+    if not n:
+        return {stage: 0.0 for stage in STAGES}
+    return {stage: counts[stage] / n for stage in STAGES}
+
+
+def attribution_rows(trace: SpanTrace) -> List[Dict]:
+    """The per-stage attribution table (one row per stage plus an
+    end-to-end summary row) for :func:`repro.experiments.reporting.render_table`."""
+    breakdown = stage_breakdown(trace)
+    dominance = critical_path(trace)
+    rows: List[Dict] = []
+    for stage in STAGES:
+        stats = breakdown[stage]
+        rows.append(
+            {
+                "stage": stage,
+                "mean": round(stats["mean"], 2),
+                "p50": stats["p50"],
+                "p95": stats["p95"],
+                "p99": stats["p99"],
+                "max": stats["max"],
+                "dominates": round(dominance[stage], 3),
+            }
+        )
+    e2e = end_to_end_percentiles(trace)
+    rows.append(
+        {
+            "stage": "end-to-end",
+            "mean": round(e2e["mean"], 2),
+            "p50": e2e["p50"],
+            "p95": e2e["p95"],
+            "p99": e2e["p99"],
+            "max": e2e["max"],
+            "dominates": "",
+        }
+    )
+    return rows
+
+
+def top_k_rows(trace: SpanTrace, k: int = 10) -> List[Dict]:
+    """The ``k`` slowest tracked requests with their stage breakdown."""
+    slowest = sorted(
+        trace.requests, key=lambda r: (-r.total_cycles, r.index)
+    )[:k]
+    rows: List[Dict] = []
+    for r in slowest:
+        row: Dict = {
+            "index": r.index,
+            "addr": f"{r.addr:#x}",
+            "op": r.op,
+            "origin": r.origin,
+            "total": r.total_cycles,
+            "critical": r.dominant_stage(),
+        }
+        row.update(r.durations())
+        rows.append(row)
+    return rows

@@ -84,9 +84,20 @@ def csv_rows(registry: TelemetryRegistry) -> List[Dict]:
     return rows
 
 
-def to_csv(registry: TelemetryRegistry) -> str:
-    """The long-form export as CSV text."""
+def metadata_lines(metadata: Optional[Dict]) -> List[str]:
+    """``# key=value`` comment lines (sorted) for self-describing CSV
+    exports; empty when no metadata is given."""
+    if not metadata:
+        return []
+    return [f"# {key}={metadata[key]}" for key in sorted(metadata)]
+
+
+def to_csv(registry: TelemetryRegistry, metadata: Optional[Dict] = None) -> str:
+    """The long-form export as CSV text, optionally led by ``# key=value``
+    run-metadata lines (benchmark, seed, config hash, window size)."""
     buf = io.StringIO()
+    for line in metadata_lines(metadata):
+        buf.write(line + "\n")
     writer = csv.DictWriter(buf, fieldnames=CSV_FIELDS, lineterminator="\n")
     writer.writeheader()
     for row in csv_rows(registry):
@@ -94,10 +105,14 @@ def to_csv(registry: TelemetryRegistry) -> str:
     return buf.getvalue()
 
 
-def write_csv(registry: TelemetryRegistry, path) -> int:
-    """Write the long-form CSV to ``path``; returns the row count."""
+def write_csv(
+    registry: TelemetryRegistry, path, metadata: Optional[Dict] = None
+) -> int:
+    """Write the long-form CSV to ``path``; returns the data-row count."""
     rows = csv_rows(registry)
     with open(path, "w", newline="") as fh:
+        for line in metadata_lines(metadata):
+            fh.write(line + "\n")
         writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS, lineterminator="\n")
         writer.writeheader()
         writer.writerows(rows)

@@ -1,0 +1,303 @@
+"""Span exporters: Chrome trace-event JSON (Perfetto) and long-form CSV.
+
+The JSON export follows the Chrome trace-event format (the ``X``
+complete-event flavour) and loads directly in Perfetto / chrome://tracing:
+
+* one *process* per pipeline stage, with tracked requests lane-packed
+  onto threads so concurrent spans never overlap within a track;
+* one ``vaults`` process with a lane-packed track per vault showing the
+  DRAM service interval of every packet that covered a tracked request.
+
+Timestamps are in simulated CPU **cycles** (the trace viewer's time unit
+is nominally microseconds; at the Table 1 2 GHz clock 1 unit = 0.5 ns —
+relative widths, which is what attribution needs, are exact).
+
+The CSV export is one row per (request, stage-span) with ``# key=value``
+metadata header lines so files are self-describing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.spans import STAGES, SpanTrace
+
+__all__ = [
+    "spans_csv_rows",
+    "spans_to_csv",
+    "to_trace_events",
+    "to_perfetto_json",
+    "validate_trace_events",
+    "write_perfetto",
+    "write_spans_csv",
+]
+
+#: Column order of the long-form span CSV.
+SPAN_CSV_FIELDS = (
+    "index",
+    "addr",
+    "core",
+    "op",
+    "origin",
+    "stage",
+    "start",
+    "end",
+    "cycles",
+    "arrival",
+    "total",
+)
+
+
+def _pack_lanes(intervals: Sequence[Tuple[int, int, int]]) -> Dict[int, int]:
+    """Greedy lane assignment: ``(start, end, key)`` -> ``{key: lane}``
+    such that intervals sharing a lane never overlap. Deterministic
+    (first-fit over start-sorted intervals)."""
+    lanes: List[int] = []  # lane -> busy-until
+    out: Dict[int, int] = {}
+    for start, end, key in sorted(intervals):
+        for lane, busy_until in enumerate(lanes):
+            if busy_until <= start:
+                lanes[lane] = end
+                out[key] = lane
+                break
+        else:
+            out[key] = len(lanes)
+            lanes.append(end)
+    return out
+
+
+def to_trace_events(trace: SpanTrace) -> List[Dict]:
+    """The Chrome trace-event list: metadata naming events plus one
+    complete (``ph: "X"``) event per stage span and per vault-service
+    interval."""
+    events: List[Dict] = []
+
+    # Process 0..len(STAGES)-1: one per pipeline stage.
+    stage_pid = {stage: pid for pid, stage in enumerate(STAGES)}
+    for stage, pid in stage_pid.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"stage: {stage}"},
+            }
+        )
+
+    # Lane-pack each stage's spans so same-track events never overlap.
+    per_stage: Dict[str, List[Tuple[int, int, int]]] = {
+        stage: [] for stage in STAGES
+    }
+    for r in trace.requests:
+        for stage, start, end in r.spans:
+            per_stage[stage].append((start, max(end, start + 1), r.index))
+    stage_lane = {
+        stage: _pack_lanes(intervals)
+        for stage, intervals in per_stage.items()
+    }
+
+    for r in trace.requests:
+        for stage, start, end in r.spans:
+            events.append(
+                {
+                    "name": stage,
+                    "cat": "request",
+                    "ph": "X",
+                    "pid": stage_pid[stage],
+                    "tid": stage_lane[stage][r.index],
+                    "ts": start,
+                    "dur": max(end - start, 0),
+                    "args": {
+                        "index": r.index,
+                        "addr": f"{r.addr:#x}",
+                        "op": r.op,
+                        "origin": r.origin,
+                        "total_cycles": r.total_cycles,
+                    },
+                }
+            )
+
+    # One extra process for the device: a lane-packed track per vault.
+    vault_pid = len(STAGES)
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": vault_pid,
+            "tid": 0,
+            "args": {"name": "vaults"},
+        }
+    )
+    per_vault: Dict[int, List[Tuple[int, int, int]]] = {}
+    packet_dram: Dict[int, Tuple[int, int]] = {}
+    for i, p in enumerate(trace.packets):
+        dram = next(
+            ((s, e) for name, s, e in p.segments if name == "dram"),
+            (p.start, p.completion),
+        )
+        packet_dram[i] = dram
+        per_vault.setdefault(p.vault, []).append(
+            (dram[0], max(dram[1], dram[0] + 1), i)
+        )
+    #: Vaults get disjoint tid ranges: vault v owns tids [v*8, v*8+8).
+    LANES_PER_VAULT = 8
+    for vault, intervals in sorted(per_vault.items()):
+        lanes = _pack_lanes(intervals)
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": vault_pid,
+                "tid": vault * LANES_PER_VAULT,
+                "args": {"name": f"vault {vault}"},
+            }
+        )
+        for i in sorted(lanes):
+            p = trace.packets[i]
+            start, end = packet_dram[i]
+            events.append(
+                {
+                    "name": f"dram {p.size}B",
+                    "cat": "vault",
+                    "ph": "X",
+                    "pid": vault_pid,
+                    "tid": vault * LANES_PER_VAULT
+                    + (lanes[i] % LANES_PER_VAULT),
+                    "ts": start,
+                    "dur": max(end - start, 0),
+                    "args": {
+                        "vault": p.vault,
+                        "link": p.link,
+                        "size": p.size,
+                        "n_raw": p.n_raw,
+                        "tracked": list(p.tracked),
+                        "segments": [list(s) for s in p.segments],
+                    },
+                }
+            )
+    return events
+
+
+def to_perfetto_json(
+    trace: SpanTrace, metadata: Optional[Dict] = None, indent: Optional[int] = None
+) -> str:
+    """The full Chrome trace-event JSON document."""
+    meta = dict(trace.meta_dict)
+    if metadata:
+        meta.update(metadata)
+    doc = {
+        "traceEvents": to_trace_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": {str(k): v for k, v in sorted(meta.items())},
+    }
+    return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def write_perfetto(
+    trace: SpanTrace, path, metadata: Optional[Dict] = None
+) -> int:
+    """Write the Perfetto JSON to ``path``; returns the event count."""
+    events = to_trace_events(trace)
+    with open(path, "w") as fh:
+        fh.write(to_perfetto_json(trace, metadata=metadata))
+    return len(events)
+
+
+def validate_trace_events(doc) -> List[str]:
+    """Validate a parsed trace-event document against the schema subset
+    this exporter (and chrome://tracing) relies on. Returns a list of
+    problems — empty means valid. Used by the CI smoke job and tests."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "b", "e", "i", "C"):
+            problems.append(f"event {i}: bad phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"event {i}: ts missing or non-numeric")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: dur missing or negative")
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# Long-form CSV.
+
+
+def spans_csv_rows(trace: SpanTrace) -> List[Dict]:
+    """One row per (tracked request, stage span)."""
+    rows: List[Dict] = []
+    for r in trace.requests:
+        for stage, start, end in r.spans:
+            rows.append(
+                {
+                    "index": r.index,
+                    "addr": f"{r.addr:#x}",
+                    "core": r.core,
+                    "op": r.op,
+                    "origin": r.origin,
+                    "stage": stage,
+                    "start": start,
+                    "end": end,
+                    "cycles": end - start,
+                    "arrival": r.arrival,
+                    "total": r.total_cycles,
+                }
+            )
+    return rows
+
+
+def _metadata_lines(trace: SpanTrace, metadata: Optional[Dict]) -> List[str]:
+    meta = dict(trace.meta_dict)
+    meta["sample_rate"] = trace.sample_rate
+    if metadata:
+        meta.update(metadata)
+    return [f"# {key}={meta[key]}" for key in sorted(meta)]
+
+
+def spans_to_csv(trace: SpanTrace, metadata: Optional[Dict] = None) -> str:
+    """The long-form span CSV with ``# key=value`` metadata headers."""
+    buf = io.StringIO()
+    for line in _metadata_lines(trace, metadata):
+        buf.write(line + "\n")
+    writer = csv.DictWriter(
+        buf, fieldnames=SPAN_CSV_FIELDS, lineterminator="\n"
+    )
+    writer.writeheader()
+    writer.writerows(spans_csv_rows(trace))
+    return buf.getvalue()
+
+
+def write_spans_csv(
+    trace: SpanTrace, path, metadata: Optional[Dict] = None
+) -> int:
+    """Write the span CSV to ``path``; returns the data-row count."""
+    rows = spans_csv_rows(trace)
+    with open(path, "w", newline="") as fh:
+        for line in _metadata_lines(trace, metadata):
+            fh.write(line + "\n")
+        writer = csv.DictWriter(
+            fh, fieldnames=SPAN_CSV_FIELDS, lineterminator="\n"
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)

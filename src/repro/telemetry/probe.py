@@ -35,6 +35,7 @@ view; probe names join with ``.`` (e.g. ``pac.maq.occupancy``).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
@@ -46,6 +47,22 @@ __all__ = [
     "TelemetryRegistry",
     "TelemetryScope",
 ]
+
+
+def _dist_percentile(dist: Dict, count: int, q: float) -> float:
+    """Nearest-rank percentile over a value->count distribution."""
+    if not count:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    rank = max(1, min(count, math.ceil(q * count)))
+    seen = 0
+    value = 0.0
+    for value, n in sorted(dist.items()):
+        seen += n
+        if seen >= rank:
+            return float(value)
+    return float(value)
 
 
 class CounterProbe:
@@ -92,11 +109,12 @@ class CounterProbe:
 
 
 class GaugeProbe:
-    """Sampled level; per-window count/sum/min/max (exact window means)."""
+    """Sampled level; per-window count/sum/min/max (exact window means)
+    plus a whole-run value distribution for exact percentiles."""
 
     kind = "gauge"
 
-    __slots__ = ("name", "window_cycles", "count", "total", "windows")
+    __slots__ = ("name", "window_cycles", "count", "total", "windows", "dist")
 
     def __init__(self, name: str, window_cycles: int) -> None:
         self.name = name
@@ -105,11 +123,16 @@ class GaugeProbe:
         self.total = 0.0
         #: window index -> [n, sum, min, max]
         self.windows: Dict[int, List[float]] = {}
+        #: observed value -> occurrence count (exact run distribution;
+        #: gauged levels are occupancies/latencies with few distinct
+        #: values, so this stays small).
+        self.dist: Dict[float, int] = {}
 
     def observe(self, cycle: int, value: float) -> None:
         """Record a sample of the gauged level at ``cycle``."""
         self.count += 1
         self.total += value
+        self.dist[value] = self.dist.get(value, 0) + 1
         w = cycle // self.window_cycles
         agg = self.windows.get(w)
         if agg is None:
@@ -125,6 +148,23 @@ class GaugeProbe:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile of all observed values
+        (``q`` in [0, 1])."""
+        return _dist_percentile(self.dist, self.count, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
 
     def window_mean(self, window: int) -> float:
         agg = self.windows.get(window)
@@ -153,6 +193,7 @@ class GaugeProbe:
             and self.count == other.count
             and self.total == other.total
             and self.windows == other.windows
+            and self.dist == other.dist
         )
 
     def __repr__(self) -> str:
@@ -183,6 +224,22 @@ class HistogramProbe:
         if not total:
             return 0.0
         return sum(k * v for k, v in self.bins.items()) / total
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile over the binned distribution."""
+        return _dist_percentile(self.bins, self.total, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
 
     def as_dict(self) -> Dict:
         return {
@@ -351,10 +408,15 @@ class TelemetryRegistry:
             "probes": {p.name: p.as_dict() for p in self.probes()},
         }
 
-    def to_json(self, indent: Optional[int] = None) -> str:
+    def to_json(
+        self, indent: Optional[int] = None, metadata: Optional[Dict] = None
+    ) -> str:
         import json
 
-        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+        doc = self.as_dict()
+        if metadata:
+            doc["meta"] = {str(k): metadata[k] for k in sorted(metadata)}
+        return json.dumps(doc, indent=indent, sort_keys=True)
 
     # -- equality (determinism harness) ------------------------------------- #
 

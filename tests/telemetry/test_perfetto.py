@@ -1,0 +1,228 @@
+"""Exporters and attribution math over real span traces.
+
+One shared run (module-scoped fixture) feeds every test; what we check:
+
+* the Perfetto export passes :func:`validate_trace_events` and events
+  sharing a (pid, tid) track never overlap (lane packing);
+* the CSV is self-describing (``# key=value`` headers) and its rows
+  reproduce the span partition;
+* attribution stats are internally consistent — stage means sum to the
+  end-to-end mean, percentiles are monotone, dominance fractions sum
+  to 1.
+"""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.engine.driver import run_benchmark
+from repro.engine.system import CoalescerKind
+from repro.telemetry import (
+    STAGES,
+    attribution_rows,
+    critical_path,
+    end_to_end_percentiles,
+    stage_breakdown,
+    to_perfetto_json,
+    to_trace_events,
+    top_k_rows,
+    spans_to_csv,
+    validate_trace_events,
+    write_perfetto,
+    write_spans_csv,
+)
+from repro.telemetry.attribution import _percentile
+from repro.telemetry.perfetto import SPAN_CSV_FIELDS, _pack_lanes
+from repro.telemetry.spans import SpanTrace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    result = run_benchmark(
+        "stream", CoalescerKind.PAC, n_accesses=6000, seed=42, spans=8
+    )
+    assert len(result.spans) > 10
+    return result.spans
+
+
+class TestLanePacking:
+    def test_disjoint_intervals_share_a_lane(self):
+        lanes = _pack_lanes([(0, 5, "a"), (5, 9, "b"), (10, 20, "c")])
+        assert lanes == {"a": 0, "b": 0, "c": 0}
+
+    def test_overlapping_intervals_split_lanes(self):
+        lanes = _pack_lanes([(0, 10, "a"), (3, 7, "b"), (4, 6, "c")])
+        assert len({lanes["a"], lanes["b"], lanes["c"]}) == 3
+
+    def test_packing_is_deterministic(self):
+        intervals = [(i % 7, i % 7 + 3, i) for i in range(40)]
+        assert _pack_lanes(intervals) == _pack_lanes(list(reversed(intervals)))
+
+
+class TestPerfettoExport:
+    def test_document_validates(self, trace):
+        doc = json.loads(to_perfetto_json(trace))
+        assert validate_trace_events(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["benchmark"] == "stream"
+        assert doc["otherData"]["coalescer"] == "pac"
+        assert "config_hash" in doc["otherData"]
+        assert "seed" in doc["otherData"]
+
+    def test_extra_metadata_merges_into_other_data(self, trace):
+        doc = json.loads(to_perfetto_json(trace, metadata={"run": "ci"}))
+        assert doc["otherData"]["run"] == "ci"
+
+    def test_every_stage_span_becomes_an_event(self, trace):
+        events = to_trace_events(trace)
+        x_request = [
+            e for e in events if e["ph"] == "X" and e.get("cat") == "request"
+        ]
+        n_spans = sum(len(r.spans) for r in trace.requests)
+        assert len(x_request) == n_spans
+
+    def test_same_track_events_never_overlap(self, trace):
+        by_track = {}
+        for e in to_trace_events(trace):
+            if e["ph"] != "X":
+                continue
+            by_track.setdefault((e["pid"], e["tid"]), []).append(
+                (e["ts"], e["ts"] + max(e["dur"], 1))
+            )
+        for track, intervals in by_track.items():
+            intervals.sort()
+            for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+                assert s1 >= e0, f"track {track}: [{s0},{e0}) overlaps [{s1},{e1})"
+
+    def test_vault_process_present_with_packets(self, trace):
+        events = to_trace_events(trace)
+        vault_pid = len(STAGES)
+        names = [
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert f"stage: {STAGES[0]}" in names
+        assert "vaults" in names
+        vault_events = [
+            e for e in events if e["ph"] == "X" and e["pid"] == vault_pid
+        ]
+        assert vault_events  # PAC on stream always issues packets
+
+    def test_write_perfetto_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_perfetto(trace, path, metadata={"run": "test"})
+        doc = json.loads(path.read_text())
+        assert validate_trace_events(doc) == []
+        assert len(doc["traceEvents"]) == n
+        assert doc["otherData"]["run"] == "test"
+
+    def test_validator_flags_broken_documents(self):
+        assert validate_trace_events([]) == ["document is not a JSON object"]
+        assert validate_trace_events({}) == ["traceEvents missing or not a list"]
+        assert "traceEvents is empty" in validate_trace_events(
+            {"traceEvents": []}
+        )
+        bad = {
+            "traceEvents": [
+                {"ph": "Z"},
+                {"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 1, "dur": -2},
+                {"ph": "X", "name": "a", "pid": 0, "tid": 0, "dur": 1},
+            ]
+        }
+        problems = validate_trace_events(bad)
+        assert any("bad phase" in p for p in problems)
+        assert any("dur missing or negative" in p for p in problems)
+        assert any("ts missing" in p for p in problems)
+
+
+class TestCsvExport:
+    def test_rows_reproduce_partition(self, trace):
+        text = spans_to_csv(trace)
+        meta = [ln for ln in text.splitlines() if ln.startswith("# ")]
+        assert any(ln.startswith("# benchmark=stream") for ln in meta)
+        assert any(ln.startswith("# sample_rate=8") for ln in meta)
+        body = "\n".join(
+            ln for ln in text.splitlines() if not ln.startswith("# ")
+        )
+        rows = list(csv.DictReader(io.StringIO(body)))
+        assert rows
+        assert tuple(rows[0].keys()) == SPAN_CSV_FIELDS
+        # Per-request stage cycles sum to the exported total.
+        by_index = {}
+        for row in rows:
+            by_index.setdefault(row["index"], []).append(row)
+        for index, group in by_index.items():
+            assert sum(int(r["cycles"]) for r in group) == int(
+                group[0]["total"]
+            )
+
+    def test_write_spans_csv_counts_rows(self, trace, tmp_path):
+        path = tmp_path / "spans.csv"
+        n = write_spans_csv(trace, path, metadata={"run": "ci"})
+        text = path.read_text()
+        assert "# run=ci" in text
+        data_lines = [
+            ln
+            for ln in text.splitlines()
+            if ln and not ln.startswith("# ")
+        ]
+        assert len(data_lines) == n + 1  # header + data rows
+
+
+class TestAttribution:
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert _percentile(values, 0.50) == 50
+        assert _percentile(values, 0.95) == 95
+        assert _percentile(values, 0.99) == 99
+        assert _percentile([7], 0.99) == 7
+        assert _percentile([], 0.5) == 0.0
+
+    def test_stage_means_sum_to_end_to_end_mean(self, trace):
+        breakdown = stage_breakdown(trace)
+        e2e = end_to_end_percentiles(trace)
+        assert sum(s["mean"] for s in breakdown.values()) == pytest.approx(
+            e2e["mean"]
+        )
+
+    def test_percentiles_monotone(self, trace):
+        for stats in (*stage_breakdown(trace).values(),
+                      end_to_end_percentiles(trace)):
+            assert stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
+
+    def test_dominance_fractions_sum_to_one(self, trace):
+        dominance = critical_path(trace)
+        assert set(dominance) == set(STAGES)
+        assert sum(dominance.values()) == pytest.approx(1.0)
+
+    def test_attribution_rows_shape(self, trace):
+        rows = attribution_rows(trace)
+        assert [r["stage"] for r in rows] == [*STAGES, "end-to-end"]
+        for row in rows:
+            assert set(row) == {
+                "stage", "mean", "p50", "p95", "p99", "max", "dominates",
+            }
+
+    def test_top_k_sorted_slowest_first(self, trace):
+        rows = top_k_rows(trace, k=5)
+        assert len(rows) == 5
+        totals = [r["total"] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+        for row in rows:
+            stage_sum = sum(row.get(stage, 0) for stage in STAGES)
+            assert stage_sum == row["total"]
+            assert row["critical"] in STAGES
+
+    def test_empty_trace_degrades_gracefully(self):
+        empty = SpanTrace(
+            requests=(), packets=(), sample_rate=16, sample_offset=0,
+            meta=(),
+        )
+        assert end_to_end_percentiles(empty)["mean"] == 0.0
+        assert sum(critical_path(empty).values()) == 0.0
+        rows = attribution_rows(empty)
+        assert rows[-1]["stage"] == "end-to-end"
+        assert top_k_rows(empty) == []

@@ -178,3 +178,67 @@ class TestExport:
 
     def test_timeline_empty_registry(self):
         assert timeline_rows(TelemetryRegistry()) == []
+
+
+class TestProbePercentiles:
+    """Exact nearest-rank percentiles over probe distributions (these
+    feed the ``repro trace`` gauge-percentile footer)."""
+
+    def test_gauge_percentiles_exact(self):
+        from repro.telemetry import GaugeProbe
+
+        g = GaugeProbe("occ", window_cycles=64)
+        for cycle, value in enumerate(range(1, 101)):
+            g.observe(cycle, value)
+        assert g.p50 == 50
+        assert g.p95 == 95
+        assert g.p99 == 99
+        assert g.percentile(1.0) == 100
+        assert g.percentile(0.0) == 1  # clamps to rank 1
+
+    def test_gauge_percentiles_with_repeats(self):
+        from repro.telemetry import GaugeProbe
+
+        g = GaugeProbe("occ", window_cycles=64)
+        for _ in range(99):
+            g.observe(0, 2.0)
+        g.observe(0, 40.0)
+        assert g.p50 == 2.0
+        assert g.p99 == 2.0
+        assert g.percentile(1.0) == 40.0
+
+    def test_gauge_empty_percentiles_are_zero(self):
+        from repro.telemetry import GaugeProbe
+
+        g = GaugeProbe("occ", window_cycles=64)
+        assert g.p50 == g.p95 == g.p99 == 0.0
+
+    def test_gauge_rejects_out_of_range_q(self):
+        from repro.telemetry import GaugeProbe
+
+        g = GaugeProbe("occ", window_cycles=64)
+        g.observe(0, 1.0)
+        with pytest.raises(ValueError):
+            g.percentile(1.5)
+
+    def test_histogram_percentiles_from_bins(self):
+        from repro.telemetry import HistogramProbe
+
+        h = HistogramProbe("sizes")
+        h.add(64, 90)
+        h.add(128, 9)
+        h.add(256, 1)
+        assert h.p50 == 64
+        assert h.p95 == 128
+        assert h.p99 == 128
+        assert h.percentile(1.0) == 256
+
+    def test_gauge_dist_survives_pickle_and_equality(self):
+        from repro.telemetry import GaugeProbe
+
+        g = GaugeProbe("occ", window_cycles=64)
+        for cycle in range(10):
+            g.observe(cycle, cycle % 3)
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone == g
+        assert clone.p95 == g.p95

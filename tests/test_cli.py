@@ -99,14 +99,77 @@ class TestTraceCommand:
             ["trace", "gs", "--accesses", "2000", "--window", "512",
              "--csv", str(csv_path), "--json", str(json_path)]
         ) == 0
-        header = csv_path.read_text().splitlines()[0]
+        lines = csv_path.read_text().splitlines()
+        meta_lines = [ln for ln in lines if ln.startswith("# ")]
+        assert any(ln.startswith("# benchmark=gs") for ln in meta_lines)
+        assert any(ln.startswith("# seed=") for ln in meta_lines)
+        assert any(ln.startswith("# config_hash=") for ln in meta_lines)
+        header = lines[len(meta_lines)]
         assert header.startswith("probe,kind,window,start_cycle")
         payload = json.loads(json_path.read_text())
         assert payload["window_cycles"] == 512
         assert "device.packets" in payload["probes"]
+        assert payload["meta"]["benchmark"] == "gs"
+        assert payload["meta"]["window_cycles"] == 512
 
     def test_timeline_mode_other_arms(self, capsys):
         assert main(
             ["trace", "gs", "--accesses", "1000", "--coalescer", "dmc"]
         ) == 0
         assert "gs / dmc" in capsys.readouterr().out
+
+    def test_timeline_mode_gauge_percentiles_footer(self, capsys):
+        assert main(["trace", "gs", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "gauge percentiles" in out
+        for column in ("p50", "p95", "p99"):
+            assert column in out
+
+
+class TestSpansCommand:
+    def test_attribution_table_prints(self, capsys):
+        assert main(
+            ["spans", "stream", "--accesses", "2000", "--sample-rate", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycles per stage" in out
+        for stage in ("queue", "network", "maq", "device", "end-to-end"):
+            assert stage in out
+
+    def test_perfetto_and_csv_export(self, tmp_path, capsys):
+        from repro.telemetry import validate_trace_events
+
+        json_path = tmp_path / "spans.json"
+        csv_path = tmp_path / "spans.csv"
+        assert main(
+            ["spans", "stream", "--accesses", "2000", "--sample-rate", "8",
+             "--perfetto", str(json_path), "--csv", str(csv_path),
+             "--top-k", "3"]
+        ) == 0
+        doc = json.loads(json_path.read_text())
+        assert validate_trace_events(doc) == []
+        assert doc["otherData"]["benchmark"] == "stream"
+        lines = csv_path.read_text().splitlines()
+        assert any(ln.startswith("# benchmark=stream") for ln in lines)
+        assert "slowest tracked requests" in capsys.readouterr().out
+
+    def test_all_benchmarks_loop(self, capsys):
+        assert main(
+            ["spans", "all", "--accesses", "500", "--sample-rate", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        from repro.workloads import BENCHMARK_NAMES
+
+        for name in BENCHMARK_NAMES:
+            assert f"{name} / pac" in out
+
+    def test_exports_rejected_for_all(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["spans", "all", "--accesses", "500",
+                 "--perfetto", "/tmp/never.json"]
+            )
+
+    def test_bad_sample_rate_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["spans", "gs", "--sample-rate", "0", "--accesses", "500"])
