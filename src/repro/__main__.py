@@ -17,6 +17,10 @@ Commands
               per-stage latency-attribution table (p50/p95/p99 cycles in
               queue/stage1/network/maq/mshr/device); ``--perfetto``
               exports Chrome trace-event JSON loadable in Perfetto.
+``bench``     Benchmark the simulator itself (wall-clock, raw requests
+              per second, per-phase split, RSS peak); writes the
+              machine-readable ``BENCH_<name>.json`` perf trajectory and
+              optionally gates against a checked-in baseline.
 ``config``    Print the Table 1 configuration.
 """
 
@@ -196,6 +200,48 @@ def main(argv=None) -> int:
     p_spans.add_argument(
         "--seed", type=int, default=None, dest="spans_seed",
         help="RNG seed (overrides the global --seed)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the simulator (perf harness + regression gate)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced CI smoke suite (2 benchmarks, fewer accesses)",
+    )
+    p_bench.add_argument(
+        "--name", default=None,
+        help="report name; output defaults to BENCH_<name>.json "
+             "(default: 'quick' with --quick, else 'main')",
+    )
+    p_bench.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output JSON path (overrides the BENCH_<name>.json default)",
+    )
+    p_bench.add_argument(
+        "--benchmarks", nargs="+", choices=BENCHMARK_NAMES, default=None,
+        help="override the benchmark set",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repeats per measurement (min is reported)",
+    )
+    p_bench.add_argument(
+        "--warmup", type=int, default=None,
+        help="untimed warmup iterations per measurement",
+    )
+    p_bench.add_argument(
+        "--accesses", type=int, default=None, dest="bench_accesses",
+        help="trace length per run (default 20000; 8000 with --quick)",
+    )
+    p_bench.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="BENCH_*.json to gate against (fail on regression)",
+    )
+    p_bench.add_argument(
+        "--max-regression", type=float, default=0.30, dest="max_regression",
+        help="allowed fractional throughput drop vs baseline (default 0.30)",
     )
 
     args = parser.parse_args(argv)
@@ -418,6 +464,54 @@ def main(argv=None) -> int:
             if args.spans_csv:
                 n = write_spans_csv(span_trace, args.spans_csv)
                 print(f"wrote {n:,} span rows to {args.spans_csv}")
+        return 0
+
+    if args.command == "bench":
+        from dataclasses import replace
+
+        from repro.bench import (
+            BenchConfig,
+            RegressionError,
+            check_regression,
+            render_report,
+            run_bench,
+            write_report,
+        )
+
+        cfg = BenchConfig.quick_config() if args.quick else BenchConfig()
+        overrides = {}
+        if args.benchmarks:
+            overrides["benchmarks"] = tuple(args.benchmarks)
+        if args.repeats is not None:
+            overrides["repeats"] = args.repeats
+        if args.warmup is not None:
+            overrides["warmup"] = args.warmup
+        if args.bench_accesses is not None:
+            overrides["n_accesses"] = args.bench_accesses
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        name = args.name or ("quick" if args.quick else "main")
+        report = run_bench(cfg, name=name, progress=print)
+        print(render_report(report))
+        out = args.out or f"BENCH_{name}.json"
+        write_report(report, out)
+        print(f"wrote {out}")
+        if args.baseline:
+            try:
+                cmp = check_regression(
+                    report, args.baseline,
+                    max_regression=args.max_regression,
+                )
+            except RegressionError as exc:
+                print(f"FAIL: {exc}")
+                return 1
+            print(
+                f"OK vs {args.baseline}: {cmp['speedup']:.2f}x "
+                f"({cmp['current_rps']:,.0f} vs "
+                f"{cmp['baseline_rps']:,.0f} raw req/s)"
+            )
         return 0
 
     return 1

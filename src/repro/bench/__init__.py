@@ -1,0 +1,47 @@
+"""Performance benchmarking of the simulator itself.
+
+Where :mod:`repro.experiments` measures the *modeled hardware*,
+:mod:`repro.bench` measures the *simulator*: wall-clock seconds, raw
+requests per second, per-phase time splits, and peak RSS. The harness is
+the repo's permanent perf trajectory — ``repro bench`` emits a
+machine-readable ``BENCH_<name>.json`` at the repo root that future PRs
+compare against (CI fails when end-to-end throughput regresses more
+than 30% versus the checked-in baseline).
+
+The golden rule (see CONTRIBUTING.md): optimize only with a benchmark
+and a golden check. Every claimed speedup must show up here, and
+``tests/golden_results.json`` / ``tests/test_fastpath_equivalence.py``
+must prove the optimized paths are bit-identical.
+"""
+
+from repro.bench.harness import (
+    BENCH_BENCHMARKS,
+    BenchConfig,
+    BenchReport,
+    PhaseTimes,
+    StageTimes,
+    Timing,
+    run_bench,
+)
+from repro.bench.report import (
+    RegressionError,
+    check_regression,
+    compare_reports,
+    render_report,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_BENCHMARKS",
+    "BenchConfig",
+    "BenchReport",
+    "PhaseTimes",
+    "RegressionError",
+    "StageTimes",
+    "Timing",
+    "check_regression",
+    "compare_reports",
+    "render_report",
+    "run_bench",
+    "write_report",
+]

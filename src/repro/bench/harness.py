@@ -1,0 +1,347 @@
+"""The microbenchmark harness: warmup, min-of-N repeats, phase splits.
+
+Methodology (pyperf-style):
+
+* every measurement runs ``warmup`` untimed iterations first, then
+  ``repeats`` timed iterations; the reported number is the **minimum**
+  (the least-noise estimate of the true cost on an otherwise idle
+  machine), with all samples retained in the JSON for scrutiny;
+* end-to-end measurements drive :func:`repro.engine.driver.run_comparison`
+  — the none/dmc/pac arms on one regenerated trace, i.e. exactly what a
+  design-space sweep runs per (benchmark, config) point;
+* the per-phase split wraps the run in phase timers: **trace-gen**
+  (workload generation + page-table translation), **cache** (hierarchy
+  walk producing the raw stream), **device** (cycles spent inside
+  ``MemoryDevice.submit``), and **coalescer** (everything else in
+  ``Coalescer.process``, i.e. stage 1 + network + MAQ + MSHRs);
+* per-stage isolation benchmarks re-run a single stage over a
+  pre-computed input so stage costs can be compared without upstream
+  noise;
+* peak RSS comes from ``resource.getrusage`` (kilobytes on Linux).
+
+Seeds are fixed, so two runs of the same code measure the same work —
+the only variable is the simulator's own speed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import TABLE1
+from repro.engine.driver import run_comparison
+from repro.engine.system import CoalescerKind, System
+
+#: Representative workloads: a page-local burst pattern (gs), a stencil
+#: SpMV (hpcg), a unit-stride streamer (stream), and the least-coalescable
+#: pointer chaser (bfs) — together they cover the coalescer's behaviour
+#: envelope (high/low efficiency, bypass-heavy, prefetch-heavy).
+BENCH_BENCHMARKS = ("gs", "hpcg", "stream", "bfs")
+
+#: Seed used for every measurement — results must not depend on it, but
+#: the *work* must be identical across harness invocations.
+BENCH_SEED = 1234
+
+PHASES = ("trace_gen", "cache", "coalescer", "device")
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process, in KB (None off-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    rss = usage.ru_maxrss
+    # ru_maxrss is KB on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)
+
+
+@dataclass
+class Timing:
+    """Min-of-N measurement of one benchmarked unit."""
+
+    seconds: float  # the min over repeats
+    samples: List[float] = field(default_factory=list)
+    items: int = 0  # work units per iteration (raw requests, accesses...)
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "seconds": self.seconds,
+            "samples": self.samples,
+            "items": self.items,
+            "items_per_second": self.items_per_second,
+        }
+
+
+@dataclass
+class PhaseTimes:
+    """Per-phase wall-clock split of one end-to-end comparison run."""
+
+    trace_gen: float = 0.0
+    cache: float = 0.0
+    coalescer: float = 0.0
+    device: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.trace_gen + self.cache + self.coalescer + self.device
+
+    def as_dict(self) -> Dict:
+        return {p: getattr(self, p) for p in PHASES}
+
+
+@dataclass
+class StageTimes:
+    """Single-stage isolation timings for one benchmark."""
+
+    timings: Dict[str, Timing] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {name: t.as_dict() for name, t in self.timings.items()}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One harness invocation's knobs."""
+
+    benchmarks: Sequence[str] = BENCH_BENCHMARKS
+    n_accesses: int = 20_000
+    repeats: int = 3
+    warmup: int = 1
+    seed: int = BENCH_SEED
+    quick: bool = False
+
+    @classmethod
+    def quick_config(cls) -> "BenchConfig":
+        """Reduced suite for CI smoke runs: fewer accesses, fewer
+        repeats, two benchmarks."""
+        return cls(
+            benchmarks=("gs", "stream"),
+            n_accesses=8_000,
+            repeats=2,
+            warmup=1,
+            quick=True,
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "benchmarks": list(self.benchmarks),
+            "n_accesses": self.n_accesses,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "quick": self.quick,
+        }
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``repro bench`` invocation measured."""
+
+    name: str
+    config: BenchConfig
+    end_to_end: Dict[str, Timing] = field(default_factory=dict)
+    phases: Dict[str, PhaseTimes] = field(default_factory=dict)
+    stages: Dict[str, StageTimes] = field(default_factory=dict)
+    rss_peak_kb: Optional[int] = None
+    python: str = ""
+    platform: str = ""
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.end_to_end.values())
+
+    @property
+    def total_requests_per_second(self) -> float:
+        """Aggregate end-to-end throughput: total raw requests processed
+        per second of simulator wall-clock, summed over the suite. The
+        regression gate compares this scalar."""
+        items = sum(t.items for t in self.end_to_end.values())
+        secs = self.total_seconds
+        return items / secs if secs > 0 else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "schema": "repro-bench/1",
+            "name": self.name,
+            "config": self.config.as_dict(),
+            "python": self.python,
+            "platform": self.platform,
+            "end_to_end": {b: t.as_dict() for b, t in self.end_to_end.items()},
+            "phases": {b: p.as_dict() for b, p in self.phases.items()},
+            "stages": {b: s.as_dict() for b, s in self.stages.items()},
+            "rss_peak_kb": self.rss_peak_kb,
+            "totals": {
+                "end_to_end_seconds": self.total_seconds,
+                "requests_per_second": self.total_requests_per_second,
+            },
+        }
+
+
+class _TimedDevice:
+    """Device proxy accumulating wall-clock spent inside ``submit`` so
+    the coalescer phase can be reported net of memory-device time."""
+
+    def __init__(self, device) -> None:
+        self._device = device
+        self.seconds = 0.0
+
+    def submit(self, packet, cycle: int) -> int:
+        t0 = time.perf_counter()
+        completion = self._device.submit(packet, cycle)
+        self.seconds += time.perf_counter() - t0
+        return completion
+
+    def __getattr__(self, name):
+        return getattr(self._device, name)
+
+
+def _min_of(
+    fn: Callable[[], int], repeats: int, warmup: int
+) -> Timing:
+    """Run ``fn`` (returns its work-item count) warmup+repeats times;
+    keep the min wall-clock."""
+    items = 0
+    for _ in range(warmup):
+        items = fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        items = fn()
+        samples.append(time.perf_counter() - t0)
+    return Timing(seconds=min(samples), samples=samples, items=items)
+
+
+def _measure_end_to_end(bench: str, cfg: BenchConfig) -> Timing:
+    def once() -> int:
+        results = run_comparison(
+            bench, n_accesses=cfg.n_accesses, seed=cfg.seed
+        )
+        return sum(r.n_raw for r in results.values())
+
+    return _min_of(once, cfg.repeats, cfg.warmup)
+
+
+def _measure_phases(bench: str, cfg: BenchConfig) -> PhaseTimes:
+    """One instrumented pass over the three comparison arms, split into
+    the four phases. Reported once (not min-of-N): the split's *shape*
+    is the signal; absolute seconds come from the end-to-end timing."""
+    phases = PhaseTimes()
+    for kind in (CoalescerKind.NONE, CoalescerKind.DMC, CoalescerKind.PAC):
+        system = System(config=TABLE1, coalescer=kind)
+        t0 = time.perf_counter()
+        trace = system.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
+        t1 = time.perf_counter()
+        raw = system.hierarchy.process(trace)
+        t2 = time.perf_counter()
+        timed = _TimedDevice(system.device)
+        system.coalescer.process(raw.requests, timed)
+        t3 = time.perf_counter()
+        phases.trace_gen += t1 - t0
+        phases.cache += t2 - t1
+        phases.coalescer += (t3 - t2) - timed.seconds
+        phases.device += timed.seconds
+    return phases
+
+
+def _measure_stages(bench: str, cfg: BenchConfig) -> StageTimes:
+    """Isolation benchmarks: each stage re-runs alone over fixed input."""
+    out = StageTimes()
+
+    def trace_gen() -> int:
+        system = System(config=TABLE1, coalescer=CoalescerKind.NONE)
+        trace = system.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
+        return len(trace)
+
+    out.timings["trace_gen"] = _min_of(trace_gen, cfg.repeats, cfg.warmup)
+
+    base = System(config=TABLE1, coalescer=CoalescerKind.PAC)
+    trace = base.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
+
+    def cache() -> int:
+        system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
+        raw = system.hierarchy.process(trace)
+        return len(raw.requests)
+
+    out.timings["cache"] = _min_of(cache, cfg.repeats, cfg.warmup)
+
+    raw = System(
+        config=TABLE1, coalescer=CoalescerKind.PAC
+    ).hierarchy.process(trace)
+
+    def coalescer() -> int:
+        # Fresh coalescer + device each iteration (they hold state);
+        # device submit time is subtracted out.
+        system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
+        timed = _TimedDevice(system.device)
+        system.coalescer.process(raw.requests, timed)
+        coalescer.device_seconds = timed.seconds
+        return len(raw.requests)
+
+    coalescer.device_seconds = 0.0
+    timing = _min_of(coalescer, cfg.repeats, cfg.warmup)
+    out.timings["coalescer"] = timing
+
+    def device() -> int:
+        # Replay the PAC arm's issued packets straight into a fresh
+        # device — pure memory-model cost.
+        system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
+        outcome = system.coalescer.process(raw.requests, system.device)
+        replay_system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
+        dev = replay_system.device
+        t0 = time.perf_counter()
+        for packet in outcome.issued:
+            dev.submit(packet, packet.issue_cycle)
+        device.inner_seconds = time.perf_counter() - t0
+        return len(outcome.issued)
+
+    device.inner_seconds = 0.0
+    # Time only the replay loop, not the setup run.
+    samples: List[float] = []
+    items = 0
+    for _ in range(cfg.warmup):
+        items = device()
+    for _ in range(cfg.repeats):
+        items = device()
+        samples.append(device.inner_seconds)
+    out.timings["device"] = Timing(
+        seconds=min(samples), samples=samples, items=items
+    )
+    return out
+
+
+def run_bench(
+    config: Optional[BenchConfig] = None,
+    name: str = "bench",
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run the full harness and return the report."""
+    import platform as _platform
+
+    cfg = config if config is not None else BenchConfig()
+    report = BenchReport(
+        name=name,
+        config=cfg,
+        python=sys.version.split()[0],
+        platform=_platform.platform(),
+    )
+    say = progress if progress is not None else (lambda msg: None)
+    for bench in cfg.benchmarks:
+        say(f"[{bench}] end-to-end ({cfg.repeats} repeats)...")
+        report.end_to_end[bench] = _measure_end_to_end(bench, cfg)
+        say(f"[{bench}] phase split...")
+        report.phases[bench] = _measure_phases(bench, cfg)
+        if not cfg.quick:
+            say(f"[{bench}] stage isolation...")
+            report.stages[bench] = _measure_stages(bench, cfg)
+    report.rss_peak_kb = _peak_rss_kb()
+    return report

@@ -1,0 +1,129 @@
+"""Bench report rendering, persistence, and regression gating.
+
+``BENCH_<name>.json`` files at the repo root are the perf trajectory:
+each holds one :class:`repro.bench.harness.BenchReport` as JSON. The
+regression gate compares the aggregate end-to-end throughput
+(``totals.requests_per_second``) of a fresh run against a checked-in
+baseline and fails when it drops more than ``max_regression``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.bench.harness import PHASES, BenchReport
+
+
+class RegressionError(RuntimeError):
+    """End-to-end throughput regressed beyond the allowed fraction."""
+
+
+def write_report(report: BenchReport, path: Union[str, Path]) -> Path:
+    """Serialize a report to ``path`` (pretty-printed, trailing newline)."""
+    path = Path(path)
+    path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+    return path
+
+
+def load_report_dict(path: Union[str, Path]) -> Dict:
+    """Load a BENCH_*.json into the plain-dict schema."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != "repro-bench/1":
+        raise ValueError(f"{path}: not a repro-bench/1 report")
+    return doc
+
+
+def _fmt_rate(rate: float) -> str:
+    if rate >= 1e6:
+        return f"{rate / 1e6:.2f}M/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k/s"
+    return f"{rate:.0f}/s"
+
+
+def render_report(report: BenchReport) -> str:
+    """Human-readable table of one report."""
+    lines: List[str] = []
+    cfg = report.config
+    lines.append(
+        f"repro bench: {report.name} — {len(cfg.benchmarks)} benchmarks x "
+        f"{cfg.n_accesses:,} accesses, min of {cfg.repeats} "
+        f"(+{cfg.warmup} warmup), seed {cfg.seed}"
+    )
+    header = (
+        f"  {'benchmark':<10} {'e2e (s)':>9} {'raw req/s':>10} "
+        f"{'trace':>7} {'cache':>7} {'coal':>7} {'device':>7}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for bench, timing in report.end_to_end.items():
+        phases = report.phases.get(bench)
+        split = ["", "", "", ""]
+        if phases is not None and phases.total > 0:
+            split = [
+                f"{getattr(phases, p) / phases.total:6.1%}" for p in PHASES
+            ]
+        lines.append(
+            f"  {bench:<10} {timing.seconds:9.3f} "
+            f"{_fmt_rate(timing.items_per_second):>10} "
+            f"{split[0]:>7} {split[1]:>7} {split[2]:>7} {split[3]:>7}"
+        )
+    lines.append(
+        f"  total: {report.total_seconds:.3f}s end-to-end, "
+        f"{_fmt_rate(report.total_requests_per_second)} aggregate"
+        + (
+            f", peak RSS {report.rss_peak_kb / 1024:.0f}MB"
+            if report.rss_peak_kb
+            else ""
+        )
+    )
+    for bench, stages in report.stages.items():
+        if not stages.timings:
+            continue
+        parts = ", ".join(
+            f"{name} {t.seconds * 1e3:.0f}ms ({_fmt_rate(t.items_per_second)})"
+            for name, t in stages.timings.items()
+        )
+        lines.append(f"  [{bench} stages] {parts}")
+    return "\n".join(lines)
+
+
+def compare_reports(
+    current: Union[BenchReport, Dict], baseline: Dict
+) -> Dict[str, float]:
+    """Throughput comparison of ``current`` vs a baseline report dict.
+
+    Returns ``{"current_rps", "baseline_rps", "speedup"}`` where speedup
+    > 1 means the current code is faster.
+    """
+    if isinstance(current, BenchReport):
+        current = current.as_dict()
+    cur = current["totals"]["requests_per_second"]
+    base = baseline["totals"]["requests_per_second"]
+    return {
+        "current_rps": cur,
+        "baseline_rps": base,
+        "speedup": (cur / base) if base else float("inf"),
+    }
+
+
+def check_regression(
+    current: Union[BenchReport, Dict],
+    baseline_path: Union[str, Path],
+    max_regression: float = 0.30,
+) -> Dict[str, float]:
+    """Fail (raise :class:`RegressionError`) when the current aggregate
+    throughput is more than ``max_regression`` below the baseline's."""
+    baseline = load_report_dict(baseline_path)
+    cmp = compare_reports(current, baseline)
+    floor = 1.0 - max_regression
+    if cmp["speedup"] < floor:
+        raise RegressionError(
+            f"end-to-end throughput regressed: "
+            f"{cmp['current_rps']:,.0f} req/s vs baseline "
+            f"{cmp['baseline_rps']:,.0f} req/s "
+            f"({cmp['speedup']:.2f}x, floor {floor:.2f}x of {baseline_path})"
+        )
+    return cmp

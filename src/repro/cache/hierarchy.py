@@ -150,18 +150,23 @@ class CacheHierarchy:
         prefetch_count = self.stats.counter("prefetch_raw")
         wb_count = self.stats.counter("writebacks")
 
-        addrs = trace.addrs
-        ops = trace.ops
-        cores = trace.cores
-        cycles = trace.cycles
+        # Convert the trace columns to native Python ints once — the per
+        # element ``int(arr[i])`` pattern costs a numpy scalar box per
+        # access in the hot loop below.
+        addrs = np.asarray(trace.addrs).tolist()
+        ops = np.asarray(trace.ops).tolist()
+        cycles = np.asarray(trace.cycles).tolist()
         store_val = int(MemOp.STORE)
         n = len(trace)
 
-        # Per-core future-access lists for the OoO lookahead scan.
+        # Per-core future-access lists for the OoO lookahead scan (one
+        # vectorized modulo pass shared by all cores).
+        core_mod = np.asarray(trace.cores) % self.n_cores
         core_lists = [
-            np.flatnonzero(np.asarray(cores) % self.n_cores == c)
+            np.flatnonzero(core_mod == c).tolist()
             for c in range(self.n_cores)
         ]
+        cores = core_mod.tolist()
         core_pos = [0] * self.n_cores
 
         t_raw = self._t_raw
@@ -170,7 +175,7 @@ class CacheHierarchy:
         spans_on = self._spans_on
 
         def emit(addr, op, core, cycle, size=None, kind="demand"):
-            raw_count.add()
+            raw_count.value += 1
             if probes_on:
                 t_raw.add(cycle)
             if spans_on and spans.is_sampled(len(out)):
@@ -181,7 +186,7 @@ class CacheHierarchy:
             )
 
         def emit_wb(addr, core, cycle):
-            wb_count.add()
+            wb_count.value += 1
             if probes_on:
                 t_raw.add(cycle)
                 self._t_writebacks.add(cycle)
@@ -195,10 +200,10 @@ class CacheHierarchy:
         atomic_val = int(MemOp.ATOMIC)
         fence_val = int(MemOp.FENCE)
         for i in range(n):
-            addr = int(addrs[i])
-            cycle = int(cycles[i])
-            core = int(cores[i]) % self.n_cores
-            op_val = int(ops[i])
+            addr = addrs[i]
+            cycle = cycles[i]
+            core = cores[i]
+            op_val = ops[i]
             is_store = op_val == store_val
             line_addr = addr - (addr % line)
             core_pos[core] += 1
@@ -269,9 +274,9 @@ class CacheHierarchy:
                 stop = min(len(lst), start + self.lookahead_window)
                 emitted = 0
                 for j in lst[start:stop]:
-                    future = int(addrs[j])
+                    future = addrs[j]
                     if future - (future % line) == line_addr:
-                        secondary_count.add()
+                        secondary_count.value += 1
                         if probes_on:
                             self._t_secondary.add(cycle)
                         if fine_grain:
@@ -326,7 +331,7 @@ class CacheHierarchy:
                 wb = self.llc.install(pf)
                 if wb is not None:
                     emit_wb(wb, core, cycle)
-                prefetch_count.add()
+                prefetch_count.value += 1
                 if self._probes_on:
                     self._t_prefetch.add(cycle)
                 emit(pf, op, core, cycle, kind="prefetch")

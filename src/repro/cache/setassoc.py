@@ -14,7 +14,7 @@ from typing import List, Optional
 from repro.common.stats import StatsRegistry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of a single cache lookup."""
 
@@ -22,6 +22,12 @@ class AccessResult:
     #: Line address of a dirty victim evicted by this access (write-back
     #: traffic), or None.
     writeback: Optional[int] = None
+
+
+#: Shared no-writeback results — the overwhelmingly common outcomes, so
+#: the hot path avoids allocating a fresh (frozen, identical) object.
+_HIT = AccessResult(hit=True)
+_MISS_CLEAN = AccessResult(hit=False)
 
 
 class SetAssociativeCache:
@@ -50,8 +56,21 @@ class SetAssociativeCache:
         # sets[i]: OrderedDict line_addr -> dirty flag, LRU first.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
         self.stats = StatsRegistry(name)
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_dirty_evictions = self.stats.counter("dirty_evictions")
+        # Shift/mask set indexing when the geometry allows it (always, for
+        # the power-of-two Table 1 caches): for non-negative line-aligned
+        # addresses, ``(a >> shift) & mask`` == ``(a // line) % n_sets``.
+        pow2 = not (self.line_bytes & (self.line_bytes - 1)) and not (
+            self.n_sets & (self.n_sets - 1)
+        )
+        self._line_shift = self.line_bytes.bit_length() - 1 if pow2 else None
+        self._set_mask = self.n_sets - 1
 
     def _set_index(self, line_addr: int) -> int:
+        if self._line_shift is not None:
+            return (line_addr >> self._line_shift) & self._set_mask
         return (line_addr // self.line_bytes) % self.n_sets
 
     def access(self, line_addr: int, is_store: bool = False) -> AccessResult:
@@ -61,32 +80,45 @@ class SetAssociativeCache:
             raise ValueError(
                 f"{self.name}: unaligned line address {line_addr:#x}"
             )
-        cache_set = self._sets[self._set_index(line_addr)]
+        shift = self._line_shift
+        if shift is not None:
+            cache_set = self._sets[(line_addr >> shift) & self._set_mask]
+        else:
+            cache_set = self._sets[self._set_index(line_addr)]
         if line_addr in cache_set:
             cache_set.move_to_end(line_addr)
             if is_store:
                 cache_set[line_addr] = True
-            self.stats.counter("hits").add()
-            return AccessResult(hit=True)
+            self._c_hits.value += 1
+            return _HIT
 
-        self.stats.counter("misses").add()
+        self._c_misses.value += 1
         writeback = None
         if len(cache_set) >= self.ways:
             victim, dirty = cache_set.popitem(last=False)
             if dirty:
                 writeback = victim
-                self.stats.counter("dirty_evictions").add()
+                self._c_dirty_evictions.value += 1
         cache_set[line_addr] = is_store
+        if writeback is None:
+            return _MISS_CLEAN
         return AccessResult(hit=False, writeback=writeback)
 
     def contains(self, line_addr: int) -> bool:
         """Non-destructive presence probe (no LRU update)."""
+        shift = self._line_shift
+        if shift is not None:
+            return line_addr in self._sets[(line_addr >> shift) & self._set_mask]
         return line_addr in self._sets[self._set_index(line_addr)]
 
     def install(self, line_addr: int, dirty: bool = False) -> Optional[int]:
         """Insert a line without counting a demand access (fills from the
         level below). Returns a dirty victim if one was evicted."""
-        cache_set = self._sets[self._set_index(line_addr)]
+        shift = self._line_shift
+        if shift is not None:
+            cache_set = self._sets[(line_addr >> shift) & self._set_mask]
+        else:
+            cache_set = self._sets[self._set_index(line_addr)]
         if line_addr in cache_set:
             cache_set.move_to_end(line_addr)
             if dirty:

@@ -32,7 +32,7 @@ def popcount(bitmap: int) -> int:
     """Number of set bits."""
     if bitmap < 0:
         raise ValueError("bitmap must be non-negative")
-    return bin(bitmap).count("1")
+    return bitmap.bit_count()
 
 
 def iter_set_bits(bitmap: int) -> Iterator[int]:

@@ -52,7 +52,7 @@ class MemOp(enum.IntEnum):
         return self in (MemOp.LOAD, MemOp.STORE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRequest:
     """A raw memory request as flushed from the last-level cache.
 
@@ -108,7 +108,7 @@ class MemoryRequest:
         return (int(self.op == MemOp.STORE) << 52) | self.ppn
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoalescedRequest:
     """A request produced by a coalescer and issued toward the memory device.
 

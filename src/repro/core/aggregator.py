@@ -11,7 +11,9 @@ oldest stream is force-flushed).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StatsRegistry
 from repro.common.types import MemOp, MemoryRequest
@@ -44,9 +46,26 @@ class PagedRequestAggregator:
         self._t_merge = probes.counter("merged_inserts")
         self._t_forced = probes.counter("forced_flushes")
         self._t_occupancy = probes.gauge("occupancy")
-        #: Lower bound on the earliest stream deadline — lets expire()
-        #: early-out without scanning (exact after every expire()).
-        self._min_deadline: Optional[int] = None
+        self._c_comparisons = self.stats.counter("comparisons")
+        self._c_merged = self.stats.counter("merged_inserts")
+        self._c_forced = self.stats.counter("forced_flushes")
+        self._c_alloc = self.stats.counter("allocations")
+        self._c_fence = self.stats.counter("fence_flushes")
+        self._h_occ_at_insert = self.stats.histogram("occupancy_at_insert")
+        #: Deadline heap: ``(deadline, seq, stream)`` pushed at stream
+        #: allocation (deadlines are fixed at allocation, Section 3.3.1).
+        #: Streams removed by a forced flush or a fence leave stale heap
+        #: entries, skipped via ``stream.resident`` when they surface.
+        #: ``seq`` is the allocation order, which makes deadline ties pop
+        #: in the same order as the original stable sort over the
+        #: allocation-ordered stream list.
+        self._deadline_heap: List[Tuple[int, int, CoalescingStream]] = []
+        self._alloc_seq = itertools.count()
+        #: Tag -> resident stream. Tags are unique among resident streams
+        #: (a matching tag merges instead of allocating), so the parallel
+        #: comparator sweep resolves to one dict probe. The comparison
+        #: *count* still models the hardware sweep over every slot.
+        self._by_tag: Dict[int, CoalescingStream] = {}
 
     @property
     def occupancy(self) -> int:
@@ -58,23 +77,28 @@ class PagedRequestAggregator:
 
     def next_deadline(self) -> Optional[int]:
         """Earliest timeout deadline among active streams."""
-        if not self.streams:
-            return None
-        return min(s.deadline(self.timeout_cycles) for s in self.streams)
+        heap = self._deadline_heap
+        while heap:
+            if heap[0][2].resident:
+                return heap[0][0]
+            heapq.heappop(heap)  # stale (force-flushed or fenced)
+        return None
 
     def expire(self, now: int) -> List[CoalescingStream]:
         """Remove and return every stream whose timeout has passed at
         ``now`` (deadline <= now), oldest deadline first."""
-        if self._min_deadline is not None and now < self._min_deadline:
+        heap = self._deadline_heap
+        if not heap or heap[0][0] > now:
             return []  # nothing can be due yet
-        due = [s for s in self.streams if s.deadline(self.timeout_cycles) <= now]
+        due: List[CoalescingStream] = []
+        while heap and heap[0][0] <= now:
+            _, _, stream = heapq.heappop(heap)
+            if stream.resident:
+                stream.resident = False
+                self._by_tag.pop(stream.tag, None)
+                due.append(stream)
         if due:
-            due.sort(key=lambda s: s.deadline(self.timeout_cycles))
-            self.streams = [
-                s for s in self.streams
-                if s.deadline(self.timeout_cycles) > now
-            ]
-        self._min_deadline = self.next_deadline()
+            self.streams = [s for s in self.streams if s.resident]
         return due
 
     def insert(self, req: MemoryRequest, now: int) -> List[CoalescingStream]:
@@ -86,35 +110,42 @@ class PagedRequestAggregator:
         """
         if req.op not in (MemOp.LOAD, MemOp.STORE):
             raise ValueError(f"non-coalescable op in aggregator: {req.op}")
+        streams = self.streams
         # One parallel comparator sweep across all active streams.
-        self.stats.counter("comparisons").add(len(self.streams))
-        self.stats.histogram("occupancy_at_insert").add(len(self.streams))
+        self._c_comparisons.value += len(streams)
+        self._h_occ_at_insert.add(len(streams))
         if self._probes_on:
-            self._t_occupancy.observe(now, len(self.streams))
+            self._t_occupancy.observe(now, len(streams))
 
-        for stream in self.streams:
-            if stream.matches(req):
-                stream.add(req, now)
-                self.stats.counter("merged_inserts").add()
-                if self._probes_on:
-                    self._t_merge.add(now)
-                return []
+        tag = req.tag()  # computed once, compared against every stream
+        stream = self._by_tag.get(tag)
+        if stream is not None:
+            stream.add(req, now)
+            self._c_merged.value += 1
+            if self._probes_on:
+                self._t_merge.add(now)
+            return []
 
         flushed: List[CoalescingStream] = []
         if self.full:
             # All slots busy: force-flush the oldest stream (earliest
-            # allocation) so the new page gets a slot.
-            oldest = min(self.streams, key=lambda s: s.alloc_cycle)
-            self.streams.remove(oldest)
+            # allocation). Streams append in admission order and `now`
+            # is monotone, so the head of the list is the oldest.
+            oldest = streams.pop(0)
+            oldest.resident = False  # lazy-delete its heap entry
+            self._by_tag.pop(oldest.tag, None)
             flushed.append(oldest)
-            self.stats.counter("forced_flushes").add()
+            self._c_forced.value += 1
             if self._probes_on:
                 self._t_forced.add(now)
-        self.streams.append(new_stream(req, self.protocol, now))
-        deadline = now + self.timeout_cycles
-        if self._min_deadline is None or deadline < self._min_deadline:
-            self._min_deadline = deadline
-        self.stats.counter("allocations").add()
+        fresh = new_stream(req, self.protocol, now)
+        streams.append(fresh)
+        self._by_tag[tag] = fresh
+        heapq.heappush(
+            self._deadline_heap,
+            (now + self.timeout_cycles, next(self._alloc_seq), fresh),
+        )
+        self._c_alloc.value += 1
         if self._probes_on:
             self._t_alloc.add(now)
         return flushed
@@ -124,15 +155,21 @@ class PagedRequestAggregator:
         request to stage 2 (Section 3.3.1)."""
         flushed = list(self.streams)
         self.streams.clear()
-        self._min_deadline = None
-        self.stats.counter("fence_flushes").add(len(flushed))
+        for stream in flushed:
+            stream.resident = False
+        self._deadline_heap.clear()
+        self._by_tag.clear()
+        self._c_fence.value += len(flushed)
         return flushed
 
     def drain(self) -> List[CoalescingStream]:
         """End-of-run flush of everything still buffered."""
         flushed = list(self.streams)
         self.streams.clear()
-        self._min_deadline = None
+        for stream in flushed:
+            stream.resident = False
+        self._deadline_heap.clear()
+        self._by_tag.clear()
         return flushed
 
     def sample_occupancy(self, now: int) -> None:

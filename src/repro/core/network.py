@@ -50,6 +50,11 @@ class CoalescingNetwork:
         self._t_bypassed = net_probes.counter("bypassed_requests")
         self._t_coalesced = net_probes.counter("coalesced_requests")
         self._t_pipeline_cycles = net_probes.gauge("stream_pipeline_cycles")
+        self._c_bypassed_streams = self.stats.counter("bypassed_streams")
+        self._c_bypassed_requests = self.stats.counter("bypassed_requests")
+        self._c_coalesced_streams = self.stats.counter("coalesced_streams")
+        self._c_coalesced_requests = self.stats.counter("coalesced_requests")
+        self._a_pipeline_cycles = self.stats.accumulator("stream_pipeline_cycles")
 
     def flush_stream(
         self, stream: CoalescingStream, flush_cycle: int
@@ -63,8 +68,8 @@ class CoalescingNetwork:
             # C = 0: single request — skip stages 2-3 (Section 3.3.1).
             # The packet covers every grain the lone request touched
             # (one 64B grain on HMC; e.g. two 32B grains on HBM).
-            self.stats.counter("bypassed_streams").add()
-            self.stats.counter("bypassed_requests").add(stream.n_requests)
+            self._c_bypassed_streams.value += 1
+            self._c_bypassed_requests.value += stream.n_requests
             if self._probes_on:
                 self._t_bypassed.add(flush_cycle, stream.n_requests)
             grains = sorted(stream.grain_requests)
@@ -81,8 +86,8 @@ class CoalescingNetwork:
             )
             return [packet]
 
-        self.stats.counter("coalesced_streams").add()
-        self.stats.counter("coalesced_requests").add(stream.n_requests)
+        self._c_coalesced_streams.value += 1
+        self._c_coalesced_requests.value += stream.n_requests
         if self._probes_on:
             self._t_coalesced.add(flush_cycle, stream.n_requests)
         sequences = self.decoder.decode(stream, flush_cycle)
@@ -96,9 +101,7 @@ class CoalescingNetwork:
             start = max(seq.ready_cycle, stage3_free)
             seq_packets, stage3_free = self.assembler.assemble(seq, start)
             packets.extend(seq_packets)
-        self.stats.accumulator("stream_pipeline_cycles").add(
-            stage3_free - flush_cycle
-        )
+        self._a_pipeline_cycles.add(stage3_free - flush_cycle)
         if self._probes_on:
             self._t_pipeline_cycles.observe(flush_cycle, stage3_free - flush_cycle)
         return packets

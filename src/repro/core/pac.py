@@ -71,6 +71,9 @@ class PagedAdaptiveCoalescer(Coalescer):
         self.mshrs = AdaptiveMSHRFile(
             self.config.n_mshrs, name="pac.amshr", probes=probes.scope("mshr")
         )
+        # Peeked before each advance() call: a no-release advance has no
+        # side effects, and most events have nothing due.
+        self._mshr_heap = self.mshrs._release_heap
         #: Network controller state: disabled while idle (Section 3.2).
         self.network_enabled = not self.config.idle_bypass
         self._last_sample = 0
@@ -88,6 +91,21 @@ class PagedAdaptiveCoalescer(Coalescer):
         self._t_disables = ctrl.counter("network_disables")
         self._t_entry_wait = ctrl.gauge("entry_wait")
         self._t_maq_occupancy = maq_probes.gauge("occupancy")
+        # Pre-resolved stat handles for the per-request hot path.
+        stats = self.stats
+        self._c_atomics = stats.counter("atomics")
+        self._c_fences = stats.counter("fences")
+        self._c_net_enables = stats.counter("network_enables")
+        self._c_net_disables = stats.counter("network_disables")
+        self._c_pipeline_stalls = stats.counter("pipeline_stall_cycles")
+        self._c_mshr_cam = stats.counter("mshr_cam_comparisons")
+        self._c_mshr_merges = stats.counter("mshr_packet_merges")
+        self._c_direct = stats.counter("direct_requests")
+        self._c_direct_cam = stats.counter("direct_cam_comparisons")
+        self._acc_latency = stats.accumulator("request_latency")
+        self._h_occupancy = self.aggregator.stats.histogram(
+            "occupancy_samples"
+        )
 
     # ------------------------------------------------------------------ #
     # main loop
@@ -105,10 +123,16 @@ class PagedAdaptiveCoalescer(Coalescer):
         #: behaviour that lets PAC mine a congested miss queue.
         self._entry_clock = 0
         self._arrivals = {}
-        latency_acc = self.stats.accumulator("request_latency")
+        latency_add = self._acc_latency.add
 
         spans = self._spans
         spans_on = self._spans_on
+        probes_on = self._probes_on
+        aggregator_insert = self.aggregator.insert
+        flush_stream = self._flush_stream
+        advance = self._advance
+        atomic_op = MemOp.ATOMIC
+        fence_op = MemOp.FENCE
 
         for req in raw:
             out.n_raw += 1
@@ -118,16 +142,16 @@ class PagedAdaptiveCoalescer(Coalescer):
             # miss — so the open-loop backlog does not inflate it.
             self._arrivals[req.req_id] = now
             out.stall_cycles += now - req.cycle
-            if self._probes_on:
+            if probes_on:
                 self._t_entry_wait.observe(now, now - req.cycle)
             if spans_on:
                 # index = raw-stream ordinal: deterministic across
                 # serial/parallel runs, unlike the process-global req_id.
                 spans.admit(out.n_raw - 1, req, now)
             self._entry_clock = now + 1
-            self._advance(now)
+            advance(now)
 
-            if req.op == MemOp.ATOMIC:
+            if req.op == atomic_op:
                 # Atomics go straight to the memory controller,
                 # uncoalesced, not even via the MSHRs (Section 3.3.1).
                 packet = CoalescedRequest(
@@ -144,13 +168,13 @@ class PagedAdaptiveCoalescer(Coalescer):
                 out.account_service(now, completion)
                 if spans_on:
                     spans.mark(req.req_id, "device", completion)
-                self.stats.counter("atomics").add()
+                self._c_atomics.value += 1
                 continue
 
-            if req.op == MemOp.FENCE:
+            if req.op == fence_op:
                 for stream in self.aggregator.fence(now):
-                    self._flush_stream(stream, now)
-                self.stats.counter("fences").add()
+                    flush_stream(stream, now)
+                self._c_fences.value += 1
                 continue
 
             if not self.network_enabled:
@@ -158,17 +182,18 @@ class PagedAdaptiveCoalescer(Coalescer):
                 # latency; the network stays off until the MSHRs fill.
                 if self.mshrs.full:
                     self.network_enabled = True
-                    self.stats.counter("network_enables").add()
-                    if self._probes_on:
+                    self._c_net_enables.value += 1
+                    if probes_on:
                         self._t_enables.add(now)
                 else:
                     self._direct_to_mshr(req, now)
-                    latency_acc.add(1.0)
+                    latency_add(1.0)
                     continue
 
-            flushed = self.aggregator.insert(req, now)
-            for stream in flushed:
-                self._flush_stream(stream, now)
+            flushed = aggregator_insert(req, now)
+            if flushed:
+                for stream in flushed:
+                    flush_stream(stream, now)
 
         # End of stream: drain everything that is still buffered; each
         # remaining stream flushes at its own timeout deadline.
@@ -198,18 +223,22 @@ class PagedAdaptiveCoalescer(Coalescer):
         """Process all timeout flushes due at or before ``now`` and drain
         the MAQ into the MSHRs; also take occupancy samples."""
         due = self.aggregator.expire(now)
-        deadlines = sorted(
-            s.deadline(self.config.timeout_cycles) for s in due
-        )
-        self._sample_windows(now, deadlines)
-        for stream in due:
-            self._flush_stream(
-                stream, stream.deadline(self.config.timeout_cycles)
-            )
+        if due:
+            timeout = self.config.timeout_cycles
+            # expire() pops its heap in (deadline, alloc) order, so the
+            # due list arrives already deadline-sorted.
+            deadlines = [s.deadline(timeout) for s in due]
+            self._sample_windows(now, deadlines)
+            for stream in due:
+                self._flush_stream(stream, stream.deadline(timeout))
+        else:
+            self._sample_windows(now, ())
         self._drain_maq(now=now)
         # Apply any memory responses due by now even when the MAQ is
         # empty — the controller's disable condition reads MSHR occupancy.
-        self.mshrs.advance(now)
+        heap = self._mshr_heap
+        if heap and heap[0][0] <= now:
+            self.mshrs.advance(now)
         self._maybe_disable(now)
 
     def _sample_windows(self, now: int, expired_deadlines) -> None:
@@ -222,7 +251,7 @@ class PagedAdaptiveCoalescer(Coalescer):
         """
         if self._last_sample + OCCUPANCY_SAMPLE_CYCLES > now:
             return
-        hist = self.aggregator.stats.histogram("occupancy_samples")
+        hist = self._h_occupancy
         base = self.aggregator.occupancy  # survivors (already expired out)
         last_deadline = expired_deadlines[-1] if expired_deadlines else None
         while (
@@ -252,19 +281,20 @@ class PagedAdaptiveCoalescer(Coalescer):
             and self.aggregator.occupancy == 0
         ):
             self.network_enabled = False
-            self.stats.counter("network_disables").add()
+            self._c_net_disables.value += 1
             if self._probes_on:
                 self._t_disables.add(now)
 
     def _flush_stream(self, stream, flush_cycle: int) -> None:
         """Send a stage-1 stream through the network and into the MAQ."""
-        latency_acc = self.stats.accumulator("request_latency")
         # Stage-1 residency: the paper reports the overall PAC latency as
         # timeout-dominated; we record the stream's aggregation residency
-        # per request it carried.
-        latency_acc_value = flush_cycle - stream.alloc_cycle
+        # per request it carried. One add() per request (not a batched
+        # moment update) keeps the accumulator bit-identical.
+        latency_add = self._acc_latency.add
+        sample = float(max(1, flush_cycle - stream.alloc_cycle))
         for _ in range(stream.n_requests):
-            latency_acc.add(float(max(1, latency_acc_value)))
+            latency_add(sample)
         if self._spans_on:
             # Stage-1 residency ends at the flush; the grain lists repeat
             # multi-grain req_ids, which mark_many de-duplicates.
@@ -286,20 +316,60 @@ class PagedAdaptiveCoalescer(Coalescer):
             # admit new requests until then (backpressure).
             waited = self._drain_one(force=True)
             self._entry_clock = max(self._entry_clock, waited)
-            self.stats.counter("pipeline_stall_cycles").add(
-                max(0, waited - ready)
-            )
+            self._c_pipeline_stalls.value += max(0, waited - ready)
             if not self.maq.push(packet, max(ready, waited)):
                 raise AssertionError("MAQ still full after forced drain")
-
 
     def _account_packet(self, packet, completion: int) -> None:
         """Exact service accounting: every raw request covered by this
         packet is satisfied when the packet's response returns."""
+        arrivals = self._arrivals
+        account = self._out.account_service
         for rid in packet.constituents:
-            arrival = self._arrivals.pop(rid, None)
+            arrival = arrivals.pop(rid, None)
             if arrival is not None:
-                self._out.account_service(arrival, completion)
+                account(arrival, completion)
+
+    def _complete_merge(
+        self, packet: CoalescedRequest, merged, cycle: int,
+        from_maq: bool = True,
+    ) -> None:
+        """Shared tail of every packet-merge site: service accounting
+        against the owning entry's release, span stamps, merge counter.
+
+        ``from_maq`` distinguishes the MAQ drain sites (which also pop
+        the MAQ and stamp the ``maq`` span stage) from the direct path.
+        """
+        if from_maq:
+            self.maq.pop()
+            if self._probes_on:
+                self._t_maq_occupancy.observe(cycle, len(self.maq))
+        self._out.n_merged += packet.n_raw
+        if merged.release_cycle is not None:
+            self._account_packet(packet, merged.release_cycle)
+            if self._spans_on:
+                if from_maq:
+                    self._spans.mark_many(packet.constituents, "maq", cycle)
+                self._spans.mark_many(
+                    packet.constituents, "mshr", merged.release_cycle
+                )
+        self._c_mshr_merges.value += 1
+
+    def _issue_packet(self, packet: CoalescedRequest, t: int) -> int:
+        """Allocate an MSHR for ``packet``, submit it to the device, and
+        do the issue-side accounting; returns the completion cycle."""
+        out = self._out
+        slot, _ = self.mshrs.allocate_packet(packet, t)
+        completion = self._memory.submit(packet, t)
+        self.mshrs.schedule_release(slot, completion)
+        out.issued.append(packet)
+        out.n_issued += 1
+        if completion > out.last_completion_cycle:
+            out.last_completion_cycle = completion
+        self._account_packet(packet, completion)
+        if self._spans_on:
+            self._spans.mark_many(packet.constituents, "device", completion)
+        return completion
 
     def _drain_maq(self, now: Optional[int] = None, until_empty: bool = False) -> None:
         """Pop MAQ entries whose ready time has come and hand them to the
@@ -321,28 +391,17 @@ class PagedAdaptiveCoalescer(Coalescer):
         MSHRs stay full through ``now`` and ``force`` is False (the
         packet waits in the MAQ)."""
         packet, ready = self.maq.peek()
-        self.mshrs.advance(ready)
+        heap = self._mshr_heap
+        if heap and heap[0][0] <= ready:
+            self.mshrs.advance(ready)
 
         # MAQ->MSHR CAM comparison (contiguity by PPN, Section 3.2) —
         # common to all designs, excluded from the Figure 7 count.
-        self.stats.counter("mshr_cam_comparisons").add(self.mshrs.occupancy)
+        self._c_mshr_cam.value += self.mshrs.occupancy
 
         merged = self.mshrs.try_merge_packet(packet)
         if merged is not None:
-            self.maq.pop()
-            if self._probes_on:
-                self._t_maq_occupancy.observe(ready, len(self.maq))
-            self._out.n_merged += packet.n_raw
-            if merged.release_cycle is not None:
-                self._account_packet(packet, merged.release_cycle)
-                if self._spans_on:
-                    self._spans.mark_many(
-                        packet.constituents, "maq", ready
-                    )
-                    self._spans.mark_many(
-                        packet.constituents, "mshr", merged.release_cycle
-                    )
-            self.stats.counter("mshr_packet_merges").add()
+            self._complete_merge(packet, merged, ready)
             return ready
 
         t = ready
@@ -369,20 +428,7 @@ class PagedAdaptiveCoalescer(Coalescer):
                 self.mshrs.advance(t)
             merged = self.mshrs.try_merge_packet(packet)
             if merged is not None:
-                self.maq.pop()
-                if self._probes_on:
-                    self._t_maq_occupancy.observe(t, len(self.maq))
-                self._out.n_merged += packet.n_raw
-                if merged.release_cycle is not None:
-                    self._account_packet(packet, merged.release_cycle)
-                    if self._spans_on:
-                        self._spans.mark_many(
-                            packet.constituents, "maq", t
-                        )
-                        self._spans.mark_many(
-                            packet.constituents, "mshr", merged.release_cycle
-                        )
-                self.stats.counter("mshr_packet_merges").add()
+                self._complete_merge(packet, merged, t)
                 return t
 
         self.maq.pop()
@@ -390,26 +436,18 @@ class PagedAdaptiveCoalescer(Coalescer):
             self._t_maq_occupancy.observe(t, len(self.maq))
         if self._spans_on:
             self._spans.mark_many(packet.constituents, "maq", t)
-        slot, _ = self.mshrs.allocate_packet(packet, t)
-        completion = self._memory.submit(packet, t)
-        self.mshrs.schedule_release(slot, completion)
-        self._out.issued.append(packet)
-        self._out.n_issued += 1
-        self._out.last_completion_cycle = max(
-            self._out.last_completion_cycle, completion
-        )
-        self._account_packet(packet, completion)
-        if self._spans_on:
-            self._spans.mark_many(packet.constituents, "device", completion)
+        self._issue_packet(packet, t)
         return t
 
     def _direct_to_mshr(self, req: MemoryRequest, now: int) -> None:
         """Network-disabled fast path: raw request straight to the MSHRs."""
-        self.mshrs.advance(now)
-        self.stats.counter("direct_requests").add()
+        heap = self._mshr_heap
+        if heap and heap[0][0] <= now:
+            self.mshrs.advance(now)
+        self._c_direct.value += 1
         if self._probes_on:
             self._t_direct.add(now)
-        self.stats.counter("direct_cam_comparisons").add(self.mshrs.occupancy)
+        self._c_direct_cam.value += self.mshrs.occupancy
         grain = self.protocol.grain_bytes
         base = req.addr - (req.addr % grain)
         packet = CoalescedRequest(
@@ -422,28 +460,11 @@ class PagedAdaptiveCoalescer(Coalescer):
         )
         merged = self.mshrs.try_merge_packet(packet)
         if merged is not None:
-            self._out.n_merged += 1
-            if merged.release_cycle is not None:
-                self._account_packet(packet, merged.release_cycle)
-                if self._spans_on:
-                    self._spans.mark(
-                        req.req_id, "mshr", merged.release_cycle
-                    )
-            self.stats.counter("mshr_packet_merges").add()
+            self._complete_merge(packet, merged, now, from_maq=False)
             return
         # The caller guarantees a free MSHR (it flips to enabled when
         # full), so allocation cannot fail here.
-        slot, _ = self.mshrs.allocate_packet(packet, now)
-        completion = self._memory.submit(packet, now)
-        self.mshrs.schedule_release(slot, completion)
-        self._out.issued.append(packet)
-        self._out.n_issued += 1
-        self._out.last_completion_cycle = max(
-            self._out.last_completion_cycle, completion
-        )
-        self._account_packet(packet, completion)
-        if self._spans_on:
-            self._spans.mark(req.req_id, "device", completion)
+        self._issue_packet(packet, now)
 
     # ------------------------------------------------------------------ #
     # derived metrics

@@ -14,11 +14,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.common import bitops
-from repro.common.types import MemOp, MemoryRequest
+from repro.common.types import PAGE_BYTES, MemOp, MemoryRequest
 from repro.core.protocols import MemoryProtocol
 
 
-@dataclass
+@dataclass(slots=True)
 class CoalescingStream:
     """One active aggregation slot in the paged request aggregator."""
 
@@ -34,6 +34,11 @@ class CoalescingStream:
     n_requests: int = 0
     first_arrival: int = 0
     last_arrival: int = 0
+    #: Whether the stream still occupies an aggregator slot. The
+    #: aggregator's deadline heap deletes lazily: a force-flushed or
+    #: fenced stream stays in the heap until its entry surfaces, and this
+    #: flag marks the entry stale.
+    resident: bool = True
 
     @property
     def coalescing_bit(self) -> bool:
@@ -57,15 +62,25 @@ class CoalescingStream:
             raise ValueError(
                 f"request page {req.ppn:#x} does not match stream {self.ppn:#x}"
             )
+        # Inlined protocol.grain_index — this is the hottest per-request
+        # loop in stage 1.
         grain_bytes = self.protocol.grain_bytes
-        first = self.protocol.grain_index(req.addr)
+        first = (req.addr % PAGE_BYTES) // grain_bytes
         last_addr = req.addr + max(req.size, 1) - 1
-        if last_addr // 4096 != req.ppn:
-            last_addr = req.ppn * 4096 + 4095  # clamp at the page edge
-        last = self.protocol.grain_index(last_addr)
+        if last_addr // PAGE_BYTES != req.ppn:
+            last_addr = req.ppn * PAGE_BYTES + PAGE_BYTES - 1  # clamp at the page edge
+        last = (last_addr % PAGE_BYTES) // grain_bytes
+        block_map = self.block_map
+        grain_requests = self.grain_requests
+        req_id = req.req_id
         for grain in range(first, last + 1):
-            self.block_map = bitops.set_bit(self.block_map, grain)
-            self.grain_requests.setdefault(grain, []).append(req.req_id)
+            block_map |= 1 << grain  # grain indexes are non-negative
+            bucket = grain_requests.get(grain)
+            if bucket is None:
+                grain_requests[grain] = [req_id]
+            else:
+                bucket.append(req_id)
+        self.block_map = block_map
         if self.n_requests == 0:
             self.first_arrival = now
         self.n_requests += 1

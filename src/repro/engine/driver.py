@@ -80,22 +80,48 @@ def run_comparison(
 ) -> Dict[CoalescerKind, RunResult]:
     """Run the same trace through several coalescer configurations.
 
-    The trace is regenerated identically (same seed) for each arm so the
-    comparison isolates the coalescer. Each arm gets its own telemetry
-    registry / span recorder when ``telemetry`` / ``spans`` is truthy.
+    Every arm sees the identical trace and raw request stream. With
+    telemetry and spans off (the common sweep configuration) the trace
+    and the cache-hierarchy pass — both deterministic in (seed, config)
+    and independent of the coalescer arm — are computed once and shared,
+    which is bit-identical to regenerating them per arm. When either
+    probe facility is on, each arm runs end-to-end so its registry /
+    recorder observes its own cache pass.
     """
     out: Dict[CoalescerKind, RunResult] = {}
+    if telemetry or spans:
+        for kind in kinds:
+            out[kind] = run_benchmark(
+                benchmark,
+                coalescer=kind,
+                n_accesses=n_accesses,
+                config=config,
+                seed=seed,
+                device=device,
+                extra_benchmarks=extra_benchmarks,
+                telemetry=bool(telemetry),
+                spans=spans if isinstance(spans, (bool, int)) else bool(spans),
+            )
+        return out
+
+    from repro.engine.system import System
+
+    names = [benchmark, *extra_benchmarks]
+    label = "+".join(names)
+    shared_trace = shared_raw = shared_hierarchy = None
     for kind in kinds:
-        out[kind] = run_benchmark(
-            benchmark,
-            coalescer=kind,
-            n_accesses=n_accesses,
-            config=config,
-            seed=seed,
-            device=device,
-            extra_benchmarks=extra_benchmarks,
-            telemetry=bool(telemetry),
-            spans=spans if isinstance(spans, (bool, int)) else bool(spans),
+        system = System(config=config, coalescer=kind, device=device)
+        if shared_raw is None:
+            shared_trace = system.build_trace(names, n_accesses, seed=seed)
+            shared_hierarchy = system.hierarchy
+            shared_raw = shared_hierarchy.process(shared_trace)
+        else:
+            # Later arms report cache metrics off the shared (already
+            # populated) hierarchy — the same values their own identical
+            # pass would have produced.
+            system.hierarchy = shared_hierarchy
+        out[kind] = system.run_trace(
+            shared_trace, benchmark=label, raw=shared_raw
         )
     return out
 
@@ -106,8 +132,18 @@ def run_suite(
     n_accesses: int = DEFAULT_ACCESSES,
     config: SimulationConfig = TABLE1,
     seed: Optional[int] = None,
+    device: str = "hmc",
+    protocol: Optional[MemoryProtocol] = None,
+    telemetry=False,
+    spans=False,
 ) -> Dict[str, RunResult]:
-    """Run every benchmark through one coalescer configuration."""
+    """Run every benchmark through one coalescer configuration.
+
+    ``device`` / ``protocol`` / ``telemetry`` / ``spans`` forward to
+    :func:`run_benchmark`, so a whole-suite sweep can target HBM/DDR or
+    collect probe timelines and span traces without dropping down to
+    per-benchmark calls.
+    """
     return {
         name: run_benchmark(
             name,
@@ -115,6 +151,10 @@ def run_suite(
             n_accesses=n_accesses,
             config=config,
             seed=seed,
+            device=device,
+            protocol=protocol,
+            telemetry=telemetry,
+            spans=spans,
         )
         for name in benchmarks
     }

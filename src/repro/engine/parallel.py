@@ -10,7 +10,7 @@ ones.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.config import SimulationConfig, TABLE1
@@ -18,6 +18,20 @@ from repro.engine.driver import DEFAULT_ACCESSES, run_benchmark
 from repro.engine.results import RunResult
 from repro.engine.system import CoalescerKind
 from repro.workloads import BENCHMARK_NAMES
+
+
+#: Relative wall-clock weight of each (benchmark, arm) job, measured on
+#: the repro bench baseline. Used only for scheduling (longest expected
+#: first) — results are keyed and bit-identical regardless of order.
+_BENCH_COST = {
+    "gs": 12.0, "bfs": 4.0, "pagerank": 4.0, "ssca2": 3.0,
+    "nas-cg": 2.0, "stream": 1.5, "hpcg": 1.0,
+}
+_ARM_COST = {"pac": 3.0, "sortdmc": 2.0, "dmc": 1.5, "none": 1.0}
+
+
+def _job_cost(benchmark: str, kind_value: str) -> float:
+    return _BENCH_COST.get(benchmark, 2.0) * _ARM_COST.get(kind_value, 2.0)
 
 
 def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
@@ -77,9 +91,17 @@ def run_suite_parallel(
     ]
     if max_workers == 1:
         return dict(_run_one(job) for job in jobs)
+    # Longest-expected-first: submitting the heavy jobs (gs/pac and
+    # friends) up front keeps the pool's tail short — a big job started
+    # last would otherwise run alone while every other worker idles.
+    # One future per job (no chunking) so the scheduler can't batch a
+    # heavy job behind light ones on the same worker.
+    jobs.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
     workers = max_workers or min(len(jobs), os.cpu_count() or 2)
     out: Dict[Tuple[str, str], RunResult] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for key, result in pool.map(_run_one, jobs):
+        futures = [pool.submit(_run_one, job) for job in jobs]
+        for future in as_completed(futures):
+            key, result = future.result()
             out[key] = result
     return out

@@ -210,12 +210,24 @@ class System:
             merged = trace if merged is None else merged.concat(trace)
         return merged.sorted_by_cycle()
 
-    def run_trace(self, trace: AccessTrace, benchmark: str = "custom") -> RunResult:
-        """Push a translated trace through caches, coalescer, and memory."""
-        if self.fine_grain:
-            raw: RawStream = self.hierarchy.fine_grain_stream(trace)
-        else:
-            raw = self.hierarchy.process(trace)
+    def run_trace(
+        self, trace: AccessTrace, benchmark: str = "custom",
+        raw: Optional[RawStream] = None,
+    ) -> RunResult:
+        """Push a translated trace through caches, coalescer, and memory.
+
+        ``raw`` optionally supplies an already-computed raw request
+        stream for this trace (produced by this system's hierarchy, or a
+        shared one installed as ``self.hierarchy``); the cache pass is
+        then skipped. The hierarchy pass is deterministic, so reusing
+        one stream across coalescer arms is bit-identical to
+        re-processing the same trace per arm.
+        """
+        if raw is None:
+            if self.fine_grain:
+                raw = self.hierarchy.fine_grain_stream(trace)
+            else:
+                raw = self.hierarchy.process(trace)
         outcome = self.coalescer.process(raw.requests, self.device)
         trace_end = int(trace.cycles[-1]) if len(trace) else 0
         pac_metrics = None

@@ -38,26 +38,27 @@ class BankArray:
         self._t_conflicts = probes.counter("conflicts")
         self._t_activations = probes.counter("activations")
         self._t_conflict_wait = probes.gauge("conflict_wait")
+        self._c_conflicts = self.stats.counter("conflicts")
+        self._c_activations = self.stats.counter("activations")
 
-    def access(self, addr: int, size: int, cycle: int) -> Tuple[int, int]:
+    def access(
+        self, addr: int, size: int, cycle: int, vb0: Tuple[int, int] = None
+    ) -> Tuple[int, int]:
         """Perform a (possibly multi-row) access beginning at ``cycle``.
 
         Returns ``(finish_cycle, n_activations)``. Each spanned row is a
         separate closed-page activation on its own bank; conflicts are
         counted whenever the target bank is still busy on arrival.
+        ``vb0`` optionally carries the caller's already-computed
+        (vault, bank) of ``addr`` — every address within a row maps to the
+        same pair, so the dominant single-row access skips re-locating.
         """
         n_rows = self.address_map.rows_spanned(addr, size)
-        row_bytes = self.address_map.row_bytes
-        finish = cycle
-        conflicts = self.stats.counter("conflicts")
-        activations = self.stats.counter("activations")
-        first_row_addr = addr - (addr % row_bytes)
-        for r in range(n_rows):
-            loc = self.address_map.locate(first_row_addr + r * row_bytes)
-            key = (loc.vault, loc.bank)
+        if n_rows == 1:
+            key = vb0 if vb0 is not None else self.address_map.vault_bank(addr)
             busy = self._busy_until.get(key, 0)
             if busy > cycle:
-                conflicts.add()
+                self._c_conflicts.value += 1
                 if self._probes_on:
                     self._t_conflicts.add(cycle)
                     self._t_conflict_wait.observe(cycle, busy - cycle)
@@ -67,7 +68,33 @@ class BankArray:
             end = start + self.busy_cycles
             self._busy_until[key] = end
             self._access_counts[key] = self._access_counts.get(key, 0) + 1
-            activations.add()
+            self._c_activations.value += 1
+            if self._probes_on:
+                self._t_activations.add(cycle)
+            return end, 1
+        row_bytes = self.address_map.row_bytes
+        finish = cycle
+        conflicts = self._c_conflicts
+        activations = self._c_activations
+        vault_bank = self.address_map.vault_bank
+        busy_until = self._busy_until
+        access_counts = self._access_counts
+        first_row_addr = addr - (addr % row_bytes)
+        for r in range(n_rows):
+            key = vault_bank(first_row_addr + r * row_bytes)
+            busy = busy_until.get(key, 0)
+            if busy > cycle:
+                conflicts.value += 1
+                if self._probes_on:
+                    self._t_conflicts.add(cycle)
+                    self._t_conflict_wait.observe(cycle, busy - cycle)
+                start = busy
+            else:
+                start = cycle
+            end = start + self.busy_cycles
+            busy_until[key] = end
+            access_counts[key] = access_counts.get(key, 0) + 1
+            activations.value += 1
             if self._probes_on:
                 self._t_activations.add(cycle)
             finish = max(finish, end)

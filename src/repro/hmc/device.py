@@ -19,13 +19,13 @@ Implements the :class:`repro.mshr.dmc.MemoryDevice` protocol —
 from __future__ import annotations
 
 from repro.common.stats import StatsRegistry
-from repro.common.types import CoalescedRequest
+from repro.common.types import HMC_CONTROL_OVERHEAD_BYTES, CoalescedRequest
 from repro.config import HMCConfig
 from repro.hmc.bank import BankArray
-from repro.hmc.link import LinkSet
+from repro.hmc.link import CYCLES_PER_FLIT, LinkSet
 from repro.hmc.packet import packet_flits
-from repro.hmc.power import EnergyModel
-from repro.hmc.vault import VaultSet
+from repro.hmc.power import ENERGY_PJ, EnergyModel
+from repro.hmc.vault import VAULT_CTRL_CYCLES, VaultSet
 from repro.mem.address import AddressMap
 
 #: Crossbar traversal latencies, cycles.
@@ -91,69 +91,174 @@ class HMCDevice:
         self._t_latency = probes.gauge("latency_cycles")
         self._t_energy = probes.counter("energy_pj")
         self._t_remote = probes.counter("remote_routes")
+        # Pre-resolved hot-path handles: the energy store and per-category
+        # pJ constants are bound once; ``submit`` performs the same
+        # ``store[cat] += quantity * pj`` accumulation as
+        # EnergyModel.charge (bit-identical, no per-packet call).
+        energy = self.energy
+        self._pj_store = energy.picojoules
+        self._pj_link_local = ENERGY_PJ["LINK-LOCAL-ROUTE"]
+        self._pj_link_remote = ENERGY_PJ["LINK-REMOTE-ROUTE"]
+        self._pj_rqst_slot = ENERGY_PJ["VAULT-RQST-SLOT"]
+        self._pj_rsp_slot = ENERGY_PJ["VAULT-RSP-SLOT"]
+        self._pj_vault_ctrl = ENERGY_PJ["VAULT-CTRL"]
+        self._pj_dram_activate = ENERGY_PJ["DRAM-ACTIVATE"]
+        self._pj_dram_transfer = ENERGY_PJ["DRAM-TRANSFER"]
+        stats = self.stats
+        self._c_local_routes = stats.counter("local_routes")
+        self._c_remote_routes = stats.counter("remote_routes")
+        self._c_packets = stats.counter("packets")
+        self._c_payload = stats.counter("payload_bytes")
+        self._c_txbytes = stats.counter("transaction_bytes")
+        self._acc_latency = stats.accumulator("latency_cycles")
+        self._locate = self.address_map.locate
+        self._vault_bank = self.address_map.vault_bank
+        self._max_packet_bytes = cfg.max_packet_bytes
+        # Inline (vault, bank) decomposition for the dominant power-of-two
+        # vault-first mapping (same shift/mask arithmetic as
+        # AddressMap.vault_bank); other modes — and negative addresses,
+        # which must keep raising — fall back to the bound method.
+        amap = self.address_map
+        self._am_vault_first = amap._mode == AddressMap._MODE_VAULT_FIRST
+        self._am_row_shift = amap._row_shift
+        self._am_vault_mask = amap._vault_mask
+        self._am_vault_shift = amap._vault_shift
+        self._am_bank_mask = amap._bank_mask
+        # Link/vault busy-horizon state, bound once. ``submit`` performs
+        # the serialization/admission arithmetic inline (identical to
+        # LinkSet.serialize_* / VaultSet.admit, which stay the canonical
+        # definitions for direct users and tests).
+        links = self.links
+        vaults = self.vaults
+        self._n_links = links.n_links
+        self._vaults_per_link = links.vaults_per_link
+        self._req_busy = links.req_busy_until
+        self._rsp_busy = links.rsp_busy_until
+        self._lc_req_flits = links._c_request_flits
+        self._lc_rsp_flits = links._c_response_flits
+        self._lt_req_flits = links._t_request_flits
+        self._lt_rsp_flits = links._t_response_flits
+        self._links_probes_on = links._probes_on
+        self._vault_busy = vaults._busy_until
+        self._vc_admitted = vaults._c_admitted
+        self._vc_queue_wait = vaults._c_queue_wait
+        self._vt_queue_wait = vaults._t_queue_wait
+        self._vaults_probes_on = vaults._probes_on
+        from repro.hmc.telemetry import PacketRecord
+
+        self._packet_record = PacketRecord
 
     def submit(self, packet: CoalescedRequest, cycle: int) -> int:
         """Process one packet; returns the response-arrival cycle."""
-        if packet.size > self.config.max_packet_bytes:
+        if packet.size > self._max_packet_bytes:
             raise ValueError(
                 f"packet of {packet.size}B exceeds device maximum "
-                f"{self.config.max_packet_bytes}B"
+                f"{self._max_packet_bytes}B"
             )
         flits = packet_flits(packet)
-        vault = self.address_map.locate(packet.addr).vault
+        req_flits = flits.request
+        rsp_flits = flits.response
+        if self._am_vault_first and packet.addr >= 0:
+            row_index = packet.addr >> self._am_row_shift
+            vault = row_index & self._am_vault_mask
+            vb = (
+                vault,
+                (row_index >> self._am_vault_shift) & self._am_bank_mask,
+            )
+        else:
+            vb = self._vault_bank(packet.addr)
+            vault = vb[0]
         pj_before = self.energy.total_pj if self._probes_on else 0.0
 
-        # 1. Link serialization (request direction).
+        # 1. Link serialization (request direction) — round-robin pick
+        # and busy-horizon advance inlined from LinkSet.
+        links = self.links
         if self.route_by_address:
-            link = vault % self.links.n_links
+            link = vault % self._n_links
         else:
-            link = self.links.next_link()
-        t = self.links.serialize_request(link, flits.request, cycle)
+            link = links._rr
+            links._rr = (link + 1) % self._n_links
+        req_busy = self._req_busy
+        start = req_busy[link]
+        if cycle > start:
+            start = cycle
+        t = start + req_flits * CYCLES_PER_FLIT
+        req_busy[link] = t
+        self._lc_req_flits.value += req_flits
+        if self._links_probes_on:
+            self._lt_req_flits.add(cycle, req_flits)
         link_done = t
 
-        # 2. Crossbar routing.
-        local = self.links.is_local(link, vault)
+        # 2. Crossbar routing. The route energy for both directions is
+        # charged in one batch at step 5: the per-FLIT constants (6.0 and
+        # 16.0 pJ) and FLIT counts are integers, so pj*(req+rsp) equals
+        # pj*req + pj*rsp exactly and the accumulated total is
+        # bit-identical to charging each direction separately.
+        local = vault // self._vaults_per_link == link
         if local:
             t += LOCAL_ROUTE_CYCLES
-            self.energy.charge("LINK-LOCAL-ROUTE", flits.request)
-            self.stats.counter("local_routes").add()
+            self._c_local_routes.value += 1
         else:
             t += REMOTE_ROUTE_CYCLES
-            self.energy.charge("LINK-REMOTE-ROUTE", flits.request)
-            self.stats.counter("remote_routes").add()
+            self._c_remote_routes.value += 1
 
         # 3. Vault controller admission; the packet holds a request slot
-        # from crossbar arrival until DRAM access begins.
+        # from crossbar arrival until DRAM access begins. Inlined from
+        # VaultSet.admit.
         arrival_at_vault = t
-        t = self.vaults.admit(vault, t)
+        vault_busy = self._vault_busy
+        start = vault_busy[vault]
+        if t > start:
+            start = t
+        t = start + VAULT_CTRL_CYCLES
+        vault_busy[vault] = t
+        self._vc_admitted.value += 1
+        wait = start - arrival_at_vault
+        if wait > 0:
+            self._vc_queue_wait.value += wait
+        if self._vaults_probes_on:
+            self._vt_queue_wait.observe(arrival_at_vault, wait)
         dram_start = t
-        self.energy.charge("VAULT-RQST-SLOT", t - arrival_at_vault + 1)
-        self.energy.charge("VAULT-CTRL", 1)
+        pj_store = self._pj_store
+        pj_store["VAULT-RQST-SLOT"] += (
+            (t - arrival_at_vault + 1) * self._pj_rqst_slot
+        )
+        pj_store["VAULT-CTRL"] += 1 * self._pj_vault_ctrl
 
         # 4. DRAM access (closed-page banks).
-        t, n_rows = self.banks.access(packet.addr, packet.size, t)
+        t, n_rows = self.banks.access(packet.addr, packet.size, t, vb0=vb)
         dram_done = t
-        self.energy.charge("DRAM-ACTIVATE", n_rows)
-        self.energy.charge("DRAM-TRANSFER", packet.size)
+        pj_store["DRAM-ACTIVATE"] += n_rows * self._pj_dram_activate
+        pj_store["DRAM-TRANSFER"] += packet.size * self._pj_dram_transfer
 
         # 5. Response: route back and serialize; the response occupies a
         # vault response slot until its last FLIT leaves the link.
         route_back = LOCAL_ROUTE_CYCLES if local else REMOTE_ROUTE_CYCLES
         if local:
-            self.energy.charge("LINK-LOCAL-ROUTE", flits.response)
+            pj_store["LINK-LOCAL-ROUTE"] += (
+                (req_flits + rsp_flits) * self._pj_link_local
+            )
         else:
-            self.energy.charge("LINK-REMOTE-ROUTE", flits.response)
+            pj_store["LINK-REMOTE-ROUTE"] += (
+                (req_flits + rsp_flits) * self._pj_link_remote
+            )
         response_ready = t + route_back
-        completion = self.links.serialize_response(
-            link, flits.response, response_ready
-        )
-        self.energy.charge("VAULT-RSP-SLOT", completion - t + 1)
+        rsp_busy = self._rsp_busy
+        start = rsp_busy[link]
+        if response_ready > start:
+            start = response_ready
+        completion = start + rsp_flits * CYCLES_PER_FLIT
+        rsp_busy[link] = completion
+        self._lc_rsp_flits.value += rsp_flits
+        if self._links_probes_on:
+            self._lt_rsp_flits.add(response_ready, rsp_flits)
+        pj_store["VAULT-RSP-SLOT"] += (completion - t + 1) * self._pj_rsp_slot
 
         # Accounting.
-        self.stats.counter("packets").add()
-        self.stats.counter("payload_bytes").add(packet.size)
-        self.stats.counter("transaction_bytes").add(packet.transaction_bytes())
-        self.stats.accumulator("latency_cycles").add(completion - cycle)
+        self._c_packets.value += 1
+        self._c_payload.value += packet.size
+        self._c_txbytes.value += packet.size + HMC_CONTROL_OVERHEAD_BYTES
+        self._acc_latency.add(completion - cycle)
         if self._probes_on:
             self._t_packets.add(cycle)
             self._t_payload.add(cycle, packet.size)
@@ -177,13 +282,11 @@ class HMCDevice:
                 ),
             )
         if self.telemetry is not None:
-            from repro.hmc.telemetry import PacketRecord
-
             route_cycles = (
                 LOCAL_ROUTE_CYCLES if local else REMOTE_ROUTE_CYCLES
             )
             self.telemetry.record(
-                PacketRecord(
+                self._packet_record(
                     addr=packet.addr,
                     size=packet.size,
                     vault=vault,

@@ -40,6 +40,8 @@ class LinkSet:
         self._probes_on = probes.enabled
         self._t_request_flits = probes.counter("request_flits")
         self._t_response_flits = probes.counter("response_flits")
+        self._c_request_flits = self.stats.counter("request_flits")
+        self._c_response_flits = self.stats.counter("response_flits")
 
     def next_link(self) -> int:
         """Round-robin link selection (the HMC controller policy)."""
@@ -57,7 +59,7 @@ class LinkSet:
         start = max(cycle, self.req_busy_until[link])
         done = start + flits * CYCLES_PER_FLIT
         self.req_busy_until[link] = done
-        self.stats.counter("request_flits").add(flits)
+        self._c_request_flits.value += flits
         if self._probes_on:
             self._t_request_flits.add(cycle, flits)
         return done
@@ -66,7 +68,7 @@ class LinkSet:
         start = max(cycle, self.rsp_busy_until[link])
         done = start + flits * CYCLES_PER_FLIT
         self.rsp_busy_until[link] = done
-        self.stats.counter("response_flits").add(flits)
+        self._c_response_flits.value += flits
         if self._probes_on:
             self._t_response_flits.add(cycle, flits)
         return done

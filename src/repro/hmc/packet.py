@@ -8,6 +8,7 @@ FLITs ride on the request for writes and on the response for reads.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import NamedTuple
 
 from repro.common.types import FLIT_BYTES, CoalescedRequest, MemOp
@@ -35,13 +36,20 @@ def data_flits(payload_bytes: int) -> int:
     return -(-payload_bytes // FLIT_BYTES)
 
 
+@lru_cache(maxsize=None)
+def _flits_for(size: int, is_store: bool) -> PacketFlits:
+    # Packet sizes come from a protocol-legal set of a handful of values,
+    # so the cache stays tiny while skipping the per-packet arithmetic.
+    payload = data_flits(size)
+    if is_store:
+        return PacketFlits(request=1 + payload, response=1)
+    return PacketFlits(request=1, response=1 + payload)
+
+
 def packet_flits(packet: CoalescedRequest) -> PacketFlits:
     """Request/response FLIT counts for a coalesced packet.
 
     Reads: 1-FLIT request header, response = header + data.
     Writes: request = header + data, 1-FLIT response (the ack).
     """
-    payload = data_flits(packet.size)
-    if packet.op == MemOp.STORE:
-        return PacketFlits(request=1 + payload, response=1)
-    return PacketFlits(request=1, response=1 + payload)
+    return _flits_for(packet.size, packet.op == MemOp.STORE)

@@ -28,6 +28,8 @@ class VaultSet:
         self.stats = StatsRegistry("vaults")
         self._probes_on = probes.enabled
         self._t_queue_wait = probes.gauge("queue_wait")
+        self._c_admitted = self.stats.counter("admitted")
+        self._c_queue_wait = self.stats.counter("queue_wait_cycles")
 
     def admit(self, vault: int, cycle: int) -> int:
         """Pass a packet through the vault controller; returns the cycle
@@ -35,10 +37,10 @@ class VaultSet:
         start = max(cycle, self._busy_until[vault])
         done = start + VAULT_CTRL_CYCLES
         self._busy_until[vault] = done
-        self.stats.counter("admitted").add()
+        self._c_admitted.value += 1
         wait = start - cycle
         if wait > 0:
-            self.stats.counter("queue_wait_cycles").add(wait)
+            self._c_queue_wait.value += wait
         if self._probes_on:
             self._t_queue_wait.observe(cycle, wait)
         return done

@@ -83,6 +83,12 @@ class AddressMap:
     #: 256B rows on the Table 1 device).
     ROWS_PER_BANK = 1 << 17
 
+    #: ``locate`` fast-path modes (set in ``__post_init__``).
+    _MODE_SLOW = 0
+    _MODE_VAULT_FIRST = 1
+    _MODE_BANK_FIRST = 2
+    _MODE_ROW_MAJOR = 3
+
     def __post_init__(self) -> None:
         if self.n_vaults <= 0 or self.banks_per_vault <= 0:
             raise ValueError("vault/bank counts must be positive")
@@ -90,11 +96,94 @@ class AddressMap:
             raise ValueError("row_bytes must be a positive multiple of 64")
         if self.policy not in ("vault-first", "bank-first", "row-major"):
             raise ValueError(f"unknown mapping policy {self.policy!r}")
+        # Pre-resolve the decomposition into shift/mask integers. For
+        # non-negative addresses and power-of-two geometry, ``x >> s`` and
+        # ``x & (p - 1)`` are exactly ``x // p`` and ``x % p``, so the fast
+        # path is bit-identical to the div/mod fallback (property-tested in
+        # tests/test_fastpath_equivalence.py).
+        pow2 = all(
+            n > 0 and not (n & (n - 1))
+            for n in (self.row_bytes, self.n_vaults, self.banks_per_vault)
+        )
+        mode = self._MODE_SLOW
+        if pow2:
+            mode = {
+                "vault-first": self._MODE_VAULT_FIRST,
+                "bank-first": self._MODE_BANK_FIRST,
+                "row-major": self._MODE_ROW_MAJOR,
+            }[self.policy]
+        vault_shift = self.n_vaults.bit_length() - 1
+        bank_shift = self.banks_per_vault.bit_length() - 1
+        set_ = object.__setattr__  # frozen dataclass: bypass __setattr__
+        set_(self, "_mode", mode)
+        set_(self, "_row_shift", self.row_bytes.bit_length() - 1)
+        set_(self, "_vault_mask", self.n_vaults - 1)
+        set_(self, "_vault_shift", vault_shift)
+        set_(self, "_bank_mask", self.banks_per_vault - 1)
+        set_(self, "_bank_shift", bank_shift)
+        set_(self, "_vb_shift", vault_shift + bank_shift)
+        set_(self, "_rpb_shift", self.ROWS_PER_BANK.bit_length() - 1)
+        set_(self, "_row_mask", self.ROWS_PER_BANK - 1)
 
     def locate(self, addr: int) -> DeviceLocation:
         """Map a physical address to its (vault, bank, row)."""
         if addr < 0:
             raise ValueError("physical addresses are non-negative")
+        mode = self._mode
+        if mode == self._MODE_VAULT_FIRST:
+            row_index = addr >> self._row_shift
+            return DeviceLocation(
+                row_index & self._vault_mask,
+                (row_index >> self._vault_shift) & self._bank_mask,
+                row_index >> self._vb_shift,
+            )
+        if mode == self._MODE_BANK_FIRST:
+            row_index = addr >> self._row_shift
+            return DeviceLocation(
+                (row_index >> self._bank_shift) & self._vault_mask,
+                row_index & self._bank_mask,
+                row_index >> self._vb_shift,
+            )
+        if mode == self._MODE_ROW_MAJOR:
+            row_index = addr >> self._row_shift
+            bank_linear = row_index >> self._rpb_shift
+            return DeviceLocation(
+                bank_linear & self._vault_mask,
+                (bank_linear >> self._vault_shift) & self._bank_mask,
+                row_index & self._row_mask,
+            )
+        return self._locate_slow(addr)
+
+    def vault_bank(self, addr: int) -> "tuple[int, int]":
+        """(vault, bank) of ``addr`` without building a DeviceLocation —
+        the device hot path only keys on this pair. Same decomposition as
+        :meth:`locate`."""
+        if addr < 0:
+            raise ValueError("physical addresses are non-negative")
+        mode = self._mode
+        if mode == self._MODE_VAULT_FIRST:
+            row_index = addr >> self._row_shift
+            return (
+                row_index & self._vault_mask,
+                (row_index >> self._vault_shift) & self._bank_mask,
+            )
+        if mode == self._MODE_BANK_FIRST:
+            row_index = addr >> self._row_shift
+            return (
+                (row_index >> self._bank_shift) & self._vault_mask,
+                row_index & self._bank_mask,
+            )
+        if mode == self._MODE_ROW_MAJOR:
+            bank_linear = (addr >> self._row_shift) >> self._rpb_shift
+            return (
+                bank_linear & self._vault_mask,
+                (bank_linear >> self._vault_shift) & self._bank_mask,
+            )
+        loc = self._locate_slow(addr)
+        return (loc.vault, loc.bank)
+
+    def _locate_slow(self, addr: int) -> DeviceLocation:
+        """div/mod decomposition for non-power-of-two geometries."""
         row_index = addr // self.row_bytes
         if self.policy == "vault-first":
             vault = row_index % self.n_vaults
@@ -115,6 +204,9 @@ class AddressMap:
         """How many device rows a [addr, addr+size) access touches."""
         if size <= 0:
             raise ValueError("size must be positive")
+        if self._mode != self._MODE_SLOW and addr >= 0:
+            shift = self._row_shift
+            return ((addr + size - 1) >> shift) - (addr >> shift) + 1
         first = addr // self.row_bytes
         last = (addr + size - 1) // self.row_bytes
         return last - first + 1

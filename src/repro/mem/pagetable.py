@@ -117,14 +117,18 @@ class PageTable:
         vpns = vaddrs // PAGE_BYTES
         offsets = vaddrs % PAGE_BYTES
         # Populate in first-touch order, then translate with one gather.
-        uniq, inverse = np.unique(vpns, return_inverse=True)
-        first_touch_order = vpns[np.sort(np.unique(vpns, return_index=True)[1])]
-        for vpn in first_touch_order:
-            key = int(vpn)
-            if key not in self._map:
-                self._map[key] = self.allocator.allocate()
+        # A single np.unique call yields both the gather index and (via
+        # the first-occurrence positions) the first-touch order.
+        uniq, first_idx, inverse = np.unique(
+            vpns, return_index=True, return_inverse=True
+        )
+        page_map = self._map
+        allocate = self.allocator.allocate
+        for key in uniq[np.argsort(first_idx, kind="stable")].tolist():
+            if key not in page_map:
+                page_map[key] = allocate()
         frame_for_uniq = np.array(
-            [self._map[int(v)] for v in uniq], dtype=np.int64
+            [page_map[v] for v in uniq.tolist()], dtype=np.int64
         )
         frames = frame_for_uniq[inverse]
         return frames * PAGE_BYTES + offsets

@@ -36,23 +36,35 @@ class AdaptiveMSHRFile:
         self._slots: Dict[int, MSHREntry] = {}
         self._release_heap: List[Tuple[int, int]] = []  # (cycle, slot)
         self._next_slot = itertools.count()
+        #: CAM index: block number -> slot ids (ascending) of live entries
+        #: whose span covers that block. Maintained eagerly on allocate /
+        #: release, so :meth:`find_covering` is a dict hit instead of a
+        #: scan; ascending slot order reproduces the scan's first-match.
+        self._cover: Dict[int, List[int]] = {}
         self.stats = StatsRegistry(name)
         self._probes_on = probes.enabled
         self._t_occupancy = probes.gauge("occupancy")
         self._t_merges = probes.counter("packet_merges")
         self._t_allocations = probes.counter("allocations")
         self._t_span_blocks = probes.histogram("span_blocks")
+        self._c_packet_merges = self.stats.counter("packet_merges")
+        self._c_allocations = self.stats.counter("allocations")
 
     # -- time ----------------------------------------------------------------
 
     def advance(self, now: int) -> List[MSHREntry]:
         """Apply all releases due at or before ``now``."""
         released = []
-        while self._release_heap and self._release_heap[0][0] <= now:
-            _, slot = heapq.heappop(self._release_heap)
-            entry = self._slots.pop(slot, None)
+        heap = self._release_heap
+        if not heap or heap[0][0] > now:
+            return released
+        slots = self._slots
+        while heap and heap[0][0] <= now:
+            _, slot = heapq.heappop(heap)
+            entry = slots.pop(slot, None)
             if entry is not None:
                 released.append(entry)
+                self._unindex(slot, entry)
         return released
 
     def next_release_cycle(self) -> Optional[int]:
@@ -89,12 +101,34 @@ class AdaptiveMSHRFile:
 
     # -- merge / allocate --------------------------------------------------------
 
+    def _index(self, slot: int, entry: MSHREntry) -> None:
+        cover = self._cover
+        b0 = entry.base_block_addr // CACHE_LINE_BYTES
+        for b in range(b0, b0 + entry.span_blocks):
+            cover.setdefault(b, []).append(slot)
+
+    def _unindex(self, slot: int, entry: MSHREntry) -> None:
+        cover = self._cover
+        b0 = entry.base_block_addr // CACHE_LINE_BYTES
+        for b in range(b0, b0 + entry.span_blocks):
+            bucket = cover.get(b)
+            if bucket is not None:
+                bucket.remove(slot)
+                if not bucket:
+                    del cover[b]
+
     def find_covering(self, line_addr: int, op: MemOp) -> Optional[MSHREntry]:
         """CAM lookup: an in-flight entry of the same op whose block span
-        covers ``line_addr``. Linear scan — the file is 16 entries wide, a
-        parallel CAM in hardware."""
-        for entry in self._slots.values():
-            if entry.op == op and entry.covers(line_addr):
+        covers ``line_addr`` (a parallel CAM in hardware; here a covered-
+        block index kept in slot order, so the first same-op hit matches
+        what a scan of the slot table would return)."""
+        bucket = self._cover.get(line_addr // CACHE_LINE_BYTES)
+        if not bucket:
+            return None
+        slots = self._slots
+        for slot in bucket:
+            entry = slots[slot]
+            if entry.op == op:
                 return entry
         return None
 
@@ -116,7 +150,7 @@ class AdaptiveMSHRFile:
                 req_id=packet.constituents[min(b, len(packet.constituents) - 1)],
                 line_addr=packet.addr + b * CACHE_LINE_BYTES,
             )
-        self.stats.counter("packet_merges").add()
+        self._c_packet_merges.value += 1
         if self._probes_on:
             self._t_merges.add(packet.issue_cycle)
         return entry
@@ -146,7 +180,8 @@ class AdaptiveMSHRFile:
             )
         slot = next(self._next_slot)
         self._slots[slot] = entry
-        self.stats.counter("allocations").add()
+        self._index(slot, entry)
+        self._c_allocations.value += 1
         if self._probes_on:
             self._t_allocations.add(now)
             self._t_occupancy.observe(now, len(self._slots))

@@ -152,46 +152,60 @@ class NullCoalescer(Coalescer):
         entry_clock = 0
         spans = self._spans
         spans_on = self._spans_on
+        mshrs = self.mshrs
+        probes_on = self._probes_on
+        submit = memory.submit
+        issued_append = out.issued.append
+        account = out.account_service
+        atomic_op = MemOp.ATOMIC
+        fence_op = MemOp.FENCE
+        # Peek at the release heap before calling advance: a no-release
+        # advance has no side effects, and most cycles have none due.
+        release_heap = mshrs._release_heap
         for req in raw:
             out.n_raw += 1
-            now = max(req.cycle, entry_clock)
-            if req.op == MemOp.ATOMIC:
+            cycle = req.cycle
+            now = cycle if cycle > entry_clock else entry_clock
+            if req.op == atomic_op:
                 if spans_on:
                     spans.admit(out.n_raw - 1, req, now)
                 self._submit_atomic(req, now, memory, out)
                 entry_clock = now + 1
                 continue
-            if req.op == MemOp.FENCE:
+            if req.op == fence_op:
                 continue  # ordering only; nothing buffered to drain
-            self.mshrs.advance(now)
-            if self.mshrs.full:
-                release = self.mshrs.next_release_cycle()
+            if release_heap and release_heap[0][0] <= now:
+                mshrs.advance(now)
+            if mshrs.full:
+                release = mshrs.next_release_cycle()
                 assert release is not None, "full MSHR file with no releases"
                 now = max(now, release)
-                self.mshrs.advance(now)
-            out.stall_cycles += now - req.cycle
+                mshrs.advance(now)
+            out.stall_cycles += now - cycle
             entry_clock = now + 1  # one admission per cycle
             if spans_on:
                 # Queue span covers trace arrival through the MSHR-full
                 # wait; allocation+dispatch are same-cycle.
                 spans.admit(out.n_raw - 1, req, now)
-            slot, _ = self.mshrs.allocate(req.line_addr, req.op, now)
-            if self._probes_on:
-                self._t_occupancy.observe(now, self.mshrs.occupancy)
+            line_addr = req.line_addr
+            slot, _ = mshrs.allocate(line_addr, req.op, now)
+            if probes_on:
+                self._t_occupancy.observe(now, mshrs.occupancy)
             packet = CoalescedRequest(
-                addr=req.line_addr,
+                addr=line_addr,
                 size=CACHE_LINE_BYTES,
                 op=req.op,
                 constituents=(req.req_id,),
                 issue_cycle=now,
                 source="null",
             )
-            completion = memory.submit(packet, now)
-            self.mshrs.schedule_release(slot, completion)
-            out.issued.append(packet)
+            completion = submit(packet, now)
+            mshrs.schedule_release(slot, completion)
+            issued_append(packet)
             out.n_issued += 1
-            out.last_completion_cycle = max(out.last_completion_cycle, completion)
-            out.account_service(now, completion)
+            if completion > out.last_completion_cycle:
+                out.last_completion_cycle = completion
+            account(now, completion)
             if spans_on:
                 spans.mark(req.req_id, "device", completion)
         return out
@@ -218,12 +232,15 @@ class MSHRBasedDMC(Coalescer):
         self._spans = spans
         self._spans_on = spans.enabled
 
-    def _try_merge(self, req: MemoryRequest) -> bool:
-        entry = self.mshrs.lookup(req.line_addr)
+    def _try_merge(self, req: MemoryRequest, line_addr: int):
+        """Attach ``req`` to a same-line, same-op in-flight entry; returns
+        the entry merged into, or None. Goes through the file-level
+        attach so the cached subentry count stays exact."""
+        entry = self.mshrs.lookup(line_addr)
         if entry is not None and entry.op == req.op:
-            entry.attach(req.req_id, req.line_addr)
-            return True
-        return False
+            self.mshrs.attach(entry, req.req_id, line_addr)
+            return entry
+        return None
 
     def process(self, raw, memory) -> CoalesceOutcome:
         out = CoalesceOutcome()
@@ -231,80 +248,94 @@ class MSHRBasedDMC(Coalescer):
         merged_counter = self.stats.counter("merged")
         spans = self._spans
         spans_on = self._spans_on
+        mshrs = self.mshrs
+        probes_on = self._probes_on
+        submit = memory.submit
+        issued_append = out.issued.append
+        account = out.account_service
+        try_merge = self._try_merge
+        atomic_op = MemOp.ATOMIC
+        fence_op = MemOp.FENCE
+        # Same no-op-advance peek as the null arm.
+        release_heap = mshrs._release_heap
         for req in raw:
             out.n_raw += 1
-            now = max(req.cycle, entry_clock)
-            if req.op == MemOp.ATOMIC:
+            cycle = req.cycle
+            now = cycle if cycle > entry_clock else entry_clock
+            if req.op == atomic_op:
                 if spans_on:
                     spans.admit(out.n_raw - 1, req, now)
                 self._submit_atomic(req, now, memory, out)
                 entry_clock = now + 1
                 continue
-            if req.op == MemOp.FENCE:
+            if req.op == fence_op:
                 continue  # ordering only; MSHRs are not drained
-            self.mshrs.advance(now)
+            if release_heap and release_heap[0][0] <= now:
+                mshrs.advance(now)
+            line_addr = req.line_addr
 
             # CAM comparison against every buffered miss: entries plus
             # their subentries (the unpaged per-request comparison cost
             # that the Figure 7 reduction is measured against).
-            out.comparisons += self.mshrs.occupancy + self.mshrs.total_subentries()
-            if self._probes_on:
-                self._t_occupancy.observe(now, self.mshrs.occupancy)
+            out.comparisons += mshrs.occupancy + mshrs.n_subentries
+            if probes_on:
+                self._t_occupancy.observe(now, mshrs.occupancy)
 
-            if self._try_merge(req):
-                merged_counter.add()
-                if self._probes_on:
+            entry = try_merge(req, line_addr)
+            if entry is not None:
+                merged_counter.value += 1
+                if probes_on:
                     self._t_merges.add(now)
                 out.n_merged += 1
-                out.stall_cycles += now - req.cycle
+                out.stall_cycles += now - cycle
                 entry_clock = now + 1
-                entry = self.mshrs.lookup(req.line_addr)
-                if entry is not None and entry.release_cycle is not None:
-                    out.account_service(now, entry.release_cycle)
+                if entry.release_cycle is not None:
+                    account(now, entry.release_cycle)
                     if spans_on:
                         # Merged miss rides the in-flight entry: its wait
                         # is an MSHR span ending at the entry's release.
                         spans.admit(out.n_raw - 1, req, now)
                         spans.mark(req.req_id, "mshr", entry.release_cycle)
                 continue
-            if self.mshrs.full:
-                release = self.mshrs.next_release_cycle()
+            if mshrs.full:
+                release = mshrs.next_release_cycle()
                 assert release is not None, "full MSHR file with no releases"
                 now = max(now, release)
-                self.mshrs.advance(now)
-                if self._try_merge(req):
-                    merged_counter.add()
+                mshrs.advance(now)
+                entry = try_merge(req, line_addr)
+                if entry is not None:
+                    merged_counter.value += 1
                     out.n_merged += 1
-                    out.stall_cycles += now - req.cycle
+                    out.stall_cycles += now - cycle
                     entry_clock = now + 1
-                    entry = self.mshrs.lookup(req.line_addr)
-                    if entry is not None and entry.release_cycle is not None:
-                        out.account_service(now, entry.release_cycle)
+                    if entry.release_cycle is not None:
+                        account(now, entry.release_cycle)
                         if spans_on:
                             spans.admit(out.n_raw - 1, req, now)
                             spans.mark(
                                 req.req_id, "mshr", entry.release_cycle
                             )
                     continue
-            out.stall_cycles += now - req.cycle
+            out.stall_cycles += now - cycle
             entry_clock = now + 1
             if spans_on:
                 spans.admit(out.n_raw - 1, req, now)
-            slot, _ = self.mshrs.allocate(req.line_addr, req.op, now)
+            slot, _ = mshrs.allocate(line_addr, req.op, now)
             packet = CoalescedRequest(
-                addr=req.line_addr,
+                addr=line_addr,
                 size=CACHE_LINE_BYTES,
                 op=req.op,
                 constituents=(req.req_id,),
                 issue_cycle=now,
                 source="dmc",
             )
-            completion = memory.submit(packet, now)
-            self.mshrs.schedule_release(slot, completion)
-            out.issued.append(packet)
+            completion = submit(packet, now)
+            mshrs.schedule_release(slot, completion)
+            issued_append(packet)
             out.n_issued += 1
-            out.last_completion_cycle = max(out.last_completion_cycle, completion)
-            out.account_service(now, completion)
+            if completion > out.last_completion_cycle:
+                out.last_completion_cycle = completion
+            account(now, completion)
             if spans_on:
                 spans.mark(req.req_id, "device", completion)
         return out

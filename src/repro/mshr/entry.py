@@ -22,7 +22,7 @@ from repro.common.types import CACHE_LINE_BYTES, MemOp
 MAX_SPAN_BLOCKS = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class Subentry:
     """One merged miss: who to wake, and which block of the entry's span
     it wants (the paper's 2-bit index field for HMC; wider for HBM
@@ -38,7 +38,7 @@ class Subentry:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """An in-flight memory request holding merged misses.
 

@@ -39,6 +39,11 @@ class MSHRFile:
         self._release_heap: List[Tuple[int, int]] = []  # (cycle, slot)
         self._next_slot = itertools.count()
         self.stats = StatsRegistry(name)
+        self._c_allocations = self.stats.counter("allocations")
+        #: Cached sum of in-flight subentries; kept in sync by
+        #: :meth:`attach` / :meth:`advance` so the per-request CAM cost
+        #: accounting in the DMC is O(1) instead of O(entries).
+        self._n_sub = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -46,11 +51,16 @@ class MSHRFile:
         """Apply all releases scheduled at or before ``now``; returns the
         released entries."""
         released = []
-        while self._release_heap and self._release_heap[0][0] <= now:
-            _, slot = heapq.heappop(self._release_heap)
-            entry = self._slots.pop(slot, None)
+        heap = self._release_heap
+        if not heap or heap[0][0] > now:
+            return released
+        slots = self._slots
+        while heap and heap[0][0] <= now:
+            _, slot = heapq.heappop(heap)
+            entry = slots.pop(slot, None)
             if entry is not None:
                 released.append(entry)
+                self._n_sub -= len(entry.subentries)
                 if self._line_index.get(entry.base_block_addr) == slot:
                     del self._line_index[entry.base_block_addr]
         return released
@@ -101,11 +111,28 @@ class MSHRFile:
         slot = next(self._next_slot)
         self._slots[slot] = entry
         self._line_index[line_addr] = slot
-        self.stats.counter("allocations").add()
+        self._c_allocations.value += 1
         return slot, entry
+
+    def attach(self, entry: MSHREntry, req_id: int, line_addr: int) -> None:
+        """Merge a miss into ``entry`` as a subentry, keeping the file's
+        cached subentry count in sync. Merges into entries owned by this
+        file should go through here (not ``entry.attach`` directly) so
+        :attr:`n_subentries` stays exact."""
+        entry.attach(req_id, line_addr)
+        self._n_sub += 1
 
     def entries(self) -> List[MSHREntry]:
         return list(self._slots.values())
 
+    @property
+    def n_subentries(self) -> int:
+        """O(1) cached in-flight subentry count. Exact as long as every
+        merge routes through :meth:`attach`; callers that attach directly
+        on entries must use :meth:`total_subentries` instead."""
+        return self._n_sub
+
     def total_subentries(self) -> int:
-        return sum(e.n_merged for e in self._slots.values())
+        """Exact in-flight subentry count, robust to direct
+        ``entry.attach`` calls (walks the occupied slots)."""
+        return sum(len(e.subentries) for e in self._slots.values())

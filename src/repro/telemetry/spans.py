@@ -60,7 +60,7 @@ _STAGE_ORDER = {name: i for i, name in enumerate(STAGES)}
 TERMINAL_STAGES = frozenset({"mshr", "device"})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestSpan:
     """One tracked request's finalized lifecycle.
 
@@ -116,7 +116,7 @@ class RequestSpan:
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PacketSpan:
     """Device-side service breakdown of one packet covering tracked
     requests — feeds the per-vault Perfetto tracks."""
@@ -147,7 +147,7 @@ class PacketSpan:
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanTrace:
     """The finalized, picklable span set of one run.
 

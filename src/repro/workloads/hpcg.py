@@ -56,33 +56,31 @@ class HPCG(WorkloadGenerator):
         plane = nx * nx
         row_start = (core_id * (n_rows_total // 8)) % n_rows_total
 
-        chunks = []
-        ops_chunks = []
-        sizes_chunks = []
         neighbour_offsets = np.array(
             [dz * plane + dy * nx + dx
              for dz in (-1, 0, 1) for dy in (-1, 0, 1) for dx in (-1, 0, 1)],
             dtype=np.int64,
         )
         row_ids = (row_start + np.arange(rows, dtype=np.int64)) % n_rows_total
-        for r in range(rows):
-            row = int(row_ids[r])
-            nnz_base = row * _ROW_NNZ
-            val_addrs = patterns.sequential(vals, _ROW_NNZ, 8, start_index=nnz_base)
-            col_addrs = patterns.sequential(cols, _ROW_NNZ, 4, start_index=nnz_base)
-            neigh = np.clip(row + neighbour_offsets, 0, n_rows_total - 1)
-            x_addrs = x + neigh * 8
-            # Hardware-order: (col, val, x) triples then the y store.
-            triple = patterns.interleave(col_addrs, val_addrs, x_addrs)
-            chunks.append(np.concatenate([triple, [y + row * 8]]))
-            ops_chunks.append(
-                np.concatenate([np.zeros(3 * _ROW_NNZ, dtype=np.int8),
-                                [int(MemOp.STORE)]])
-            )
-            sizes_chunks.append(
-                np.concatenate([np.tile([4, 8, 8], _ROW_NNZ), [8]])
-            )
-        addrs = np.concatenate(chunks)[:n_accesses]
-        ops = np.concatenate(ops_chunks)[:n_accesses]
-        sizes = np.concatenate(sizes_chunks)[:n_accesses]
+        # All rows at once: a (rows, 82) matrix whose columns follow the
+        # per-row hardware order — (col, val, x) triples then the y store.
+        # Pure integer arithmetic, so identical to the former per-row loop.
+        per_row_len = 3 * _ROW_NNZ + 1
+        nnz = row_ids[:, None] * _ROW_NNZ + np.arange(_ROW_NNZ, dtype=np.int64)
+        block = np.empty((rows, per_row_len), dtype=np.int64)
+        block[:, 0 : 3 * _ROW_NNZ : 3] = cols + nnz * 4
+        block[:, 1 : 3 * _ROW_NNZ : 3] = vals + nnz * 8
+        neigh = np.clip(
+            row_ids[:, None] + neighbour_offsets[None, :], 0, n_rows_total - 1
+        )
+        block[:, 2 : 3 * _ROW_NNZ : 3] = x + neigh * 8
+        block[:, -1] = y + row_ids * 8
+        ops_block = np.zeros((rows, per_row_len), dtype=np.int64)
+        ops_block[:, -1] = int(MemOp.STORE)
+        sizes_row = np.concatenate(
+            [np.tile([4, 8, 8], _ROW_NNZ), [8]]
+        ).astype(np.int64)
+        addrs = block.reshape(-1)[:n_accesses]
+        ops = ops_block.reshape(-1)[:n_accesses]
+        sizes = np.tile(sizes_row, rows)[:n_accesses]
         return addrs, sizes, ops

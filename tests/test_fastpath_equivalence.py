@@ -1,0 +1,254 @@
+"""Fast-path equivalence suite — the optimization contract.
+
+The hot-path optimizations (bound stats/telemetry handles, bound energy
+chargers, memoized FLIT counts, bit-op address mapping, ``__slots__``
+request types, the aggregator deadline heap, vectorized trace
+generation) must be **bit-identical** to the original per-event code.
+``tests/golden_fastpath.json`` pins exact results — integers equal,
+floats equal to the last bit — captured from the pre-optimization
+implementation across every coalescer arm and all three devices.
+
+Regenerate ONLY when a modeling change is intended (never for a pure
+optimization — if regeneration is needed, the optimization is wrong)::
+
+    PYTHONPATH=src python tests/test_fastpath_equivalence.py --regen
+
+The hypothesis property at the bottom proves the bit-op address
+decomposition matches the original div/mod arithmetic for arbitrary
+addresses and geometries.
+"""
+
+import json
+import pickle
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import CoalescedRequest, MemOp, MemoryRequest
+from repro.engine.driver import run_benchmark
+from repro.engine.system import CoalescerKind
+from repro.mem.address import AddressMap
+
+GOLDEN_PATH = Path(__file__).parent / "golden_fastpath.json"
+
+N_ACCESSES = 4000
+SEED = 99
+
+#: The (benchmark, arm, device) grid: every arm on HMC, the paper's
+#: three arms on HBM and DDR.
+COMBOS = [
+    (bench, arm, "hmc")
+    for bench in ("gs", "stream", "bfs")
+    for arm in ("none", "dmc", "pac", "sortdmc")
+] + [
+    (bench, arm, device)
+    for bench in ("gs", "stream")
+    for arm in ("none", "dmc", "pac")
+    for device in ("hbm", "ddr")
+]
+
+
+def _capture(bench: str, arm: str, device: str) -> dict:
+    """Run one combo and extract every value the optimizations touch."""
+    result = run_benchmark(
+        bench,
+        coalescer=CoalescerKind(arm),
+        n_accesses=N_ACCESSES,
+        seed=SEED,
+        device=device,
+    )
+    return {
+        "benchmark": bench,
+        "arm": arm,
+        "device": device,
+        "n_raw": result.n_raw,
+        "n_issued": result.n_issued,
+        "n_merged": result.n_merged,
+        "stall_cycles": result.stall_cycles,
+        "comparisons": result.comparisons,
+        "runtime_cycles": result.runtime_cycles,
+        "bank_conflicts": result.bank_conflicts,
+        "bank_activations": result.bank_activations,
+        "payload_bytes": result.payload_bytes,
+        "transaction_bytes": result.transaction_bytes,
+        "coalescing_efficiency": result.coalescing_efficiency,
+        "transaction_efficiency": result.transaction_efficiency,
+        "mean_memory_latency_cycles": result.mean_memory_latency_cycles,
+        "mean_raw_service_cycles": result.mean_raw_service_cycles,
+        # Exact per-category picojoules: bound chargers must accumulate
+        # in the same order with the same arithmetic.
+        "energy_pj": dict(result.energy.picojoules),
+    }
+
+
+def _regen() -> None:
+    entries = [_capture(*combo) for combo in COMBOS]
+    doc = {
+        "_meta": {
+            "n_accesses": N_ACCESSES,
+            "seed": SEED,
+            "note": (
+                "Exact-value fast-path corpus. Optimizations must NOT "
+                "change any value here; regenerate only for intended "
+                "modeling changes."
+            ),
+        },
+        "entries": entries,
+    }
+    GOLDEN_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {len(entries)} entries to {GOLDEN_PATH}")
+
+
+# --------------------------------------------------------------------- #
+# golden equivalence
+
+
+def _golden_entries():
+    if not GOLDEN_PATH.exists():  # pragma: no cover
+        pytest.skip("golden_fastpath.json missing — run --regen")
+    doc = json.loads(GOLDEN_PATH.read_text())
+    return doc["entries"]
+
+
+@pytest.mark.parametrize(
+    "bench,arm,device", COMBOS,
+    ids=[f"{b}-{a}-{d}" for b, a, d in COMBOS],
+)
+def test_bit_identical_to_golden(bench, arm, device):
+    entries = {
+        (e["benchmark"], e["arm"], e["device"]): e for e in _golden_entries()
+    }
+    expected = entries[(bench, arm, device)]
+    got = _capture(bench, arm, device)
+    for key, want in expected.items():
+        assert got[key] == want, (
+            f"{bench}/{arm}/{device}: {key} drifted — optimized fast "
+            f"path is not bit-identical ({got[key]!r} vs {want!r})"
+        )
+
+
+def test_corpus_covers_grid():
+    keys = {
+        (e["benchmark"], e["arm"], e["device"]) for e in _golden_entries()
+    }
+    assert keys == set(COMBOS)
+
+
+# --------------------------------------------------------------------- #
+# address-map bit ops == original arithmetic
+
+
+def _locate_reference(amap: AddressMap, addr: int):
+    """The original div/mod decomposition, kept verbatim as the oracle."""
+    row_index = addr // amap.row_bytes
+    if amap.policy == "vault-first":
+        vault = row_index % amap.n_vaults
+        bank = (row_index // amap.n_vaults) % amap.banks_per_vault
+        row = row_index // (amap.n_vaults * amap.banks_per_vault)
+    elif amap.policy == "bank-first":
+        bank = row_index % amap.banks_per_vault
+        vault = (row_index // amap.banks_per_vault) % amap.n_vaults
+        row = row_index // (amap.n_vaults * amap.banks_per_vault)
+    else:  # row-major
+        row = row_index % amap.ROWS_PER_BANK
+        bank_linear = row_index // amap.ROWS_PER_BANK
+        vault = bank_linear % amap.n_vaults
+        bank = (bank_linear // amap.n_vaults) % amap.banks_per_vault
+    return (vault, bank, row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    addr=st.integers(min_value=0, max_value=(1 << 40) - 1),
+    n_vaults=st.sampled_from([8, 16, 32]),
+    banks_per_vault=st.sampled_from([4, 8, 16]),
+    row_bytes=st.sampled_from([64, 128, 256, 1024]),
+    policy=st.sampled_from(["vault-first", "bank-first", "row-major"]),
+)
+def test_locate_matches_arithmetic(
+    addr, n_vaults, banks_per_vault, row_bytes, policy
+):
+    amap = AddressMap(
+        n_vaults=n_vaults,
+        banks_per_vault=banks_per_vault,
+        row_bytes=row_bytes,
+        policy=policy,
+    )
+    assert tuple(amap.locate(addr)) == _locate_reference(amap, addr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    addr=st.integers(min_value=0, max_value=(1 << 40) - 1),
+    size=st.integers(min_value=1, max_value=4096),
+    row_bytes=st.sampled_from([64, 256, 1024]),
+)
+def test_rows_spanned_matches_arithmetic(addr, size, row_bytes):
+    amap = AddressMap(row_bytes=row_bytes)
+    first = addr // row_bytes
+    last = (addr + size - 1) // row_bytes
+    assert amap.rows_spanned(addr, size) == last - first + 1
+
+
+# non-power-of-two geometry must still work (div/mod fallback)
+def test_locate_non_power_of_two_geometry():
+    amap = AddressMap(n_vaults=24, banks_per_vault=6, row_bytes=192)
+    for addr in (0, 191, 192, 12345678, (1 << 33) + 7):
+        assert tuple(amap.locate(addr)) == _locate_reference(amap, addr)
+
+
+# --------------------------------------------------------------------- #
+# memoized FLIT counts == direct computation
+
+
+def test_packet_flits_memoized_equivalence():
+    from repro.common.types import FLIT_BYTES
+    from repro.hmc.packet import packet_flits
+
+    for size in (1, 15, 16, 17, 64, 128, 255, 256, 1024):
+        for op in (MemOp.LOAD, MemOp.STORE):
+            pkt = CoalescedRequest(
+                addr=0, size=size, op=op, constituents=(1,)
+            )
+            flits = packet_flits(pkt)
+            payload = -(-size // FLIT_BYTES)
+            if op == MemOp.STORE:
+                assert (flits.request, flits.response) == (1 + payload, 1)
+            else:
+                assert (flits.request, flits.response) == (1, 1 + payload)
+            # Second call (memoized) must agree.
+            assert packet_flits(pkt) == flits
+
+
+# --------------------------------------------------------------------- #
+# slotted request types keep their dataclass contract
+
+
+def test_slotted_types_pickle_and_eq():
+    req = MemoryRequest(addr=0x1000, size=64, op=MemOp.LOAD, cycle=7)
+    clone = pickle.loads(pickle.dumps(req))
+    assert clone == req
+    pkt = CoalescedRequest(
+        addr=0x2000, size=128, op=MemOp.STORE,
+        constituents=(1, 2), issue_cycle=3,
+    )
+    assert pickle.loads(pickle.dumps(pkt)) == pkt
+
+
+def test_slotted_types_reject_new_attributes():
+    req = MemoryRequest(addr=0x1000)
+    with pytest.raises((AttributeError, TypeError)):
+        req.scratch = 1
+    pkt = CoalescedRequest(addr=0, size=64, op=MemOp.LOAD, constituents=(1,))
+    with pytest.raises((AttributeError, TypeError)):
+        pkt.scratch = 1
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
