@@ -30,7 +30,7 @@ import argparse
 import sys
 
 from repro.config import TABLE1
-from repro.engine.driver import run_benchmark, run_comparison, run_suite
+from repro.engine.driver import run_benchmark, run_comparison
 from repro.engine.system import CoalescerKind
 from repro.experiments import figures as F
 from repro.experiments.figures import ResultCache
@@ -79,6 +79,16 @@ def main(argv=None) -> int:
         help="trace length per run (default 24000)",
     )
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for suite-scale commands "
+             "(default: CPU count; 1 forces serial)",
+    )
+    parser.add_argument(
+        "--no-artifact-cache", action="store_true", dest="no_artifact_cache",
+        help="disable the content-addressed trace/cache-pass artifact "
+             "cache for this invocation (recompute everything)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one benchmark, one arm")
@@ -104,6 +114,20 @@ def main(argv=None) -> int:
     p_suite.add_argument(
         "--coalescer", choices=[k.value for k in CoalescerKind],
         default="pac",
+    )
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed artifact cache",
+    )
+    p_cache.add_argument(
+        "action", choices=["ls", "stats", "clear"],
+        help="ls = list entries; stats = totals; clear = delete all",
+    )
+    p_cache.add_argument(
+        "--dir", default=None, dest="cache_dir",
+        help="cache directory (default: $REPRO_ARTIFACT_DIR or "
+             "~/.cache/repro/artifacts)",
     )
 
     p_fig = sub.add_parser("figure", help="regenerate one figure")
@@ -246,6 +270,54 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.no_artifact_cache:
+        # Environment (not a parameter): fork/spawn pool workers inherit
+        # it, so the switch reaches every process of a suite run.
+        import os
+
+        os.environ["REPRO_ARTIFACT_CACHE"] = "0"
+
+    if args.command == "cache":
+        from pathlib import Path
+
+        from repro.artifacts import default_root, get_store
+
+        root = Path(args.cache_dir) if args.cache_dir else default_root()
+        store = get_store(root)
+        if args.action == "clear":
+            removed = store.clear()
+            print(f"removed {removed} artifact(s) from {root}")
+            return 0
+        entries = list(store.entries())
+        if args.action == "ls":
+            if not entries:
+                print(f"no artifacts in {root}")
+                return 0
+            for e in entries:
+                meta = e.meta
+                desc = (
+                    "corrupt entry" if meta.get("corrupt") else
+                    f"{meta.get('benchmark', '?')} "
+                    f"n={meta.get('n_accesses', '?')} "
+                    f"seed={meta.get('seed', '?')} "
+                    f"cfg={meta.get('config_hash', '?')} "
+                    f"dev={meta.get('device', '?')}"
+                )
+                print(
+                    f"{e.kind:<6} {e.key}  {e.size_bytes / 1024:8.1f}KB  "
+                    f"{desc}"
+                )
+            return 0
+        n_pass = sum(1 for e in entries if e.kind == "pass")
+        n_trace = sum(1 for e in entries if e.kind == "trace")
+        print(f"cache dir: {root}")
+        print(
+            f"entries:   {len(entries)} "
+            f"({n_pass} cache-pass, {n_trace} trace)"
+        )
+        print(f"disk:      {store.disk_bytes() / 1024:.1f}KB")
+        return 0
+
     if args.command == "config":
         print(render_table(table1_configuration(), title="Table 1"))
         return 0
@@ -282,11 +354,19 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "suite":
-        results = run_suite(
-            CoalescerKind(args.coalescer),
+        from repro.engine.parallel import run_suite_parallel
+
+        kind = CoalescerKind(args.coalescer)
+        results = run_suite_parallel(
+            kinds=(kind,),
             n_accesses=args.accesses, seed=args.seed,
+            max_workers=args.jobs,
         )
-        rows = [r.as_row() for r in results.values()]
+        rows = [
+            results[(name, kind.value)].as_row()
+            for name in BENCHMARK_NAMES
+            if (name, kind.value) in results
+        ]
         keep = ["benchmark", "n_raw", "n_issued", "coalescing_efficiency",
                 "bank_conflicts", "runtime_cycles"]
         print(render_table(rows, title=f"suite / {args.coalescer}",

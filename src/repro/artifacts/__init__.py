@@ -1,0 +1,67 @@
+"""Content-addressed artifact cache + shared-memory raw-stream transport.
+
+Suite-scale execution (``run_suite_parallel``, ``repro bench``, figure
+sweeps) repeats a deterministic prefix — trace generation and the
+cache-hierarchy pass — once per (benchmark, arm) job. This package
+computes that prefix once per benchmark, caches it content-addressed on
+disk (keyed by run parameters, a schema version, and a fingerprint of
+the producing source code), and fans the packed raw stream out to pool
+workers through ``multiprocessing.shared_memory`` instead of pickle.
+
+See ARCHITECTURE.md ("Artifact cache") for the key spec, invalidation
+rules, and shared-memory layout.
+"""
+
+from repro.artifacts.shm import (
+    REQ_DTYPE,
+    attach,
+    decode_requests,
+    detach,
+    encode_requests,
+    publish,
+    release,
+)
+from repro.artifacts.store import (
+    ARTIFACT_SCHEMA,
+    ArtifactEntry,
+    ArtifactStore,
+    CacheStats,
+    cache_enabled,
+    code_fingerprint,
+    default_root,
+    get_store,
+    pass_key,
+    trace_key,
+)
+from repro.artifacts.pipeline import (
+    TracePass,
+    build_suite_trace,
+    compute_trace_pass,
+    load_or_compute_trace_pass,
+    try_load_trace_pass,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "REQ_DTYPE",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "CacheStats",
+    "TracePass",
+    "attach",
+    "build_suite_trace",
+    "cache_enabled",
+    "code_fingerprint",
+    "compute_trace_pass",
+    "decode_requests",
+    "default_root",
+    "detach",
+    "encode_requests",
+    "get_store",
+    "load_or_compute_trace_pass",
+    "pass_key",
+    "publish",
+    "release",
+    "trace_key",
+    "try_load_trace_pass",
+]

@@ -1,0 +1,311 @@
+"""Trace-pass pipeline: compute / cache / reload the per-benchmark prefix.
+
+A suite run factors into a deterministic, coalescer-independent prefix
+(trace generation + cache-hierarchy pass — "phase 1") and a per-arm
+suffix (coalescer + device — "phase 2"). :class:`TracePass` is the
+hand-off value between them: everything phase 2 needs, with the raw
+stream already packed into the :data:`repro.artifacts.shm.REQ_DTYPE`
+layout so it pickles as one buffer and maps straight into shared
+memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.artifacts import shm as shm_codec
+from repro.artifacts.store import (
+    ArtifactStore,
+    cache_enabled,
+    get_store,
+    pass_key,
+    trace_key,
+)
+from repro.config import SimulationConfig, TABLE1
+from repro.mem.trace import AccessTrace
+
+
+@dataclass
+class TracePass:
+    """The per-benchmark deterministic prefix, ready for phase 2.
+
+    ``raw`` is the packed request stream; :meth:`requests` decodes it
+    lazily and memoizes the list (dropped from pickles, so shipping a
+    ``TracePass`` between processes costs one contiguous buffer).
+    """
+
+    benchmark: str
+    n_accesses: int
+    trace_end_cycle: int
+    raw: np.ndarray
+    cache_metrics: dict
+    key: str = ""
+    cached: bool = False
+    _requests: Optional[list] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def n_raw(self) -> int:
+        return int(len(self.raw))
+
+    def requests(self) -> list:
+        """Decoded request list. Memoized per content key, so repeated
+        warm runs in one process (bench loops, sweep scripts) decode a
+        given stream once. Consumers share the list and must not mutate
+        it — the same contract :func:`repro.engine.driver.run_comparison`
+        has always had for its shared raw stream."""
+        if self._requests is None:
+            if self.key:
+                cached = _DECODED_MEMO.get(self.key)
+                if cached is not None and len(cached) == len(self.raw):
+                    _DECODED_MEMO.move_to_end(self.key)
+                    self._requests = cached
+                    return cached
+            self._requests = shm_codec.decode_requests(self.raw)
+            if self.key:
+                _DECODED_MEMO[self.key] = self._requests
+                _DECODED_MEMO.move_to_end(self.key)
+                while len(_DECODED_MEMO) > _DECODED_MEMO_CAP:
+                    _DECODED_MEMO.popitem(last=False)
+        return self._requests
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_requests"] = None
+        return state
+
+
+#: In-process decoded-stream memo (entries are request lists; bounded
+#: because a decoded 60k-request stream is ~15MB of objects).
+_DECODED_MEMO: "OrderedDict[str, list]" = OrderedDict()
+_DECODED_MEMO_CAP = 8
+
+
+def _resolve(config: SimulationConfig, seed: Optional[int]) -> int:
+    return config.seed if seed is None else seed
+
+
+def build_suite_trace(
+    benchmark: str,
+    n_accesses: int,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+    scale=1.0,
+    extra_benchmarks: Sequence[str] = (),
+    device: str = "hmc",
+    fine_grain: bool = False,
+) -> AccessTrace:
+    """Generate the translated trace for one suite entry (uncached)."""
+    from repro.engine.system import CoalescerKind, System
+
+    system = System(
+        config=config,
+        coalescer=CoalescerKind.NONE,
+        device=device,
+        fine_grain=fine_grain,
+    )
+    names = [benchmark, *extra_benchmarks]
+    return system.build_trace(
+        names, n_accesses, seed=_resolve(config, seed), scale=scale
+    )
+
+
+def compute_trace_pass(
+    benchmark: str,
+    n_accesses: int,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+    device: str = "hmc",
+    scale=1.0,
+    extra_benchmarks: Sequence[str] = (),
+    fine_grain: bool = False,
+    trace: Optional[AccessTrace] = None,
+) -> TracePass:
+    """Run trace generation + the cache pass for one benchmark (no cache
+    lookups; pass ``trace`` to skip regeneration)."""
+    from repro.engine.system import CoalescerKind, System
+
+    system = System(
+        config=config,
+        coalescer=CoalescerKind.NONE,
+        device=device,
+        fine_grain=fine_grain,
+    )
+    names = [benchmark, *extra_benchmarks]
+    if trace is None:
+        trace = system.build_trace(
+            names, n_accesses, seed=_resolve(config, seed), scale=scale
+        )
+    if fine_grain:
+        raw = system.hierarchy.fine_grain_stream(trace)
+    else:
+        raw = system.hierarchy.process(trace)
+    packed = shm_codec.encode_requests(raw.requests)
+    tp = TracePass(
+        benchmark="+".join(names),
+        n_accesses=len(trace),
+        trace_end_cycle=int(trace.cycles[-1]) if len(trace) else 0,
+        raw=packed,
+        cache_metrics=system.hierarchy.summary_metrics(len(raw.requests)),
+    )
+    # The freshly built MemoryRequest list is the one phase 2 wants —
+    # keep it so a same-process consumer never pays the decode.
+    tp._requests = raw.requests
+    return tp
+
+
+def try_load_trace_pass(
+    benchmark: str,
+    n_accesses: int,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+    device: str = "hmc",
+    scale=1.0,
+    extra_benchmarks: Sequence[str] = (),
+    fine_grain: bool = False,
+    store: Optional[ArtifactStore] = None,
+) -> Optional[TracePass]:
+    """Load a cached pass artifact, or None (never computes)."""
+    if not cache_enabled():
+        return None
+    seed = _resolve(config, seed)
+    extras = tuple(extra_benchmarks)
+    store = store if store is not None else get_store()
+    pkey = pass_key(
+        benchmark, n_accesses, seed, config, device=device, scale=scale,
+        extra_benchmarks=extras, fine_grain=fine_grain,
+    )
+    payload = store.get("pass", pkey)
+    if payload is None:
+        return None
+    meta = payload["meta"]
+    try:
+        return TracePass(
+            benchmark=meta["benchmark"],
+            n_accesses=int(meta["n_accesses"]),
+            trace_end_cycle=int(meta["trace_end_cycle"]),
+            raw=np.ascontiguousarray(
+                payload["requests"], dtype=shm_codec.REQ_DTYPE
+            ),
+            cache_metrics=dict(meta["cache_metrics"]),
+            key=pkey,
+            cached=True,
+        )
+    except (KeyError, TypeError, ValueError):
+        # Structurally valid npz with unexpected contents: recompute.
+        store.stats.errors += 1
+        return None
+
+
+def load_or_compute_trace_pass(
+    benchmark: str,
+    n_accesses: int,
+    config: SimulationConfig = TABLE1,
+    seed: Optional[int] = None,
+    device: str = "hmc",
+    scale=1.0,
+    extra_benchmarks: Sequence[str] = (),
+    fine_grain: bool = False,
+    use_cache: bool = True,
+    store: Optional[ArtifactStore] = None,
+) -> TracePass:
+    """Cache-aware trace-pass front door.
+
+    Lookup order: pass artifact (whole prefix skipped) → trace artifact
+    (generation skipped, hierarchy re-run) → full compute. On a miss
+    with caching enabled, both artifacts are written back.
+    """
+    seed = _resolve(config, seed)
+    extras = tuple(extra_benchmarks)
+    use_cache = use_cache and cache_enabled()
+    if not use_cache:
+        return compute_trace_pass(
+            benchmark, n_accesses, config=config, seed=seed, device=device,
+            scale=scale, extra_benchmarks=extras, fine_grain=fine_grain,
+        )
+    store = store if store is not None else get_store()
+    hit = try_load_trace_pass(
+        benchmark, n_accesses, config=config, seed=seed, device=device,
+        scale=scale, extra_benchmarks=extras, fine_grain=fine_grain,
+        store=store,
+    )
+    if hit is not None:
+        return hit
+    pkey = pass_key(
+        benchmark, n_accesses, seed, config, device=device, scale=scale,
+        extra_benchmarks=extras, fine_grain=fine_grain,
+    )
+
+    tkey = trace_key(
+        benchmark, n_accesses, seed, config, device=device, scale=scale,
+        extra_benchmarks=extras,
+    )
+    trace: Optional[AccessTrace] = None
+    trace_was_cached = False
+    tpayload = store.get("trace", tkey)
+    if tpayload is not None:
+        try:
+            trace = AccessTrace(
+                tpayload["addrs"], tpayload["sizes"], tpayload["ops"],
+                tpayload["cores"], tpayload["cycles"],
+            )
+            trace_was_cached = True
+        except (KeyError, ValueError):
+            store.stats.errors += 1
+            trace = None
+    if trace is None:
+        trace = build_suite_trace(
+            benchmark, n_accesses, config=config, seed=seed, scale=scale,
+            extra_benchmarks=extras, device=device, fine_grain=fine_grain,
+        )
+    tp = compute_trace_pass(
+        benchmark, n_accesses, config=config, seed=seed, device=device,
+        scale=scale, extra_benchmarks=extras, fine_grain=fine_grain,
+        trace=trace,
+    )
+    tp.key = pkey
+    if tp._requests is not None:
+        _DECODED_MEMO[pkey] = tp._requests
+        _DECODED_MEMO.move_to_end(pkey)
+        while len(_DECODED_MEMO) > _DECODED_MEMO_CAP:
+            _DECODED_MEMO.popitem(last=False)
+    ident = {
+        "benchmark": tp.benchmark,
+        "n_accesses": tp.n_accesses,
+        "seed": seed,
+        "config_hash": config.config_hash(),
+        "device": device,
+        "scale": repr(scale),
+        "extra_benchmarks": list(extras),
+    }
+    if not trace_was_cached:
+        store.put(
+            "trace",
+            tkey,
+            ident,
+            addrs=trace.addrs,
+            sizes=trace.sizes,
+            ops=trace.ops,
+            cores=trace.cores,
+            cycles=trace.cycles,
+        )
+    # The pass artifact always goes back (it may have missed while the
+    # trace hit).
+    store.put(
+        "pass",
+        pkey,
+        {
+            **ident,
+            "fine_grain": fine_grain,
+            "trace_end_cycle": tp.trace_end_cycle,
+            "n_raw": tp.n_raw,
+            "cache_metrics": tp.cache_metrics,
+        },
+        requests=tp.raw,
+    )
+    return tp

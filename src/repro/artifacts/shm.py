@@ -1,0 +1,133 @@
+"""Array-of-structs codec and shared-memory transport for raw streams.
+
+The raw request stream — the cache hierarchy's output and the
+coalescers' input — is a list of :class:`~repro.common.types.MemoryRequest`
+objects. Pickling that list into every pool worker costs a per-object
+round trip (construct, validate, allocate) for tens of thousands of
+requests per job. Instead the stream is packed once into a compact
+structured numpy array (23 bytes per request) that:
+
+* serializes as a single contiguous buffer (fast pickle, fast ``.npz``);
+* maps directly into :mod:`multiprocessing.shared_memory` so every
+  phase-2 worker of :func:`repro.engine.parallel.run_suite_parallel`
+  reads the same physical pages — zero copies, zero pickling.
+
+``req_id`` is deliberately NOT part of the layout: it is a
+process-global allocation counter, not simulation state. Decoding mints
+fresh ids; every consumer (MSHR files, PAC streams, span recorders) uses
+ids only as opaque in-flight keys, so results are bit-identical — the
+same argument that lets :func:`repro.engine.driver.run_comparison` share
+one request list across arms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.types import MemOp, MemoryRequest
+
+#: Packed little-endian layout of one raw request. ``align=False``
+#: (the default) keeps it at 23 bytes; addresses are physical (< 8GB in
+#: the Table 1 configuration, so int64 is comfortable).
+REQ_DTYPE = np.dtype(
+    [
+        ("addr", "<i8"),
+        ("size", "<i4"),
+        ("op", "<i1"),
+        ("core", "<i2"),
+        ("cycle", "<i8"),
+    ]
+)
+
+
+def encode_requests(requests: Sequence[MemoryRequest]) -> np.ndarray:
+    """Pack a request list into a ``REQ_DTYPE`` structured array."""
+    out = np.empty(len(requests), dtype=REQ_DTYPE)
+    out["addr"] = [r.addr for r in requests]
+    out["size"] = [r.size for r in requests]
+    out["op"] = [int(r.op) for r in requests]
+    out["core"] = [r.core_id for r in requests]
+    out["cycle"] = [r.cycle for r in requests]
+    return out
+
+
+def decode_requests(array: np.ndarray) -> List[MemoryRequest]:
+    """Rebuild the request list (fresh ``req_id`` values; see module
+    docstring for why that is bit-identical)."""
+    # Column-wise tolist() converts to native ints at C speed; per-row
+    # structured-array access would box a numpy void per request.
+    addrs = array["addr"].tolist()
+    sizes = array["size"].tolist()
+    ops = [MemOp(v) for v in array["op"].tolist()]
+    cores = array["core"].tolist()
+    cycles = array["cycle"].tolist()
+    return [
+        MemoryRequest(addr=a, size=s, op=o, core_id=c, cycle=cy)
+        for a, s, o, c, cy in zip(addrs, sizes, ops, cores, cycles)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# shared-memory transport (parent owns the segment lifecycle)
+
+
+def publish(array: np.ndarray) -> Tuple[object, str]:
+    """Copy ``array`` into a fresh shared-memory segment.
+
+    Returns ``(shm, name)``; the caller owns the segment and must
+    ``close()`` + ``unlink()`` it (see :func:`release`). Zero-length
+    arrays still get a 1-byte segment (POSIX shm forbids empty maps).
+    """
+    from multiprocessing import shared_memory
+
+    nbytes = max(1, array.nbytes)
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    if array.nbytes:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[:] = array
+    return shm, shm.name
+
+
+def attach(name: str, n_items: int, dtype: np.dtype = REQ_DTYPE):
+    """Attach to a published segment from a worker process.
+
+    Returns ``(shm, array_view)``. The view is only valid while ``shm``
+    stays open — decode (copy out) before calling :func:`detach`.
+
+    CPython's resource tracker registers POSIX shm segments on *attach*
+    as well as on create (fixed only in 3.13's ``track=False``).
+    Registration is suppressed for the duration of the attach: the
+    tracker process is shared across fork, so letting the worker
+    register (and later unregister) the parent-owned name would either
+    unlink a segment the worker never owned or race the parent's own
+    unlink into a double-unregister.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    real_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = real_register
+    array = np.ndarray((n_items,), dtype=dtype, buffer=shm.buf)
+    return shm, array
+
+
+def detach(shm) -> None:
+    """Close a worker-side attachment (never unlinks)."""
+    shm.close()
+
+
+def release(shm) -> None:
+    """Close and unlink a parent-owned segment (idempotent)."""
+    try:
+        shm.close()
+    except (OSError, ValueError):  # pragma: no cover - double close
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass

@@ -1,0 +1,366 @@
+"""Content-addressed on-disk + in-process artifact store.
+
+Artifacts are the deterministic, coalescer-independent prefix of a run:
+
+* **trace** — the translated physical-address trace for a benchmark mix
+  (columnar ``AccessTrace`` arrays);
+* **pass** — the cache-hierarchy raw stream for that trace, already
+  packed into the :data:`repro.artifacts.shm.REQ_DTYPE` layout, plus
+  the hierarchy summary metrics the final ``RunResult`` reports.
+
+Keys are sha256 digests over every input that can change the bytes of
+the artifact: the full run parameterization, an explicit schema version,
+and a fingerprint of the source code that produces the artifact. The
+code fingerprint makes staleness invalidation automatic — any future PR
+that edits a workload generator or the cache model changes the
+fingerprint, so old entries simply stop matching and are recomputed
+(``repro cache clear`` reclaims the disk space).
+
+Writes go through a temp file + ``os.replace`` so concurrent writers
+(pool workers racing on a cold cache) each publish a complete file and
+the last one wins — both wrote identical bytes, so either is correct.
+Unreadable entries (truncated by a crash, garbage) are treated as
+misses, unlinked, and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+#: Bump when the artifact file layout or key recipe changes; old
+#: entries become unreachable (never misread).
+ARTIFACT_SCHEMA = 1
+
+#: Environment knobs. The directory variable doubles as the isolation
+#: mechanism for tests and bench runs (point it at a temp dir); the
+#: cache variable is how ``--no-artifact-cache`` reaches pool workers,
+#: since fork/spawn children inherit the environment.
+ENV_DIR = "REPRO_ARTIFACT_DIR"
+ENV_ENABLED = "REPRO_ARTIFACT_CACHE"
+
+_FALSEY = {"0", "false", "no", "off", ""}
+
+#: In-process memo capacity (entries, not bytes). A suite touches a
+#: handful of benchmarks; 16 covers bench sweeps without letting a
+#: long-lived session hoard every stream it ever decoded.
+_MEMO_CAP = 16
+
+
+def cache_enabled() -> bool:
+    """Whether the artifact cache is globally enabled (env switch)."""
+    return os.environ.get(ENV_ENABLED, "1").strip().lower() not in _FALSEY
+
+
+def default_root() -> Path:
+    """Resolve the on-disk cache root (``$REPRO_ARTIFACT_DIR`` wins)."""
+    env = os.environ.get(ENV_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "artifacts"
+
+
+# --------------------------------------------------------------------- #
+# keys
+
+#: Module files whose source feeds the code fingerprint — everything
+#: that executes between "benchmark name" and "raw request stream".
+_FINGERPRINT_SOURCES = (
+    "workloads",
+    "cache",
+    "mem",
+    "common",
+    "config.py",
+    "engine/system.py",
+)
+
+_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """sha256 over the trace/cache-pass producing source files.
+
+    Computed once per process; source files do not change under a
+    running simulation.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        pkg_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for entry in _FINGERPRINT_SOURCES:
+            path = pkg_root / entry
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for f in files:
+                digest.update(str(f.relative_to(pkg_root)).encode())
+                try:
+                    digest.update(f.read_bytes())
+                except OSError:
+                    digest.update(b"<unreadable>")
+        _fingerprint_cache = digest.hexdigest()[:16]
+    return _fingerprint_cache
+
+
+def _digest(kind: str, parts: tuple) -> str:
+    payload = repr((kind, ARTIFACT_SCHEMA, code_fingerprint()) + parts)
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def trace_key(
+    benchmark: str,
+    n_accesses: int,
+    seed: int,
+    config,
+    device: str = "hmc",
+    scale=1.0,
+    extra_benchmarks: Tuple[str, ...] = (),
+) -> str:
+    """Key for a translated trace artifact.
+
+    ``device`` participates even though trace generation only reads
+    ``config.hmc.capacity_bytes`` today — if a future device grows its
+    own frame pool the keyspace is already partitioned correctly.
+    """
+    return _digest(
+        "trace",
+        (
+            benchmark,
+            int(n_accesses),
+            int(seed),
+            config.config_hash(),
+            device,
+            repr(scale),
+            tuple(extra_benchmarks),
+        ),
+    )
+
+
+def pass_key(
+    benchmark: str,
+    n_accesses: int,
+    seed: int,
+    config,
+    device: str = "hmc",
+    scale=1.0,
+    extra_benchmarks: Tuple[str, ...] = (),
+    fine_grain: bool = False,
+) -> str:
+    """Key for a cache-pass (raw stream) artifact. ``fine_grain``
+    selects a different hierarchy traversal, so it partitions the key."""
+    return _digest(
+        "pass",
+        (
+            benchmark,
+            int(n_accesses),
+            int(seed),
+            config.config_hash(),
+            device,
+            repr(scale),
+            tuple(extra_benchmarks),
+            bool(fine_grain),
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# store
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one store handle (this process only)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.errors += other.errors
+
+
+@dataclass
+class ArtifactEntry:
+    """One on-disk artifact, as listed by ``repro cache ls``."""
+
+    kind: str
+    key: str
+    path: Path
+    size_bytes: int
+    meta: Dict = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """Content-addressed store: disk npz files + bounded memo dict."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+        self._memo: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{key}.npz"
+
+    # -- memo ----------------------------------------------------------
+
+    def _memo_get(self, key: str) -> Optional[dict]:
+        with self._lock:
+            payload = self._memo.get(key)
+            if payload is not None:
+                self._memo.move_to_end(key)
+            return payload
+
+    def _memo_put(self, key: str, payload: dict) -> None:
+        with self._lock:
+            self._memo[key] = payload
+            self._memo.move_to_end(key)
+            while len(self._memo) > _MEMO_CAP:
+                self._memo.popitem(last=False)
+
+    # -- core get/put --------------------------------------------------
+
+    def get(self, kind: str, key: str) -> Optional[dict]:
+        """Load ``{"meta": dict, **arrays}`` for a key, or None on miss.
+
+        A file that exists but cannot be parsed (torn write, wrong
+        version) counts as a miss: it is unlinked and the caller
+        recomputes.
+        """
+        payload = self._memo_get(key)
+        if payload is not None:
+            self.stats.hits += 1
+            return payload
+        path = self._path(kind, key)
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupt or stale-format entry: drop it, report a miss.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            meta = json.loads(bytes(arrays.pop("__meta__").tobytes()))
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        payload = {"meta": meta, **arrays}
+        self._memo_put(key, payload)
+        self.stats.hits += 1
+        return payload
+
+    def put(self, kind: str, key: str, meta: Dict, **arrays) -> None:
+        """Persist arrays + JSON meta atomically and memoize in-process."""
+        self._memo_put(key, {"meta": dict(meta), **arrays})
+        path = self._path(kind, key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            blob = io.BytesIO()
+            meta_arr = np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+            )
+            np.savez_compressed(blob, __meta__=meta_arr, **arrays)
+            tmp = path.with_name(
+                f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            tmp.write_bytes(blob.getvalue())
+            os.replace(tmp, path)
+            self.stats.stores += 1
+        except OSError:
+            # Read-only or full cache dir: run uncached rather than fail.
+            self.stats.errors += 1
+
+    # -- maintenance / introspection ----------------------------------
+
+    def entries(self) -> Iterator[ArtifactEntry]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*-*.npz")):
+            kind, _, key = path.stem.partition("-")
+            meta: Dict = {}
+            try:
+                with np.load(path, allow_pickle=False) as npz:
+                    if "__meta__" in npz.files:
+                        meta = json.loads(bytes(npz["__meta__"].tobytes()))
+            except Exception:
+                meta = {"corrupt": True}
+            yield ArtifactEntry(
+                kind=kind,
+                key=key,
+                path=path,
+                size_bytes=path.stat().st_size,
+                meta=meta,
+            )
+
+    def disk_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.root.glob("*-*.npz"))
+
+    def clear(self) -> int:
+        """Delete every artifact file; returns the number removed."""
+        removed = 0
+        with self._lock:
+            self._memo.clear()
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*-*.npz"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# One store handle per resolved root, so repeated get_store() calls in
+# a process share the in-process memo, while tests that repoint
+# $REPRO_ARTIFACT_DIR get a fresh isolated store.
+_STORES: Dict[Path, ArtifactStore] = {}
+_STORES_LOCK = threading.Lock()
+
+
+def get_store(root: Optional[Path] = None) -> ArtifactStore:
+    resolved = Path(root) if root is not None else default_root()
+    with _STORES_LOCK:
+        store = _STORES.get(resolved)
+        if store is None:
+            store = ArtifactStore(resolved)
+            _STORES[resolved] = store
+        return store

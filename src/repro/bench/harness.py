@@ -25,7 +25,9 @@ the only variable is the simulator's own speed.
 
 from __future__ import annotations
 
+import os
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -33,6 +35,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.config import TABLE1
 from repro.engine.driver import run_comparison
 from repro.engine.system import CoalescerKind, System
+
+#: Coalescer arms the suite-scale measurement fans out.
+SUITE_ARMS = (CoalescerKind.NONE, CoalescerKind.DMC, CoalescerKind.PAC)
 
 #: Representative workloads: a page-local burst pattern (gs), a stencil
 #: SpMV (hpcg), a unit-stride streamer (stream), and the least-coalescable
@@ -144,6 +149,72 @@ class BenchConfig:
 
 
 @dataclass
+class SuiteBench:
+    """Suite-scale measurement: the two-phase artifact pipeline against
+    the pre-cache per-job baseline, on the same (benchmark × arm) grid.
+
+    ``legacy`` is the PR 3 execution model (every job end-to-end, no
+    artifact reuse); ``cold`` is the first two-phase run against an
+    empty cache; ``warm`` is the min over subsequent repeats with the
+    cache populated. All three produce bit-identical ``RunResult``
+    grids — ``bit_identical`` records that the harness verified it.
+    """
+
+    arms: List[str] = field(default_factory=list)
+    benchmarks: List[str] = field(default_factory=list)
+    jobs: int = 0
+    workers: int = 0
+    legacy: Optional[Timing] = None
+    cold_seconds: float = 0.0
+    warm: Optional[Timing] = None
+    cold_stats: Dict = field(default_factory=dict)
+    warm_stats: Dict = field(default_factory=dict)
+    artifact_cache: Dict = field(default_factory=dict)
+    bit_identical: bool = False
+
+    @property
+    def speedup_cold(self) -> float:
+        if self.legacy is None or self.cold_seconds <= 0:
+            return 0.0
+        return self.legacy.seconds / self.cold_seconds
+
+    @property
+    def speedup_warm(self) -> float:
+        if self.legacy is None or self.warm is None or self.warm.seconds <= 0:
+            return 0.0
+        return self.legacy.seconds / self.warm.seconds
+
+    def as_dict(self) -> Dict:
+        return {
+            "arms": self.arms,
+            "benchmarks": self.benchmarks,
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "legacy": self.legacy.as_dict() if self.legacy else None,
+            "cold_seconds": self.cold_seconds,
+            "warm": self.warm.as_dict() if self.warm else None,
+            "speedup_cold": self.speedup_cold,
+            "speedup_warm": self.speedup_warm,
+            "phase_split": {
+                "cold_phase1_seconds": self.cold_stats.get(
+                    "phase1_seconds", 0.0
+                ),
+                "cold_phase2_seconds": self.cold_stats.get(
+                    "phase2_seconds", 0.0
+                ),
+                "warm_phase1_seconds": self.warm_stats.get(
+                    "phase1_seconds", 0.0
+                ),
+                "warm_phase2_seconds": self.warm_stats.get(
+                    "phase2_seconds", 0.0
+                ),
+            },
+            "artifact_cache": self.artifact_cache,
+            "bit_identical": self.bit_identical,
+        }
+
+
+@dataclass
 class BenchReport:
     """Everything one ``repro bench`` invocation measured."""
 
@@ -152,6 +223,7 @@ class BenchReport:
     end_to_end: Dict[str, Timing] = field(default_factory=dict)
     phases: Dict[str, PhaseTimes] = field(default_factory=dict)
     stages: Dict[str, StageTimes] = field(default_factory=dict)
+    suite: Optional[SuiteBench] = None
     rss_peak_kb: Optional[int] = None
     python: str = ""
     platform: str = ""
@@ -171,7 +243,7 @@ class BenchReport:
 
     def as_dict(self) -> Dict:
         return {
-            "schema": "repro-bench/1",
+            "schema": "repro-bench/2",
             "name": self.name,
             "config": self.config.as_dict(),
             "python": self.python,
@@ -179,6 +251,7 @@ class BenchReport:
             "end_to_end": {b: t.as_dict() for b, t in self.end_to_end.items()},
             "phases": {b: p.as_dict() for b, p in self.phases.items()},
             "stages": {b: s.as_dict() for b, s in self.stages.items()},
+            "suite": self.suite.as_dict() if self.suite else None,
             "rss_peak_kb": self.rss_peak_kb,
             "totals": {
                 "end_to_end_seconds": self.total_seconds,
@@ -223,12 +296,91 @@ def _min_of(
 
 def _measure_end_to_end(bench: str, cfg: BenchConfig) -> Timing:
     def once() -> int:
+        # The artifact cache would turn warm iterations into pure
+        # coalescer runs; the end-to-end gate tracks full-compute
+        # throughput across releases, so it opts out.
         results = run_comparison(
-            bench, n_accesses=cfg.n_accesses, seed=cfg.seed
+            bench, n_accesses=cfg.n_accesses, seed=cfg.seed,
+            use_artifact_cache=False,
         )
         return sum(r.n_raw for r in results.values())
 
     return _min_of(once, cfg.repeats, cfg.warmup)
+
+
+def _measure_suite(cfg: BenchConfig) -> SuiteBench:
+    """Suite-scale two-phase pipeline vs the per-job baseline.
+
+    Runs inside a throwaway ``$REPRO_ARTIFACT_DIR`` so the measurement
+    is independent of (and does not pollute) the developer's real
+    cache: the cold number genuinely starts empty, and the warm number
+    reflects a fully-populated cache.
+    """
+    from repro.engine.parallel import run_suite_parallel
+
+    arms = list(SUITE_ARMS)
+    suite = SuiteBench(
+        arms=[k.value for k in arms],
+        benchmarks=list(cfg.benchmarks),
+        jobs=len(arms) * len(cfg.benchmarks),
+    )
+    kwargs = dict(
+        kinds=tuple(arms),
+        benchmarks=tuple(cfg.benchmarks),
+        n_accesses=cfg.n_accesses,
+        seed=cfg.seed,
+    )
+    old_dir = os.environ.get("REPRO_ARTIFACT_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        os.environ["REPRO_ARTIFACT_DIR"] = tmp
+        try:
+            def legacy() -> int:
+                results = run_suite_parallel(
+                    pipeline="per-job", use_artifact_cache=False, **kwargs
+                )
+                legacy.results = results
+                return sum(r.n_raw for r in results.values())
+
+            legacy.results = {}
+            suite.legacy = _min_of(legacy, cfg.repeats, cfg.warmup)
+
+            cold_stats: Dict = {}
+            t0 = time.perf_counter()
+            cold_results = run_suite_parallel(stats=cold_stats, **kwargs)
+            suite.cold_seconds = time.perf_counter() - t0
+            suite.cold_stats = cold_stats
+            suite.workers = cold_stats.get("workers", 0)
+
+            warm_stats: Dict = {}
+
+            def warm() -> int:
+                warm_stats.clear()
+                results = run_suite_parallel(stats=warm_stats, **kwargs)
+                warm.results = results
+                return sum(r.n_raw for r in results.values())
+
+            warm.results = {}
+            suite.warm = _min_of(warm, cfg.repeats, cfg.warmup)
+            suite.warm_stats = dict(warm_stats)
+            suite.artifact_cache = {
+                "cold": {
+                    "hits": cold_stats.get("artifact_hits", 0),
+                    "misses": cold_stats.get("artifact_misses", 0),
+                },
+                "warm": {
+                    "hits": warm_stats.get("artifact_hits", 0),
+                    "misses": warm_stats.get("artifact_misses", 0),
+                },
+            }
+            suite.bit_identical = (
+                legacy.results == cold_results == warm.results
+            )
+        finally:
+            if old_dir is None:
+                os.environ.pop("REPRO_ARTIFACT_DIR", None)
+            else:
+                os.environ["REPRO_ARTIFACT_DIR"] = old_dir
+    return suite
 
 
 def _measure_phases(bench: str, cfg: BenchConfig) -> PhaseTimes:
@@ -343,5 +495,7 @@ def run_bench(
         if not cfg.quick:
             say(f"[{bench}] stage isolation...")
             report.stages[bench] = _measure_stages(bench, cfg)
+    say("[suite] two-phase pipeline vs per-job baseline...")
+    report.suite = _measure_suite(cfg)
     report.rss_peak_kb = _peak_rss_kb()
     return report

@@ -27,11 +27,19 @@ def write_report(report: BenchReport, path: Union[str, Path]) -> Path:
     return path
 
 
+#: Accepted report schemas. v2 added the ``suite`` section (two-phase
+#: pipeline + artifact-cache measurements); the totals/end_to_end shape
+#: the gate reads is unchanged, so v1 baselines still load.
+_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+
+
 def load_report_dict(path: Union[str, Path]) -> Dict:
     """Load a BENCH_*.json into the plain-dict schema."""
     doc = json.loads(Path(path).read_text())
-    if doc.get("schema") != "repro-bench/1":
-        raise ValueError(f"{path}: not a repro-bench/1 report")
+    if doc.get("schema") not in _SCHEMAS:
+        raise ValueError(
+            f"{path}: not a repro-bench report (want one of {_SCHEMAS})"
+        )
     return doc
 
 
@@ -87,6 +95,29 @@ def render_report(report: BenchReport) -> str:
             for name, t in stages.timings.items()
         )
         lines.append(f"  [{bench} stages] {parts}")
+    suite = report.suite
+    if suite is not None and suite.legacy is not None:
+        warm_s = suite.warm.seconds if suite.warm else 0.0
+        lines.append(
+            f"  [suite] {suite.jobs} jobs "
+            f"({len(suite.benchmarks)} benchmarks x {len(suite.arms)} arms), "
+            f"{suite.workers} worker(s): "
+            f"per-job {suite.legacy.seconds:.3f}s, "
+            f"two-phase cold {suite.cold_seconds:.3f}s "
+            f"({suite.speedup_cold:.2f}x), "
+            f"warm {warm_s:.3f}s ({suite.speedup_warm:.2f}x)"
+        )
+        cache = suite.artifact_cache
+        if cache:
+            lines.append(
+                "  [suite] artifact cache: "
+                f"cold {cache['cold']['hits']} hit / "
+                f"{cache['cold']['misses']} miss, "
+                f"warm {cache['warm']['hits']} hit / "
+                f"{cache['warm']['misses']} miss"
+                + ("" if suite.bit_identical else
+                   " — WARNING: results NOT bit-identical")
+            )
     return "\n".join(lines)
 
 

@@ -344,3 +344,27 @@ class CacheHierarchy:
         and data size (1–8B) instead of whole cache lines — see
         :meth:`process`. (The engine disables the prefetcher here.)"""
         return self.process(trace, fine_grain=True)
+
+    def summary_metrics(self, n_raw_total: int) -> Dict[str, float]:
+        """Hit rates and raw-stream composition for ``RunResult``.
+
+        Must be read off a *populated* hierarchy (after :meth:`process`);
+        the artifact pipeline captures these at cache-pass time so
+        phase-2 coalescer jobs never need the hierarchy at all.
+        """
+        n_raw_total = max(1, n_raw_total)
+        return {
+            "l1_hit_rate": (
+                sum(l1.hit_rate for l1 in self.l1s) / len(self.l1s)
+            ),
+            "llc_hit_rate": self.llc.hit_rate,
+            "secondary_fraction": (
+                self.stats.count("secondary_raw") / n_raw_total
+            ),
+            "prefetch_fraction": (
+                self.stats.count("prefetch_raw") / n_raw_total
+            ),
+            "writeback_fraction": (
+                self.stats.count("writebacks") / n_raw_total
+            ),
+        }

@@ -53,6 +53,24 @@ class Accumulator:
         if sample > self.max:
             self.max = sample
 
+    def add_repeat(self, sample: float, n: int) -> None:
+        """Add the same sample ``n`` times in O(1).
+
+        Bit-identical to ``n`` :meth:`add` calls when ``sample`` and
+        ``sample * sample`` are integral floats and the running sums
+        stay below 2**53 (exact float integers) — always true for
+        cycle-valued samples, which is what the simulator records.
+        """
+        if n <= 0:
+            return
+        self.count += n
+        self.total += sample * n
+        self._sumsq += sample * sample * n
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -108,7 +108,7 @@ class MemoryRequest:
         return (int(self.op == MemOp.STORE) << 52) | self.ppn
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class CoalescedRequest:
     """A request produced by a coalescer and issued toward the memory device.
 
@@ -116,6 +116,12 @@ class CoalescedRequest:
     (e.g. 64/128/256B for HMC 2.1). ``constituents`` holds the ``req_id``
     values of every raw request satisfied by this packet — the metrics in
     :mod:`repro.engine.results` are derived from it.
+
+    Not frozen: coalescers create one packet per issued transaction, so
+    construction is on the simulator's hot path and the frozen-dataclass
+    ``object.__setattr__`` init costs ~4x a plain one. Packets are owned
+    by the arm that created them and treated as immutable by convention;
+    ``MemoryRequest`` (shared across arms and memoized) stays frozen.
     """
 
     addr: int
@@ -163,6 +169,33 @@ class CoalescedRequest:
     def transaction_efficiency(self) -> float:
         """Equation 2: payload / total transaction size."""
         return self.size / self.transaction_bytes()
+
+
+def new_packet(
+    addr: int,
+    size: int,
+    op: MemOp,
+    constituents: Tuple[int, ...],
+    issue_cycle: int,
+    source: str,
+) -> CoalescedRequest:
+    """Fast :class:`CoalescedRequest` constructor for per-request hot
+    paths (the baseline coalescer loops build one packet per raw or
+    issued request).
+
+    Bypasses the dataclass ``__init__``/``__post_init__`` (~2.5x
+    cheaper); the caller must guarantee ``size > 0`` and a non-empty
+    ``constituents`` tuple — trivially true where the packet wraps a
+    validated :class:`MemoryRequest`.
+    """
+    packet = CoalescedRequest.__new__(CoalescedRequest)
+    packet.addr = addr
+    packet.size = size
+    packet.op = op
+    packet.constituents = constituents
+    packet.issue_cycle = issue_cycle
+    packet.source = source
+    return packet
 
 
 def reset_request_ids() -> None:

@@ -16,7 +16,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StatsRegistry
-from repro.common.types import MemOp, MemoryRequest
+from repro.common.types import PAGE_BYTES, MemOp, MemoryRequest
 from repro.core.protocols import MemoryProtocol
 from repro.core.stream import CoalescingStream, new_stream
 from repro.telemetry import NULL_TELEMETRY
@@ -52,6 +52,9 @@ class PagedRequestAggregator:
         self._c_alloc = self.stats.counter("allocations")
         self._c_fence = self.stats.counter("fence_flushes")
         self._h_occ_at_insert = self.stats.histogram("occupancy_at_insert")
+        # Histogram bins are mutated in place, never rebound — safe to
+        # bind once for the per-request fast path in insert().
+        self._occ_bins = self._h_occ_at_insert.bins
         #: Deadline heap: ``(deadline, seq, stream)`` pushed at stream
         #: allocation (deadlines are fixed at allocation, Section 3.3.1).
         #: Streams removed by a forced flush or a fence leave stale heap
@@ -108,16 +111,21 @@ class PagedRequestAggregator:
         Atomics must not reach the aggregator (they bypass PAC entirely,
         Section 3.3.1) — the caller routes them around.
         """
-        if req.op not in (MemOp.LOAD, MemOp.STORE):
+        op = req.op
+        if op is not MemOp.LOAD and op is not MemOp.STORE:
             raise ValueError(f"non-coalescable op in aggregator: {req.op}")
         streams = self.streams
+        n_active = len(streams)
         # One parallel comparator sweep across all active streams.
-        self._c_comparisons.value += len(streams)
-        self._h_occ_at_insert.add(len(streams))
+        self._c_comparisons.value += n_active
+        occ_bins = self._occ_bins
+        occ_bins[n_active] = occ_bins.get(n_active, 0) + 1
         if self._probes_on:
-            self._t_occupancy.observe(now, len(streams))
+            self._t_occupancy.observe(now, n_active)
 
-        tag = req.tag()  # computed once, compared against every stream
+        # Inlined MemoryRequest.tag() — one combined comparator key per
+        # insert, and insert is the stage-1 per-request hot path.
+        tag = ((op is MemOp.STORE) << 52) | (req.addr // PAGE_BYTES)
         stream = self._by_tag.get(tag)
         if stream is not None:
             stream.add(req, now)
@@ -127,7 +135,7 @@ class PagedRequestAggregator:
             return []
 
         flushed: List[CoalescingStream] = []
-        if self.full:
+        if n_active >= self.n_streams:
             # All slots busy: force-flush the oldest stream (earliest
             # allocation). Streams append in admission order and `now`
             # is monotone, so the head of the list is the oldest.
@@ -138,7 +146,7 @@ class PagedRequestAggregator:
             self._c_forced.value += 1
             if self._probes_on:
                 self._t_forced.add(now)
-        fresh = new_stream(req, self.protocol, now)
+        fresh = new_stream(req, self.protocol, now, tag=tag)
         streams.append(fresh)
         self._by_tag[tag] = fresh
         heapq.heappush(

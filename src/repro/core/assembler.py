@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.common.stats import StatsRegistry
-from repro.common.types import CoalescedRequest, PAGE_BYTES
+from repro.common.types import CoalescedRequest, PAGE_BYTES, new_packet
 from repro.core.decoder import BlockSequence
 from repro.core.protocols import CoalescingTable, MemoryProtocol
 from repro.telemetry import NULL_TELEMETRY
@@ -39,6 +39,13 @@ class RequestAssembler:
         self._t_packets = probes.counter("packets")
         self._t_cycles = probes.gauge("cycles")
         self._t_packet_bytes = probes.histogram("packet_bytes")
+        self._c_sequences = self.stats.counter("sequences_assembled")
+        self._c_packets = self.stats.counter("packets_produced")
+        self._a_stage3 = self.stats.accumulator("stage3_cycles")
+        #: n_grains -> protocol packet size; layouts draw from a handful
+        #: of grain counts, so a tiny memo replaces the per-packet
+        #: protocol method call.
+        self._packet_bytes_memo = {}
 
     def assemble(
         self, seq: BlockSequence, start_cycle: int
@@ -50,38 +57,47 @@ class RequestAssembler:
         """
         proto = self.protocol
         layout = self.table.lookup(seq.pattern)
+        grain_bytes = proto.grain_bytes
         page_base = seq.stream_ppn * PAGE_BYTES
         chunk_base = seq.chunk_index * proto.chunk_width
         cycle = start_cycle + LOOKUP_CYCLES
+        op = seq.op
+        grain_requests = seq.grain_requests
+        size_memo = self._packet_bytes_memo
         packets: List[CoalescedRequest] = []
+        append = packets.append
         for grain_offset, n_grains in layout:
             cycle += ASSEMBLE_CYCLES
             # A request spanning several grains is recorded on each; keep
             # the first occurrence only (order-preserving dedupe).
-            constituents: List[int] = list(
+            constituents = tuple(
                 dict.fromkeys(
                     rid
                     for g in range(grain_offset, grain_offset + n_grains)
-                    for rid in seq.grain_requests[g]
+                    for rid in grain_requests[g]
                 )
             )
             if not constituents:
                 raise AssertionError(
                     "coalescing table produced a packet over empty grains"
                 )
-            packets.append(
-                CoalescedRequest(
-                    addr=page_base + (chunk_base + grain_offset) * proto.grain_bytes,
-                    size=proto.packet_bytes(n_grains),
-                    op=seq.op,
-                    constituents=tuple(constituents),
-                    issue_cycle=cycle,
-                    source="pac",
+            size = size_memo.get(n_grains)
+            if size is None:
+                size = proto.packet_bytes(n_grains)
+                size_memo[n_grains] = size
+            append(
+                new_packet(
+                    page_base + (chunk_base + grain_offset) * grain_bytes,
+                    size,
+                    op,
+                    constituents,
+                    cycle,
+                    "pac",
                 )
             )
-        self.stats.counter("sequences_assembled").add()
-        self.stats.counter("packets_produced").add(len(packets))
-        self.stats.accumulator("stage3_cycles").add(cycle - start_cycle)
+        self._c_sequences.value += 1
+        self._c_packets.value += len(packets)
+        self._a_stage3.add(cycle - start_cycle)
         if self._probes_on:
             self._t_packets.add(start_cycle, len(packets))
             self._t_cycles.observe(start_cycle, cycle - start_cycle)

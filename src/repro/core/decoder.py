@@ -24,10 +24,16 @@ from repro.telemetry import NULL_TELEMETRY
 DECODE_CYCLES = 2
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class BlockSequence:
     """One entry of the block sequence buffer: a non-empty chunk of a
-    stream's block-map, ready for the request assembler."""
+    stream's block-map, ready for the request assembler.
+
+    Not frozen: one is built per non-empty chunk of every flushed
+    stream, so construction sits on the stage-2 hot path and the
+    frozen-dataclass init costs ~4x a plain one. Sequences flow straight
+    from the decoder into the assembler and are treated as immutable by
+    convention."""
 
     stream_ppn: int
     op: object  # MemOp; kept loose to avoid churn in frozen dataclass eq
@@ -48,6 +54,9 @@ class BlockMapDecoder:
         self._probes_on = probes.enabled
         self._t_sequences = probes.counter("sequences")
         self._t_cycles = probes.gauge("cycles")
+        self._c_streams = self.stats.counter("streams_decoded")
+        self._c_sequences = self.stats.counter("sequences_produced")
+        self._a_stage2 = self.stats.accumulator("stage2_cycles")
 
     def decode(
         self, stream: CoalescingStream, flush_cycle: int
@@ -60,36 +69,34 @@ class BlockMapDecoder:
         the data bus.
         """
         proto = self.protocol
+        chunk_width = proto.chunk_width
         chunks = bitops.nonzero_chunks(
-            stream.block_map, proto.map_width, proto.chunk_width
+            stream.block_map, proto.map_width, chunk_width
         )
         sequences: List[BlockSequence] = []
+        append = sequences.append
+        bucket = stream.grain_requests.get
+        ppn = stream.ppn
+        op = stream.op
+        ready_base = flush_cycle + DECODE_CYCLES
         for j, (chunk_index, pattern) in enumerate(chunks):
-            base_grain = chunk_index * proto.chunk_width
+            base_grain = chunk_index * chunk_width
             grain_reqs = tuple(
-                tuple(stream.grain_requests.get(base_grain + g, ()))
-                for g in range(proto.chunk_width)
+                tuple(bucket(base_grain + g, ()))
+                for g in range(chunk_width)
             )
-            sequences.append(
+            append(
                 BlockSequence(
-                    stream_ppn=stream.ppn,
-                    op=stream.op,
-                    chunk_index=chunk_index,
-                    pattern=pattern,
-                    ready_cycle=flush_cycle + DECODE_CYCLES + j,
-                    grain_requests=grain_reqs,
+                    ppn, op, chunk_index, pattern, ready_base + j, grain_reqs
                 )
             )
-        self.stats.counter("streams_decoded").add()
-        self.stats.counter("sequences_produced").add(len(sequences))
-        if sequences:
+        n_seq = len(sequences)
+        self._c_streams.value += 1
+        self._c_sequences.value += n_seq
+        if n_seq:
             # Stage-2 residency of this stream: decode + serialized stores.
-            self.stats.accumulator("stage2_cycles").add(
-                DECODE_CYCLES + len(sequences) - 1
-            )
+            self._a_stage2.add(DECODE_CYCLES + n_seq - 1)
             if self._probes_on:
-                self._t_sequences.add(flush_cycle, len(sequences))
-                self._t_cycles.observe(
-                    flush_cycle, DECODE_CYCLES + len(sequences) - 1
-                )
+                self._t_sequences.add(flush_cycle, n_seq)
+                self._t_cycles.observe(flush_cycle, DECODE_CYCLES + n_seq - 1)
         return sequences

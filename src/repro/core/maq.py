@@ -30,6 +30,11 @@ class MemoryAccessQueue:
         self._t_occupancy = probes.gauge("occupancy")
         self._t_full_stalls = probes.counter("full_stalls")
         self._t_fill_cycles = probes.gauge("fill_cycles")
+        self._c_full_stalls = self.stats.counter("full_stalls")
+        self._a_fill_cycles = self.stats.accumulator("fill_cycles")
+        # The FIFO's deque is mutated in place, never rebound — bind it
+        # once for the inlined per-packet push below.
+        self._items = self._fifo._items
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -47,20 +52,31 @@ class MemoryAccessQueue:
         False when full — the coalescing pipeline must stall (Section 3.2:
         "If the MAQ is full, the pipeline is stalled and the cache is
         subsequently blocked")."""
-        if self._fifo.full:
-            self.stats.counter("full_stalls").add()
+        # Inlined BoundedFIFO.push (occupancy bookkeeping included) —
+        # this runs once per coalesced packet.
+        fifo = self._fifo
+        items = self._items
+        occupancy = len(items)
+        if occupancy >= self.capacity:
+            self._c_full_stalls.value += 1
             if self._probes_on:
                 self._t_full_stalls.add(ready_cycle)
             return False
-        if self._fifo.empty:
+        if not occupancy:
             self._episode_start = ready_cycle
-        self._fifo.push((packet, ready_cycle))
+        items.append((packet, ready_cycle))
+        fifo.total_pushed += 1
+        occupancy += 1
+        if occupancy > fifo.peak_occupancy:
+            fifo.peak_occupancy = occupancy
         if self._probes_on:
-            self._t_occupancy.observe(ready_cycle, len(self._fifo))
-        if self._fifo.full and self._episode_start is not None:
+            self._t_occupancy.observe(ready_cycle, occupancy)
+        if occupancy >= self.capacity and self._episode_start is not None:
             # Fill episode complete: empty -> full (Figure 12b).
-            fill = max(0, ready_cycle - self._episode_start)
-            self.stats.accumulator("fill_cycles").add(fill)
+            fill = ready_cycle - self._episode_start
+            if fill < 0:
+                fill = 0
+            self._a_fill_cycles.add(fill)
             if self._probes_on:
                 self._t_fill_cycles.observe(ready_cycle, fill)
             self._episode_start = None

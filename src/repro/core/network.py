@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.common.stats import StatsRegistry
-from repro.common.types import CoalescedRequest, PAGE_BYTES
+from repro.common.types import CoalescedRequest, PAGE_BYTES, new_packet
 from repro.core.assembler import RequestAssembler
 from repro.core.decoder import BlockMapDecoder
 from repro.core.protocols import CoalescingTable, MemoryProtocol
@@ -74,15 +74,13 @@ class CoalescingNetwork:
                 self._t_bypassed.add(flush_cycle, stream.n_requests)
             grains = sorted(stream.grain_requests)
             first, last = grains[0], grains[-1]
-            packet = CoalescedRequest(
-                addr=stream.ppn * PAGE_BYTES + first * self.protocol.grain_bytes,
-                size=(last - first + 1) * self.protocol.grain_bytes,
-                op=stream.op,
-                constituents=tuple(
-                    dict.fromkeys(stream.grain_requests[first])
-                ),
-                issue_cycle=flush_cycle + BYPASS_CYCLES,
-                source="pac-bypass",
+            packet = new_packet(
+                stream.ppn * PAGE_BYTES + first * self.protocol.grain_bytes,
+                (last - first + 1) * self.protocol.grain_bytes,
+                stream.op,
+                tuple(dict.fromkeys(stream.grain_requests[first])),
+                flush_cycle + BYPASS_CYCLES,
+                "pac-bypass",
             )
             return [packet]
 

@@ -72,8 +72,24 @@ class PagedAdaptiveCoalescer(Coalescer):
             self.config.n_mshrs, name="pac.amshr", probes=probes.scope("mshr")
         )
         # Peeked before each advance() call: a no-release advance has no
-        # side effects, and most events have nothing due.
+        # side effects, and most events have nothing due. The aggregator
+        # deadline heap, MAQ deque, and MSHR slot table are likewise
+        # bound once so `_advance` (run per raw request) can guard each
+        # sub-step without a call: all three containers are mutated in
+        # place and never rebound by their owners.
         self._mshr_heap = self.mshrs._release_heap
+        self._mshr_slots = self.mshrs._slots
+        self._mshr_cover = self.mshrs._cover
+        self._agg_heap = self.aggregator._deadline_heap
+        self._maq_items = self.maq._fifo._items
+        self._idle_bypass = self.config.idle_bypass
+        self._n_mshrs = self.config.n_mshrs
+        #: Earliest cycle at which the MAQ head could possibly drain
+        #: again after a failed attempt (the MSHRs were full with no
+        #: release due). Until then the head/MSHR state is frozen — no
+        #: release, merge, or allocation can happen — so `_advance`
+        #: skips the poll and only replays its CAM-comparison count.
+        self._maq_stall_until = 0
         #: Network controller state: disabled while idle (Section 3.2).
         self.network_enabled = not self.config.idle_bypass
         self._last_sample = 0
@@ -134,20 +150,29 @@ class PagedAdaptiveCoalescer(Coalescer):
         atomic_op = MemOp.ATOMIC
         fence_op = MemOp.FENCE
 
+        arrivals = self._arrivals
+        mshr_slots = self._mshr_slots
+        n_mshrs = self._n_mshrs
+        n_raw = 0
+        stall_cycles = 0
         for req in raw:
-            out.n_raw += 1
-            now = max(req.cycle, self._entry_clock)
+            n_raw += 1
+            cycle = req.cycle
+            now = self._entry_clock
+            if cycle > now:
+                now = cycle
             # Service accounting measures from *entry* into the miss
             # path — the moment an in-order core would have issued the
             # miss — so the open-loop backlog does not inflate it.
-            self._arrivals[req.req_id] = now
-            out.stall_cycles += now - req.cycle
+            arrivals[req.req_id] = now
+            stall_cycles += now - cycle
             if probes_on:
-                self._t_entry_wait.observe(now, now - req.cycle)
+                self._t_entry_wait.observe(now, now - cycle)
             if spans_on:
                 # index = raw-stream ordinal: deterministic across
                 # serial/parallel runs, unlike the process-global req_id.
-                spans.admit(out.n_raw - 1, req, now)
+                out.n_raw = n_raw
+                spans.admit(n_raw - 1, req, now)
             self._entry_clock = now + 1
             advance(now)
 
@@ -180,7 +205,7 @@ class PagedAdaptiveCoalescer(Coalescer):
             if not self.network_enabled:
                 # Idle bypass: straight into the MSHRs with ~1 cycle of
                 # latency; the network stays off until the MSHRs fill.
-                if self.mshrs.full:
+                if len(mshr_slots) >= n_mshrs:
                     self.network_enabled = True
                     self._c_net_enables.value += 1
                     if probes_on:
@@ -194,6 +219,8 @@ class PagedAdaptiveCoalescer(Coalescer):
             if flushed:
                 for stream in flushed:
                     flush_stream(stream, now)
+        out.n_raw = n_raw
+        out.stall_cycles += stall_cycles
 
         # End of stream: drain everything that is still buffered; each
         # remaining stream flushes at its own timeout deadline.
@@ -221,8 +248,19 @@ class PagedAdaptiveCoalescer(Coalescer):
 
     def _advance(self, now: int) -> None:
         """Process all timeout flushes due at or before ``now`` and drain
-        the MAQ into the MSHRs; also take occupancy samples."""
-        due = self.aggregator.expire(now)
+        the MAQ into the MSHRs; also take occupancy samples.
+
+        Runs once per raw request, so every sub-step is guarded by a
+        container peek before paying its call: ``expire`` by the deadline
+        heap, the MAQ drain by the head's ready cycle, the MSHR advance
+        by the release heap, and the idle-disable check is inlined from
+        :meth:`_maybe_disable` (which stays the canonical definition).
+        """
+        agg_heap = self._agg_heap
+        if agg_heap and agg_heap[0][0] <= now:
+            due = self.aggregator.expire(now)
+        else:
+            due = None
         if due:
             timeout = self.config.timeout_cycles
             # expire() pops its heap in (deadline, alloc) order, so the
@@ -231,15 +269,37 @@ class PagedAdaptiveCoalescer(Coalescer):
             self._sample_windows(now, deadlines)
             for stream in due:
                 self._flush_stream(stream, stream.deadline(timeout))
-        else:
+        elif self._last_sample + OCCUPANCY_SAMPLE_CYCLES <= now:
+            # Guard inlined from _sample_windows: most calls have no
+            # sample window due.
             self._sample_windows(now, ())
-        self._drain_maq(now=now)
+        maq_items = self._maq_items
+        if maq_items and maq_items[0][1] <= now:
+            if now < self._maq_stall_until:
+                # The head is ready but the MSHRs are provably still
+                # full (no release before _maq_stall_until): the drain
+                # attempt would fail exactly as before. Its only side
+                # effect is the MAQ->MSHR CAM sweep over the (full)
+                # slot file — replay that and skip the poll.
+                self._c_mshr_cam.value += self._n_mshrs
+            else:
+                self._drain_maq(now=now)
         # Apply any memory responses due by now even when the MAQ is
         # empty — the controller's disable condition reads MSHR occupancy.
         heap = self._mshr_heap
         if heap and heap[0][0] <= now:
             self.mshrs.advance(now)
-        self._maybe_disable(now)
+        if (
+            self._idle_bypass
+            and self.network_enabled
+            and not maq_items
+            and len(self._mshr_slots) < self._n_mshrs
+            and not self.aggregator.streams
+        ):
+            self.network_enabled = False
+            self._c_net_disables.value += 1
+            if self._probes_on:
+                self._t_disables.add(now)
 
     def _sample_windows(self, now: int, expired_deadlines) -> None:
         """Record the per-16-cycle occupancy samples elapsed up to
@@ -289,12 +349,10 @@ class PagedAdaptiveCoalescer(Coalescer):
         """Send a stage-1 stream through the network and into the MAQ."""
         # Stage-1 residency: the paper reports the overall PAC latency as
         # timeout-dominated; we record the stream's aggregation residency
-        # per request it carried. One add() per request (not a batched
-        # moment update) keeps the accumulator bit-identical.
-        latency_add = self._acc_latency.add
+        # per request it carried. Cycle samples are integral floats, so
+        # the O(1) repeated-add is bit-identical to per-request add()s.
         sample = float(max(1, flush_cycle - stream.alloc_cycle))
-        for _ in range(stream.n_requests):
-            latency_add(sample)
+        self._acc_latency.add_repeat(sample, stream.n_requests)
         if self._spans_on:
             # Stage-1 residency ends at the flush; the grain lists repeat
             # multi-grain req_ids, which mark_many de-duplicates.
@@ -324,11 +382,19 @@ class PagedAdaptiveCoalescer(Coalescer):
         """Exact service accounting: every raw request covered by this
         packet is satisfied when the packet's response returns."""
         arrivals = self._arrivals
-        account = self._out.account_service
+        pop = arrivals.pop
+        served = 0
+        cycles = 0
         for rid in packet.constituents:
-            arrival = arrivals.pop(rid, None)
+            arrival = pop(rid, None)
             if arrival is not None:
-                account(arrival, completion)
+                if completion > arrival:
+                    cycles += completion - arrival
+                served += 1
+        if served:
+            out = self._out
+            out.raw_service_cycles += cycles
+            out.raw_serviced += served
 
     def _complete_merge(
         self, packet: CoalescedRequest, merged, cycle: int,
@@ -376,9 +442,9 @@ class PagedAdaptiveCoalescer(Coalescer):
         adaptive MSHRs (merge or allocate+dispatch). Entries whose turn
         has come but that find the MSHRs full simply wait in the MAQ —
         that is the MAQ's purpose (Section 3.1.2)."""
-        while not self.maq.empty:
-            head_ready = self.maq.head_ready_cycle()
-            if not until_empty and now is not None and head_ready > now:
+        maq_items = self._maq_items
+        while maq_items:
+            if not until_empty and now is not None and maq_items[0][1] > now:
                 break
             if self._drain_one(now=now, force=until_empty) is None:
                 break
@@ -390,26 +456,33 @@ class PagedAdaptiveCoalescer(Coalescer):
         pop happened (>= the packet's ready cycle), or None when the
         MSHRs stay full through ``now`` and ``force`` is False (the
         packet waits in the MAQ)."""
-        packet, ready = self.maq.peek()
+        packet, ready = self._maq_items[0]
         heap = self._mshr_heap
         if heap and heap[0][0] <= ready:
             self.mshrs.advance(ready)
 
         # MAQ->MSHR CAM comparison (contiguity by PPN, Section 3.2) —
         # common to all designs, excluded from the Figure 7 count.
-        self._c_mshr_cam.value += self.mshrs.occupancy
+        self._c_mshr_cam.value += len(self._mshr_slots)
 
-        merged = self.mshrs.try_merge_packet(packet)
+        # Peek the covered-block index before paying the merge call:
+        # an empty bucket for the packet's first block is exactly
+        # try_merge_packet's find_covering fast-fail.
+        if self._mshr_cover.get(packet.addr // CACHE_LINE_BYTES):
+            merged = self.mshrs.try_merge_packet(packet)
+        else:
+            merged = None
         if merged is not None:
+            self._maq_stall_until = 0
             self._complete_merge(packet, merged, ready)
             return ready
 
         t = ready
-        if self.mshrs.full:
+        if len(self._mshr_slots) >= self._n_mshrs:
             # Apply any releases that happened between the packet's ready
             # time and the present; the pop occurs the moment a slot
             # freed, not at `now`.
-            horizon = ready if now is None else max(ready, now)
+            horizon = ready if now is None or now < ready else now
             released = self.mshrs.advance(horizon)
             if released:
                 freed_at = min(
@@ -418,6 +491,10 @@ class PagedAdaptiveCoalescer(Coalescer):
                 )
                 t = max(ready, freed_at)
             elif not force:
+                # Nothing can move before the next scheduled release:
+                # remember it so per-request polls skip ahead.
+                release = self.mshrs.next_release_cycle()
+                self._maq_stall_until = release if release is not None else 0
                 return None
             else:
                 release = self.mshrs.next_release_cycle()
@@ -428,10 +505,12 @@ class PagedAdaptiveCoalescer(Coalescer):
                 self.mshrs.advance(t)
             merged = self.mshrs.try_merge_packet(packet)
             if merged is not None:
+                self._maq_stall_until = 0
                 self._complete_merge(packet, merged, t)
                 return t
 
-        self.maq.pop()
+        self._maq_stall_until = 0
+        self._maq_items.popleft()  # the head we peeked above
         if self._probes_on:
             self._t_maq_occupancy.observe(t, len(self.maq))
         if self._spans_on:
@@ -447,7 +526,7 @@ class PagedAdaptiveCoalescer(Coalescer):
         self._c_direct.value += 1
         if self._probes_on:
             self._t_direct.add(now)
-        self._c_direct_cam.value += self.mshrs.occupancy
+        self._c_direct_cam.value += len(self._mshr_slots)
         grain = self.protocol.grain_bytes
         base = req.addr - (req.addr % grain)
         packet = CoalescedRequest(

@@ -58,29 +58,41 @@ class CoalescingStream:
     def add(self, req: MemoryRequest, now: int) -> None:
         """Merge a raw request: set every grain bit it covers, record
         its id on each (a 64B request covers two 32B HBM grains)."""
-        if req.ppn != self.ppn:
+        addr = req.addr
+        ppn = addr // PAGE_BYTES
+        if ppn != self.ppn:
             raise ValueError(
-                f"request page {req.ppn:#x} does not match stream {self.ppn:#x}"
+                f"request page {ppn:#x} does not match stream {self.ppn:#x}"
             )
         # Inlined protocol.grain_index — this is the hottest per-request
-        # loop in stage 1.
+        # loop in stage 1. ``req.size >= 1`` is enforced at construction.
         grain_bytes = self.protocol.grain_bytes
-        first = (req.addr % PAGE_BYTES) // grain_bytes
-        last_addr = req.addr + max(req.size, 1) - 1
-        if last_addr // PAGE_BYTES != req.ppn:
-            last_addr = req.ppn * PAGE_BYTES + PAGE_BYTES - 1  # clamp at the page edge
-        last = (last_addr % PAGE_BYTES) // grain_bytes
-        block_map = self.block_map
+        offset = addr % PAGE_BYTES
+        first = offset // grain_bytes
+        last_off = offset + req.size - 1
+        if last_off >= PAGE_BYTES:
+            last_off = PAGE_BYTES - 1  # clamp at the page edge
+        last = last_off // grain_bytes
         grain_requests = self.grain_requests
         req_id = req.req_id
-        for grain in range(first, last + 1):
-            block_map |= 1 << grain  # grain indexes are non-negative
-            bucket = grain_requests.get(grain)
+        if first == last:
+            # Common case: the request fits in one grain.
+            self.block_map |= 1 << first
+            bucket = grain_requests.get(first)
             if bucket is None:
-                grain_requests[grain] = [req_id]
+                grain_requests[first] = [req_id]
             else:
                 bucket.append(req_id)
-        self.block_map = block_map
+        else:
+            block_map = self.block_map
+            for grain in range(first, last + 1):
+                block_map |= 1 << grain  # grain indexes are non-negative
+                bucket = grain_requests.get(grain)
+                if bucket is None:
+                    grain_requests[grain] = [req_id]
+                else:
+                    bucket.append(req_id)
+            self.block_map = block_map
         if self.n_requests == 0:
             self.first_arrival = now
         self.n_requests += 1
@@ -104,12 +116,19 @@ class CoalescingStream:
 
 
 def new_stream(
-    req: MemoryRequest, protocol: MemoryProtocol, now: int
+    req: MemoryRequest,
+    protocol: MemoryProtocol,
+    now: int,
+    tag: int = None,
 ) -> CoalescingStream:
-    """Allocate a stream for ``req``'s page and record the request."""
+    """Allocate a stream for ``req``'s page and record the request.
+
+    ``tag`` lets a caller that already computed :meth:`MemoryRequest.tag`
+    (the aggregator does, for its comparator probe) skip recomputing it.
+    """
     stream = CoalescingStream(
-        tag=req.tag(),
-        ppn=req.ppn,
+        tag=req.tag() if tag is None else tag,
+        ppn=req.addr // PAGE_BYTES,
         op=MemOp.STORE if req.op == MemOp.STORE else MemOp.LOAD,
         protocol=protocol,
         alloc_cycle=now,

@@ -77,14 +77,18 @@ def run_comparison(
     extra_benchmarks: Sequence[str] = (),
     telemetry=False,
     spans=False,
+    use_artifact_cache: bool = True,
 ) -> Dict[CoalescerKind, RunResult]:
     """Run the same trace through several coalescer configurations.
 
     Every arm sees the identical trace and raw request stream. With
     telemetry and spans off (the common sweep configuration) the trace
     and the cache-hierarchy pass — both deterministic in (seed, config)
-    and independent of the coalescer arm — are computed once and shared,
-    which is bit-identical to regenerating them per arm. When either
+    and independent of the coalescer arm — are computed once via the
+    content-addressed artifact cache (:mod:`repro.artifacts`) and
+    shared, which is bit-identical to regenerating them per arm; a
+    repeated comparison reloads the prefix from disk instead of
+    recomputing it (``use_artifact_cache=False`` opts out). When either
     probe facility is on, each arm runs end-to-end so its registry /
     recorder observes its own cache pass.
     """
@@ -104,24 +108,27 @@ def run_comparison(
             )
         return out
 
+    from repro.artifacts import load_or_compute_trace_pass
     from repro.engine.system import System
 
-    names = [benchmark, *extra_benchmarks]
-    label = "+".join(names)
-    shared_trace = shared_raw = shared_hierarchy = None
+    tp = load_or_compute_trace_pass(
+        benchmark,
+        n_accesses,
+        config=config,
+        seed=seed,
+        device=device,
+        extra_benchmarks=tuple(extra_benchmarks),
+        use_cache=use_artifact_cache,
+    )
+    requests = tp.requests()
     for kind in kinds:
         system = System(config=config, coalescer=kind, device=device)
-        if shared_raw is None:
-            shared_trace = system.build_trace(names, n_accesses, seed=seed)
-            shared_hierarchy = system.hierarchy
-            shared_raw = shared_hierarchy.process(shared_trace)
-        else:
-            # Later arms report cache metrics off the shared (already
-            # populated) hierarchy — the same values their own identical
-            # pass would have produced.
-            system.hierarchy = shared_hierarchy
-        out[kind] = system.run_trace(
-            shared_trace, benchmark=label, raw=shared_raw
+        out[kind] = system.run_raw(
+            requests,
+            benchmark=tp.benchmark,
+            n_accesses=tp.n_accesses,
+            trace_end_cycle=tp.trace_end_cycle,
+            cache_metrics=tp.cache_metrics,
         )
     return out
 
@@ -134,15 +141,19 @@ def run_suite(
     seed: Optional[int] = None,
     device: str = "hmc",
     protocol: Optional[MemoryProtocol] = None,
+    fine_grain: bool = False,
+    extra_benchmarks: Sequence[str] = (),
+    scale=1.0,
     telemetry=False,
     spans=False,
 ) -> Dict[str, RunResult]:
     """Run every benchmark through one coalescer configuration.
 
-    ``device`` / ``protocol`` / ``telemetry`` / ``spans`` forward to
-    :func:`run_benchmark`, so a whole-suite sweep can target HBM/DDR or
-    collect probe timelines and span traces without dropping down to
-    per-benchmark calls.
+    Every knob of :func:`run_benchmark` forwards (``device``,
+    ``protocol``, ``fine_grain``, ``extra_benchmarks``, ``scale``,
+    ``telemetry``, ``spans``), so a whole-suite sweep can target
+    HBM/DDR, the fine-grain mode, or co-running mixes without dropping
+    down to per-benchmark calls.
     """
     return {
         name: run_benchmark(
@@ -153,6 +164,9 @@ def run_suite(
             seed=seed,
             device=device,
             protocol=protocol,
+            fine_grain=fine_grain,
+            extra_benchmarks=extra_benchmarks,
+            scale=scale,
             telemetry=telemetry,
             spans=spans,
         )

@@ -1,17 +1,34 @@
-"""Parallel suite execution.
+"""Parallel suite execution: two-phase pipeline over a process pool.
 
-A full evaluation is ~50 independent (benchmark, arm) simulations;
-:func:`run_suite_parallel` fans them out over a process pool. Results
-are plain picklable dataclasses, and every run re-derives its RNG from
-``(seed, benchmark)``, so parallel results are bit-identical to serial
-ones.
+A full evaluation is ~50 (benchmark, arm) simulations, but only the
+coalescer+device half differs between arms — the trace and the
+cache-hierarchy pass are deterministic in (seed, config) and identical
+across arms. :func:`run_suite_parallel` therefore runs in two phases:
+
+* **Phase 1** computes each benchmark's trace + cache pass exactly once
+  (per benchmark, not per arm), consulting the content-addressed
+  artifact cache (:mod:`repro.artifacts`) so repeated suites skip the
+  prefix entirely.
+* **Phase 2** fans the (benchmark × arm) coalescer+device jobs over a
+  persistent process pool. Each benchmark's raw request stream is
+  packed once into an array-of-structs buffer and published through
+  ``multiprocessing.shared_memory`` — workers map the parent's pages
+  instead of unpickling tens of thousands of request objects per job.
+
+Every run still derives its RNG from ``(seed, benchmark)``, and probes
+(telemetry/spans) force the legacy one-job-per-arm end-to-end path, so
+results are bit-identical across serial / pooled / cached execution.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import SimulationConfig, TABLE1
 from repro.engine.driver import DEFAULT_ACCESSES, run_benchmark
@@ -20,24 +37,77 @@ from repro.engine.system import CoalescerKind
 from repro.workloads import BENCHMARK_NAMES
 
 
-#: Relative wall-clock weight of each (benchmark, arm) job, measured on
-#: the repro bench baseline. Used only for scheduling (longest expected
-#: first) — results are keyed and bit-identical regardless of order.
+#: Fallback relative wall-clock weight of each (benchmark, arm) job,
+#: used when no bench baseline is available. Scheduling only (longest
+#: expected first) — results are keyed and bit-identical regardless of
+#: order.
 _BENCH_COST = {
     "gs": 12.0, "bfs": 4.0, "pagerank": 4.0, "ssca2": 3.0,
     "nas-cg": 2.0, "stream": 1.5, "hpcg": 1.0,
 }
 _ARM_COST = {"pac": 3.0, "sortdmc": 2.0, "dmc": 1.5, "none": 1.0}
 
+#: Env override for the bench baseline the scheduler weights come from.
+ENV_BENCH_BASELINE = "REPRO_BENCH_BASELINE"
+
+_bench_weights_cache: Optional[Dict[str, float]] = None
+
+
+def _bench_weights() -> Dict[str, float]:
+    """Per-benchmark scheduling weights from the measured bench baseline.
+
+    ``BENCH_baseline.json`` (env override, cwd, then repo root) records
+    measured end-to-end seconds per benchmark; those replace the
+    hand-maintained :data:`_BENCH_COST` guesses. Unknown benchmarks and
+    missing/unparsable baselines fall back to the constants.
+    """
+    global _bench_weights_cache
+    if _bench_weights_cache is not None:
+        return _bench_weights_cache
+    weights = dict(_BENCH_COST)
+    candidates: List[Path] = []
+    env = os.environ.get(ENV_BENCH_BASELINE)
+    if env:
+        candidates.append(Path(env))
+    candidates.append(Path.cwd() / "BENCH_baseline.json")
+    candidates.append(Path(__file__).resolve().parents[3] / "BENCH_baseline.json")
+    for path in candidates:
+        try:
+            report = json.loads(path.read_text())
+            measured = {
+                name: float(entry["seconds"])
+                for name, entry in report.get("end_to_end", {}).items()
+                if float(entry.get("seconds", 0.0)) > 0.0
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        if measured:
+            # Normalize so the lightest measured benchmark sits at 1.0,
+            # keeping measured and fallback weights on the same scale.
+            floor = min(measured.values())
+            weights.update(
+                {name: secs / floor for name, secs in measured.items()}
+            )
+            break
+    _bench_weights_cache = weights
+    return weights
+
 
 def _job_cost(benchmark: str, kind_value: str) -> float:
-    return _BENCH_COST.get(benchmark, 2.0) * _ARM_COST.get(kind_value, 2.0)
+    # Multi-benchmark labels ("gs+bfs") cost roughly the sum of parts.
+    weights = _bench_weights()
+    bench_w = sum(weights.get(part, 2.0) for part in benchmark.split("+"))
+    return bench_w * _ARM_COST.get(kind_value, 2.0)
+
+
+# --------------------------------------------------------------------- #
+# legacy per-job path (probe runs, and explicit pipeline="per-job")
 
 
 def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
     (
         benchmark, kind_value, n_accesses, config, seed, device, telemetry,
-        spans,
+        spans, protocol, fine_grain, scale, extra_benchmarks,
     ) = args
     result = run_benchmark(
         benchmark,
@@ -48,8 +118,123 @@ def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
         device=device,
         telemetry=telemetry,
         spans=spans,
+        protocol=protocol,
+        fine_grain=fine_grain,
+        scale=scale,
+        extra_benchmarks=extra_benchmarks,
     )
     return (benchmark, kind_value), result
+
+
+# --------------------------------------------------------------------- #
+# two-phase path
+
+
+def _phase1_job(args: tuple):
+    """Pool worker: compute (or load) one benchmark's trace pass.
+
+    Artifact writes happen in the worker; the packed stream returns to
+    the parent as a single contiguous buffer.
+    """
+    (
+        benchmark, n_accesses, config, seed, device, scale,
+        extra_benchmarks, fine_grain, use_cache,
+    ) = args
+    from repro.artifacts import load_or_compute_trace_pass
+
+    tp = load_or_compute_trace_pass(
+        benchmark, n_accesses, config=config, seed=seed, device=device,
+        scale=scale, extra_benchmarks=extra_benchmarks,
+        fine_grain=fine_grain, use_cache=use_cache,
+    )
+    return benchmark, tp
+
+
+#: Worker-side decoded-stream memo, keyed by shared-memory segment name.
+#: A pool worker runs several arms of the same benchmark back to back;
+#: decoding the stream once per segment (not once per job) makes the
+#: extra arms nearly free. Bounded: a suite fans out over only a handful
+#: of distinct segments at a time.
+_DECODE_MEMO: "OrderedDict[str, list]" = OrderedDict()
+_DECODE_MEMO_CAP = 4
+
+
+def _decode_shared(shm_name: str, n_items: int) -> list:
+    from repro.artifacts import shm as shm_codec
+
+    cached = _DECODE_MEMO.get(shm_name)
+    if cached is not None:
+        _DECODE_MEMO.move_to_end(shm_name)
+        return cached
+    handle, view = shm_codec.attach(shm_name, n_items)
+    try:
+        requests = shm_codec.decode_requests(view)
+    finally:
+        shm_codec.detach(handle)
+    _DECODE_MEMO[shm_name] = requests
+    _DECODE_MEMO.move_to_end(shm_name)
+    while len(_DECODE_MEMO) > _DECODE_MEMO_CAP:
+        _DECODE_MEMO.popitem(last=False)
+    return requests
+
+
+def _phase2_job(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
+    """Pool worker: one coalescer arm against a shared raw stream."""
+    (
+        bench_key, kind_value, shm_name, n_raw, label, n_accesses_done,
+        trace_end_cycle, cache_metrics, config, protocol, device,
+        fine_grain,
+    ) = args
+    from repro.engine.system import System
+
+    requests = _decode_shared(shm_name, n_raw)
+    system = System(
+        config=config,
+        coalescer=CoalescerKind(kind_value),
+        protocol=protocol,
+        device=device,
+        fine_grain=fine_grain,
+    )
+    result = system.run_raw(
+        requests,
+        benchmark=label,
+        n_accesses=n_accesses_done,
+        trace_end_cycle=trace_end_cycle,
+        cache_metrics=cache_metrics,
+    )
+    return (bench_key, kind_value), result
+
+
+def _run_arms_serial(
+    tp,
+    bench_key: str,
+    kind_values: Sequence[str],
+    config: SimulationConfig,
+    protocol,
+    device: str,
+    fine_grain: bool,
+) -> Dict[Tuple[str, str], RunResult]:
+    """In-process phase 2: every arm shares one decoded request list."""
+    from repro.engine.system import System
+
+    requests = tp.requests()
+    out: Dict[Tuple[str, str], RunResult] = {}
+    for kind_value in kind_values:
+        system = System(
+            config=config,
+            coalescer=CoalescerKind(kind_value),
+            protocol=protocol,
+            device=device,
+            fine_grain=fine_grain,
+        )
+        out[(bench_key, kind_value)] = system.run_raw(
+            requests,
+            benchmark=tp.benchmark,
+            n_accesses=tp.n_accesses,
+            trace_end_cycle=tp.trace_end_cycle,
+            cache_metrics=tp.cache_metrics,
+        )
+    return out
 
 
 def run_suite_parallel(
@@ -64,44 +249,213 @@ def run_suite_parallel(
     max_workers: Optional[int] = None,
     telemetry: bool = False,
     spans=False,
+    protocol=None,
+    fine_grain: bool = False,
+    scale=1.0,
+    extra_benchmarks: Sequence[str] = (),
+    use_artifact_cache: bool = True,
+    stats: Optional[dict] = None,
+    pipeline: str = "auto",
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (benchmark, kind) pair concurrently.
 
     Returns ``{(benchmark, kind.value): RunResult}``. ``max_workers``
     defaults to the CPU count; pass 1 to force serial execution
     (useful under debuggers and in constrained CI).
+
+    ``pipeline`` selects the execution strategy: ``"two-phase"`` (the
+    artifact-cached prefix-sharing pipeline described in the module
+    docstring), ``"per-job"`` (every job runs end-to-end — the pre-cache
+    behaviour), or ``"auto"`` (two-phase unless probes are on).
+    ``use_artifact_cache=False`` keeps the two-phase structure but skips
+    all cache reads/writes. ``stats``, if given a dict, is populated
+    with the phase timing split and artifact hit/miss counts.
+
     ``telemetry=True`` attaches a windowed-probe registry to each result
     (registries pickle back from workers bit-identically);
     ``spans=True`` (or an int sample rate) attaches a span trace the
     same way — each worker builds its own recorder, and sampling keys on
     the raw-stream ordinal, so span sets are bit-identical to serial
-    runs.
+    runs. Probe runs must observe the cache pass, so they always take
+    the per-job path.
     """
+    if pipeline not in ("auto", "two-phase", "per-job"):
+        raise ValueError(f"unknown pipeline {pipeline!r}")
     # Resolve the default seed HERE, not in the workers: every job must
     # carry the same concrete seed so per-benchmark seeds derive
     # identically regardless of worker count or config pickling.
     seed = config.seed if seed is None else seed
+    extra_benchmarks = tuple(extra_benchmarks)
+    kind_values = [kind.value for kind in kinds]
+    n_jobs = len(benchmarks) * len(kind_values)
+    workers = max_workers or min(n_jobs, os.cpu_count() or 2)
+    probes_on = bool(telemetry) or bool(spans)
+    two_phase = pipeline == "two-phase" or (
+        pipeline == "auto" and not probes_on
+    )
+    if probes_on and two_phase:
+        raise ValueError(
+            "pipeline='two-phase' cannot observe the cache pass — "
+            "telemetry/spans runs need pipeline='per-job' (or 'auto')"
+        )
+    if stats is not None:
+        stats.update(
+            pipeline="two-phase" if two_phase else "per-job",
+            workers=workers,
+            jobs=n_jobs,
+            artifact_hits=0,
+            artifact_misses=0,
+            phase1_seconds=0.0,
+            phase2_seconds=0.0,
+        )
+
+    if not two_phase:
+        return _run_per_job(
+            kind_values, benchmarks, n_accesses, config, seed, device,
+            workers, telemetry, spans, protocol, fine_grain, scale,
+            extra_benchmarks, stats,
+        )
+
+    from repro.artifacts import (
+        cache_enabled,
+        shm as shm_codec,
+        try_load_trace_pass,
+        load_or_compute_trace_pass,
+    )
+
+    use_cache = use_artifact_cache and cache_enabled()
+
+    # ---- phase 1: one trace+cache pass per benchmark ------------------
+    t0 = time.perf_counter()
+    passes: Dict[str, object] = {}
+    pending: List[str] = []
+    for bench in benchmarks:
+        tp = try_load_trace_pass(
+            bench, n_accesses, config=config, seed=seed, device=device,
+            scale=scale, extra_benchmarks=extra_benchmarks,
+            fine_grain=fine_grain,
+        ) if use_cache else None
+        if tp is not None:
+            passes[bench] = tp
+        else:
+            pending.append(bench)
+    if stats is not None:
+        stats["artifact_hits"] = len(passes)
+        stats["artifact_misses"] = len(pending)
+
+    pool = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
+    shm_handles: List[object] = []
+    out: Dict[Tuple[str, str], RunResult] = {}
+    try:
+        if pending:
+            if pool is not None and len(pending) > 1:
+                p1_jobs = [
+                    (
+                        bench, n_accesses, config, seed, device, scale,
+                        extra_benchmarks, fine_grain, use_cache,
+                    )
+                    for bench in pending
+                ]
+                p1_jobs.sort(
+                    key=lambda j: _bench_weights().get(j[0], 2.0),
+                    reverse=True,
+                )
+                for bench, tp in pool.map(_phase1_job, p1_jobs):
+                    passes[bench] = tp
+            else:
+                for bench in pending:
+                    passes[bench] = load_or_compute_trace_pass(
+                        bench, n_accesses, config=config, seed=seed,
+                        device=device, scale=scale,
+                        extra_benchmarks=extra_benchmarks,
+                        fine_grain=fine_grain, use_cache=use_cache,
+                    )
+        t1 = time.perf_counter()
+
+        # ---- phase 2: (benchmark × arm) coalescer+device jobs ---------
+        if pool is None:
+            for bench in benchmarks:
+                out.update(
+                    _run_arms_serial(
+                        passes[bench], bench, kind_values, config,
+                        protocol, device, fine_grain,
+                    )
+                )
+        else:
+            shm_names: Dict[str, str] = {}
+            for bench in benchmarks:
+                handle, name = shm_codec.publish(passes[bench].raw)
+                shm_handles.append(handle)
+                shm_names[bench] = name
+            jobs = [
+                (
+                    bench, kind_value, shm_names[bench],
+                    passes[bench].n_raw, passes[bench].benchmark,
+                    passes[bench].n_accesses,
+                    passes[bench].trace_end_cycle,
+                    passes[bench].cache_metrics, config, protocol,
+                    device, fine_grain,
+                )
+                for bench in benchmarks
+                for kind_value in kind_values
+            ]
+            # Longest-expected-first keeps the pool's tail short — a big
+            # job started last would otherwise run alone while every
+            # other worker idles. One future per job (no chunking) so
+            # the scheduler can't batch a heavy job behind light ones.
+            jobs.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
+            futures = [pool.submit(_phase2_job, job) for job in jobs]
+            for future in as_completed(futures):
+                key, result = future.result()
+                out[key] = result
+        t2 = time.perf_counter()
+        if stats is not None:
+            stats["phase1_seconds"] = t1 - t0
+            stats["phase2_seconds"] = t2 - t1
+    finally:
+        for handle in shm_handles:
+            shm_codec.release(handle)
+        if pool is not None:
+            pool.shutdown()
+    return out
+
+
+def _run_per_job(
+    kind_values: Sequence[str],
+    benchmarks: Sequence[str],
+    n_accesses: int,
+    config: SimulationConfig,
+    seed: int,
+    device: str,
+    workers: int,
+    telemetry,
+    spans,
+    protocol,
+    fine_grain: bool,
+    scale,
+    extra_benchmarks: Tuple[str, ...],
+    stats: Optional[dict],
+) -> Dict[Tuple[str, str], RunResult]:
+    """The pre-artifact-cache behaviour: every job runs end-to-end."""
+    t0 = time.perf_counter()
     jobs = [
         (
-            bench, kind.value, n_accesses, config, seed, device, telemetry,
-            spans,
+            bench, kind_value, n_accesses, config, seed, device, telemetry,
+            spans, protocol, fine_grain, scale, extra_benchmarks,
         )
         for bench in benchmarks
-        for kind in kinds
+        for kind_value in kind_values
     ]
-    if max_workers == 1:
-        return dict(_run_one(job) for job in jobs)
-    # Longest-expected-first: submitting the heavy jobs (gs/pac and
-    # friends) up front keeps the pool's tail short — a big job started
-    # last would otherwise run alone while every other worker idles.
-    # One future per job (no chunking) so the scheduler can't batch a
-    # heavy job behind light ones on the same worker.
-    jobs.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
-    workers = max_workers or min(len(jobs), os.cpu_count() or 2)
-    out: Dict[Tuple[str, str], RunResult] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_one, job) for job in jobs]
-        for future in as_completed(futures):
-            key, result = future.result()
-            out[key] = result
+    if workers <= 1 or len(jobs) == 1:
+        out = dict(_run_one(job) for job in jobs)
+    else:
+        jobs.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
+        out = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_one, job) for job in jobs]
+            for future in as_completed(futures):
+                key, result = future.result()
+                out[key] = result
+    if stats is not None:
+        stats["phase2_seconds"] = time.perf_counter() - t0
     return out

@@ -122,17 +122,38 @@ class System:
                     f"accepts at most {device_max.max_packet_bytes}B — "
                     "pass a matching protocol/device pair"
                 )
-        # Fine-grain mode traces demand accesses at their CPU data size;
-        # line-granular prefetch traffic would drown the Figure 10b
-        # size distribution, so the prefetcher is off there.
-        self.hierarchy = CacheHierarchy(
-            config.cache,
-            n_cores=config.n_cores,
-            prefetch_enabled=not fine_grain,
-            probes=probes.scope("cache"),
-            spans=span_rec,
-        )
+        # The hierarchy is built lazily: phase-2 pipeline jobs
+        # (:meth:`run_raw`) consume a pre-computed raw stream and never
+        # touch the caches, so they skip constructing per-core L1s + LLC
+        # entirely. Probe runs build it eagerly to keep the probe
+        # registration order (cache before coalescer) identical to the
+        # historical wiring.
+        self._probes = probes
+        self._span_rec = span_rec
+        self._hierarchy: Optional[CacheHierarchy] = None
+        if self.telemetry is not None or self.spans is not None:
+            _ = self.hierarchy
         self.coalescer = self._build_coalescer(probes, span_rec)
+
+    @property
+    def hierarchy(self) -> CacheHierarchy:
+        if self._hierarchy is None:
+            # Fine-grain mode traces demand accesses at their CPU data
+            # size; line-granular prefetch traffic would drown the
+            # Figure 10b size distribution, so the prefetcher is off
+            # there.
+            self._hierarchy = CacheHierarchy(
+                self.config.cache,
+                n_cores=self.config.n_cores,
+                prefetch_enabled=not self.fine_grain,
+                probes=self._probes.scope("cache"),
+                spans=self._span_rec,
+            )
+        return self._hierarchy
+
+    @hierarchy.setter
+    def hierarchy(self, value: CacheHierarchy) -> None:
+        self._hierarchy = value
 
     def _build_coalescer(
         self, probes=NULL_TELEMETRY, spans=NULL_SPANS
@@ -228,31 +249,9 @@ class System:
                 raw = self.hierarchy.fine_grain_stream(trace)
             else:
                 raw = self.hierarchy.process(trace)
-        outcome = self.coalescer.process(raw.requests, self.device)
+        cache_metrics = self.hierarchy.summary_metrics(len(raw.requests))
         trace_end = int(trace.cycles[-1]) if len(trace) else 0
-        pac_metrics = None
-        if isinstance(self.coalescer, PagedAdaptiveCoalescer):
-            pac = self.coalescer
-            pac_metrics = {
-                "bypass_fraction": pac.bypass_fraction,
-                "mean_active_streams": pac.mean_active_streams,
-                "mean_request_latency": pac.mean_request_latency,
-                "mean_maq_fill_cycles": pac.mean_maq_fill_cycles,
-                "mean_stage2_cycles": pac.mean_stage2_cycles,
-                "mean_stage3_cycles": pac.mean_stage3_cycles,
-                "direct_requests": float(pac.stats.count("direct_requests")),
-            }
-        h = self.hierarchy
-        n_raw_total = max(1, len(raw.requests))
-        cache_metrics = {
-            "l1_hit_rate": (
-                sum(l1.hit_rate for l1 in h.l1s) / len(h.l1s)
-            ),
-            "llc_hit_rate": h.llc.hit_rate,
-            "secondary_fraction": h.stats.count("secondary_raw") / n_raw_total,
-            "prefetch_fraction": h.stats.count("prefetch_raw") / n_raw_total,
-            "writeback_fraction": h.stats.count("writebacks") / n_raw_total,
-        }
+        outcome = self.coalescer.process(raw.requests, self.device)
         span_trace = None
         if self.spans is not None:
             span_trace = self.spans.finalize(
@@ -269,11 +268,62 @@ class System:
             outcome=outcome,
             device=self.device,
             trace_end_cycle=trace_end,
-            pac_metrics=pac_metrics,
+            pac_metrics=self._pac_metrics(),
             cache_metrics=cache_metrics,
             telemetry=self.telemetry,
             spans=span_trace,
         )
+
+    def run_raw(
+        self,
+        requests,
+        benchmark: str,
+        n_accesses: int,
+        trace_end_cycle: int,
+        cache_metrics: dict,
+    ) -> RunResult:
+        """Run the coalescer+device half against a pre-computed raw
+        request stream.
+
+        This is the phase-2 entry point of the artifact pipeline: the
+        trace and hierarchy pass happened elsewhere (possibly in another
+        process, possibly last week), so the caller supplies the stream,
+        the trace geometry, and the hierarchy's summary metrics.
+        Telemetry and spans observe the cache pass, which this path
+        skips — probe runs must go end-to-end instead.
+        """
+        if self.telemetry is not None or self.spans is not None:
+            raise ValueError(
+                "run_raw skips the cache pass, which telemetry/spans "
+                "probes must observe — use run_trace/run for probe runs"
+            )
+        outcome = self.coalescer.process(requests, self.device)
+        return build_result(
+            benchmark=benchmark,
+            coalescer_name=self.kind.value,
+            n_accesses=n_accesses,
+            outcome=outcome,
+            device=self.device,
+            trace_end_cycle=trace_end_cycle,
+            pac_metrics=self._pac_metrics(),
+            cache_metrics=cache_metrics,
+            telemetry=None,
+            spans=None,
+        )
+
+    def _pac_metrics(self) -> Optional[dict]:
+        if not isinstance(self.coalescer, PagedAdaptiveCoalescer):
+            return None
+        pac = self.coalescer
+        return {
+            "bypass_fraction": pac.bypass_fraction,
+            "mean_active_streams": pac.mean_active_streams,
+            "mean_request_latency": pac.mean_request_latency,
+            "mean_maq_fill_cycles": pac.mean_maq_fill_cycles,
+            "mean_stage2_cycles": pac.mean_stage2_cycles,
+            "mean_stage3_cycles": pac.mean_stage3_cycles,
+            "direct_requests": float(pac.stats.count("direct_requests")),
+        }
 
     def run(
         self,

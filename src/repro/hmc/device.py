@@ -19,11 +19,14 @@ Implements the :class:`repro.mshr.dmc.MemoryDevice` protocol —
 from __future__ import annotations
 
 from repro.common.stats import StatsRegistry
-from repro.common.types import HMC_CONTROL_OVERHEAD_BYTES, CoalescedRequest
+from repro.common.types import (
+    HMC_CONTROL_OVERHEAD_BYTES,
+    CoalescedRequest,
+    MemOp,
+)
 from repro.config import HMCConfig
 from repro.hmc.bank import BankArray
 from repro.hmc.link import CYCLES_PER_FLIT, LinkSet
-from repro.hmc.packet import packet_flits
 from repro.hmc.power import ENERGY_PJ, EnergyModel
 from repro.hmc.vault import VAULT_CTRL_CYCLES, VaultSet
 from repro.mem.address import AddressMap
@@ -144,29 +147,60 @@ class HMCDevice:
         self._vc_queue_wait = vaults._c_queue_wait
         self._vt_queue_wait = vaults._t_queue_wait
         self._vaults_probes_on = vaults._probes_on
+        # Bank hot path, bound once: ``submit`` performs the dominant
+        # single-row closed-page access inline (same arithmetic and
+        # side effects as BankArray.access, which stays canonical for
+        # multi-row spans and direct users).
+        banks = self.banks
+        self._bank_busy_until = banks._busy_until
+        self._bank_counts = banks._access_counts
+        self._bank_cycles = banks.busy_cycles
+        self._bc_conflicts = banks._c_conflicts
+        self._bc_activations = banks._c_activations
+        self._bt_conflicts = banks._t_conflicts
+        self._bt_activations = banks._t_activations
+        self._bt_conflict_wait = banks._t_conflict_wait
+        self._banks_probes_on = banks._probes_on
+        # FLIT counts per (op-direction, size): packet sizes come from a
+        # protocol-legal handful of values, so two tiny dicts replace the
+        # per-packet lru_cache wrapper call.
+        self._flits_load = {}
+        self._flits_store = {}
+        from repro.hmc.packet import _flits_for
         from repro.hmc.telemetry import PacketRecord
 
+        self._flits_for = _flits_for
         self._packet_record = PacketRecord
 
     def submit(self, packet: CoalescedRequest, cycle: int) -> int:
         """Process one packet; returns the response-arrival cycle."""
-        if packet.size > self._max_packet_bytes:
+        size = packet.size
+        if size > self._max_packet_bytes:
             raise ValueError(
-                f"packet of {packet.size}B exceeds device maximum "
+                f"packet of {size}B exceeds device maximum "
                 f"{self._max_packet_bytes}B"
             )
-        flits = packet_flits(packet)
+        is_store = packet.op == MemOp.STORE
+        flit_cache = self._flits_store if is_store else self._flits_load
+        flits = flit_cache.get(size)
+        if flits is None:
+            flits = self._flits_for(size, is_store)
+            flit_cache[size] = flits
         req_flits = flits.request
         rsp_flits = flits.response
-        if self._am_vault_first and packet.addr >= 0:
-            row_index = packet.addr >> self._am_row_shift
+        addr = packet.addr
+        single_row = False
+        if self._am_vault_first and addr >= 0:
+            row_shift = self._am_row_shift
+            row_index = addr >> row_shift
             vault = row_index & self._am_vault_mask
             vb = (
                 vault,
                 (row_index >> self._am_vault_shift) & self._am_bank_mask,
             )
+            single_row = (addr + size - 1) >> row_shift == row_index
         else:
-            vb = self._vault_bank(packet.addr)
+            vb = self._vault_bank(addr)
             vault = vb[0]
         pj_before = self.energy.total_pj if self._probes_on else 0.0
 
@@ -225,11 +259,33 @@ class HMCDevice:
         )
         pj_store["VAULT-CTRL"] += 1 * self._pj_vault_ctrl
 
-        # 4. DRAM access (closed-page banks).
-        t, n_rows = self.banks.access(packet.addr, packet.size, t, vb0=vb)
+        # 4. DRAM access (closed-page banks). The dominant single-row
+        # case runs inline (same side effects as BankArray.access).
+        if single_row:
+            busy_until = self._bank_busy_until
+            busy = busy_until.get(vb, 0)
+            if busy > t:
+                self._bc_conflicts.value += 1
+                if self._banks_probes_on:
+                    self._bt_conflicts.add(t)
+                    self._bt_conflict_wait.observe(t, busy - t)
+                start = busy
+            else:
+                start = t
+            end = start + self._bank_cycles
+            busy_until[vb] = end
+            counts = self._bank_counts
+            counts[vb] = counts.get(vb, 0) + 1
+            self._bc_activations.value += 1
+            if self._banks_probes_on:
+                self._bt_activations.add(t)
+            t = end
+            n_rows = 1
+        else:
+            t, n_rows = self.banks.access(addr, size, t, vb0=vb)
         dram_done = t
         pj_store["DRAM-ACTIVATE"] += n_rows * self._pj_dram_activate
-        pj_store["DRAM-TRANSFER"] += packet.size * self._pj_dram_transfer
+        pj_store["DRAM-TRANSFER"] += size * self._pj_dram_transfer
 
         # 5. Response: route back and serialize; the response occupies a
         # vault response slot until its last FLIT leaves the link.
@@ -254,14 +310,22 @@ class HMCDevice:
             self._lt_rsp_flits.add(response_ready, rsp_flits)
         pj_store["VAULT-RSP-SLOT"] += (completion - t + 1) * self._pj_rsp_slot
 
-        # Accounting.
+        # Accounting (latency accumulation inlined from Accumulator.add).
         self._c_packets.value += 1
-        self._c_payload.value += packet.size
-        self._c_txbytes.value += packet.size + HMC_CONTROL_OVERHEAD_BYTES
-        self._acc_latency.add(completion - cycle)
+        self._c_payload.value += size
+        self._c_txbytes.value += size + HMC_CONTROL_OVERHEAD_BYTES
+        latency = completion - cycle
+        acc = self._acc_latency
+        acc.count += 1
+        acc.total += latency
+        acc._sumsq += latency * latency
+        if latency < acc.min:
+            acc.min = latency
+        if latency > acc.max:
+            acc.max = latency
         if self._probes_on:
             self._t_packets.add(cycle)
-            self._t_payload.add(cycle, packet.size)
+            self._t_payload.add(cycle, size)
             self._t_latency.observe(cycle, completion - cycle)
             self._t_energy.add(cycle, self.energy.total_pj - pj_before)
             if not local:

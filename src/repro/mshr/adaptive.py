@@ -18,7 +18,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StatsRegistry
 from repro.common.types import CACHE_LINE_BYTES, CoalescedRequest, MemOp
-from repro.mshr.entry import MSHREntry, Subentry
+from repro.mshr.entry import (
+    MAX_SPAN_BLOCKS,
+    MSHREntry,
+    Subentry,
+    new_entry,
+    new_subentry,
+)
 from repro.mshr.file import MSHRFileFullError
 from repro.telemetry import NULL_TELEMETRY
 
@@ -161,22 +167,24 @@ class AdaptiveMSHRFile:
         """Allocate a new entry spanning the whole coalesced packet;
         returns ``(slot_id, entry)``. Sub-line (fine-grain) packets are
         tracked at the granularity of the cache lines they touch."""
-        if self.full:
+        if len(self._slots) >= self.n_entries:
             raise MSHRFileFullError(f"{self.name}: all {self.n_entries} busy")
         base = packet.addr - (packet.addr % CACHE_LINE_BYTES)
         end = packet.addr + packet.size
         span = max(1, -(-(end - base) // CACHE_LINE_BYTES))
-        entry = MSHREntry(
-            base_block_addr=base,
-            op=packet.op,
-            span_blocks=span,
-            alloc_cycle=now,
-        )
+        # Same range check MSHREntry.__post_init__ performs (base is
+        # line-aligned by construction); with it done here the fast
+        # constructors can skip dataclass machinery on this hot path.
+        if span > MAX_SPAN_BLOCKS:
+            raise ValueError(f"entry span is 1..{MAX_SPAN_BLOCKS} blocks")
+        entry = new_entry(base, packet.op, span, now)
+        subentries = entry.subentries
+        span_top = span - 1
         for i, rid in enumerate(packet.constituents):
             # Constituents arrive in block order from the assembler; clamp
             # covers duplicate same-block raw requests beyond the span.
-            entry.subentries.append(
-                Subentry(req_id=rid, block_index=min(i, entry.span_blocks - 1))
+            subentries.append(
+                new_subentry(rid, i if i < span_top else span_top)
             )
         slot = next(self._next_slot)
         self._slots[slot] = entry

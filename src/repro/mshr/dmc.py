@@ -25,15 +25,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Iterable, List, Protocol
 
 from repro.common.stats import StatsRegistry
 from repro.common.types import (
     CACHE_LINE_BYTES,
+    HMC_CONTROL_OVERHEAD_BYTES,
     CoalescedRequest,
     MemOp,
     MemoryRequest,
+    new_packet,
 )
+from repro.mshr.entry import new_entry
 from repro.mshr.file import MSHRFile
 from repro.telemetry import NULL_SPANS, NULL_TELEMETRY
 
@@ -77,7 +81,12 @@ class CoalesceOutcome:
 
     @property
     def transaction_bytes(self) -> int:
-        return sum(p.transaction_bytes() for p in self.issued)
+        # Every transaction moves its payload plus the fixed 32B of
+        # request+response control headers, so the per-packet
+        # ``transaction_bytes()`` sum collapses to one multiply.
+        return self.payload_bytes + HMC_CONTROL_OVERHEAD_BYTES * len(
+            self.issued
+        )
 
     @property
     def transaction_efficiency(self) -> float:
@@ -156,58 +165,97 @@ class NullCoalescer(Coalescer):
         probes_on = self._probes_on
         submit = memory.submit
         issued_append = out.issued.append
-        account = out.account_service
         atomic_op = MemOp.ATOMIC
         fence_op = MemOp.FENCE
+        line_bytes = CACHE_LINE_BYTES
         # Peek at the release heap before calling advance: a no-release
         # advance has no side effects, and most cycles have none due.
+        # Allocation and release scheduling are inlined below (same state
+        # transitions as MSHRFile.allocate / schedule_release, which stay
+        # canonical for direct users): the line address is aligned by
+        # construction, so the file's alignment check is redundant here.
         release_heap = mshrs._release_heap
+        slots = mshrs._slots
+        line_index = mshrs._line_index
+        next_slot = mshrs._next_slot
+        c_allocations = mshrs._c_allocations
+        n_entries = mshrs.n_entries
+        # Outcome counters run as locals (a per-request dataclass
+        # attribute update costs a dict store each); written back below.
+        n_raw = 0
+        stall_cycles = 0
+        n_issued = 0
+        last_completion = out.last_completion_cycle
+        raw_service = 0
+        raw_serviced = 0
         for req in raw:
-            out.n_raw += 1
+            n_raw += 1
             cycle = req.cycle
             now = cycle if cycle > entry_clock else entry_clock
             if req.op == atomic_op:
                 if spans_on:
-                    spans.admit(out.n_raw - 1, req, now)
+                    spans.admit(n_raw - 1, req, now)
+                # _submit_atomic works on `out` directly: sync the local
+                # counters around it (atomics are rare).
+                out.n_raw = n_raw
+                out.n_issued = n_issued
+                out.last_completion_cycle = last_completion
+                out.raw_service_cycles = raw_service
+                out.raw_serviced = raw_serviced
                 self._submit_atomic(req, now, memory, out)
+                n_issued = out.n_issued
+                last_completion = out.last_completion_cycle
+                raw_service = out.raw_service_cycles
+                raw_serviced = out.raw_serviced
                 entry_clock = now + 1
                 continue
             if req.op == fence_op:
                 continue  # ordering only; nothing buffered to drain
             if release_heap and release_heap[0][0] <= now:
                 mshrs.advance(now)
-            if mshrs.full:
+            if len(slots) >= n_entries:
                 release = mshrs.next_release_cycle()
                 assert release is not None, "full MSHR file with no releases"
-                now = max(now, release)
+                if release > now:
+                    now = release
                 mshrs.advance(now)
-            out.stall_cycles += now - cycle
+            stall_cycles += now - cycle
             entry_clock = now + 1  # one admission per cycle
             if spans_on:
                 # Queue span covers trace arrival through the MSHR-full
                 # wait; allocation+dispatch are same-cycle.
-                spans.admit(out.n_raw - 1, req, now)
-            line_addr = req.line_addr
-            slot, _ = mshrs.allocate(line_addr, req.op, now)
+                spans.admit(n_raw - 1, req, now)
+            addr = req.addr
+            line_addr = addr - addr % line_bytes
+            op = req.op
+            entry = new_entry(line_addr, op, 1, now)
+            slot = next(next_slot)
+            slots[slot] = entry
+            line_index[line_addr] = slot
+            c_allocations.value += 1
             if probes_on:
-                self._t_occupancy.observe(now, mshrs.occupancy)
-            packet = CoalescedRequest(
-                addr=line_addr,
-                size=CACHE_LINE_BYTES,
-                op=req.op,
-                constituents=(req.req_id,),
-                issue_cycle=now,
-                source="null",
+                self._t_occupancy.observe(now, len(slots))
+            packet = new_packet(
+                line_addr, line_bytes, op, (req.req_id,), now, "null"
             )
             completion = submit(packet, now)
-            mshrs.schedule_release(slot, completion)
+            entry.release_cycle = completion
+            heappush(release_heap, (completion, slot))
             issued_append(packet)
-            out.n_issued += 1
-            if completion > out.last_completion_cycle:
-                out.last_completion_cycle = completion
-            account(now, completion)
+            n_issued += 1
+            if completion > last_completion:
+                last_completion = completion
+            if completion > now:
+                raw_service += completion - now
+            raw_serviced += 1
             if spans_on:
                 spans.mark(req.req_id, "device", completion)
+        out.n_raw = n_raw
+        out.stall_cycles += stall_cycles
+        out.n_issued = n_issued
+        out.last_completion_cycle = last_completion
+        out.raw_service_cycles = raw_service
+        out.raw_serviced = raw_serviced
         return out
 
 
@@ -252,90 +300,134 @@ class MSHRBasedDMC(Coalescer):
         probes_on = self._probes_on
         submit = memory.submit
         issued_append = out.issued.append
-        account = out.account_service
-        try_merge = self._try_merge
+        attach = mshrs.attach
         atomic_op = MemOp.ATOMIC
         fence_op = MemOp.FENCE
-        # Same no-op-advance peek as the null arm.
+        line_bytes = CACHE_LINE_BYTES
+        # Same no-op-advance peek and inlined allocate/schedule_release
+        # as the null arm; same localized outcome counters (synced
+        # around the rare atomic path).
         release_heap = mshrs._release_heap
+        slots = mshrs._slots
+        line_index = mshrs._line_index
+        next_slot = mshrs._next_slot
+        c_allocations = mshrs._c_allocations
+        n_entries = mshrs.n_entries
+        n_raw = 0
+        stall_cycles = 0
+        n_issued = 0
+        n_merged = 0
+        comparisons = 0
+        last_completion = out.last_completion_cycle
+        raw_service = 0
+        raw_serviced = 0
         for req in raw:
-            out.n_raw += 1
+            n_raw += 1
             cycle = req.cycle
             now = cycle if cycle > entry_clock else entry_clock
             if req.op == atomic_op:
                 if spans_on:
-                    spans.admit(out.n_raw - 1, req, now)
+                    spans.admit(n_raw - 1, req, now)
+                out.n_raw = n_raw
+                out.n_issued = n_issued
+                out.last_completion_cycle = last_completion
+                out.raw_service_cycles = raw_service
+                out.raw_serviced = raw_serviced
                 self._submit_atomic(req, now, memory, out)
+                n_issued = out.n_issued
+                last_completion = out.last_completion_cycle
+                raw_service = out.raw_service_cycles
+                raw_serviced = out.raw_serviced
                 entry_clock = now + 1
                 continue
             if req.op == fence_op:
                 continue  # ordering only; MSHRs are not drained
             if release_heap and release_heap[0][0] <= now:
                 mshrs.advance(now)
-            line_addr = req.line_addr
+            addr = req.addr
+            line_addr = addr - addr % line_bytes
 
             # CAM comparison against every buffered miss: entries plus
             # their subentries (the unpaged per-request comparison cost
             # that the Figure 7 reduction is measured against).
-            out.comparisons += mshrs.occupancy + mshrs.n_subentries
+            comparisons += len(slots) + mshrs._n_sub
             if probes_on:
-                self._t_occupancy.observe(now, mshrs.occupancy)
+                self._t_occupancy.observe(now, len(slots))
 
-            entry = try_merge(req, line_addr)
-            if entry is not None:
+            # _try_merge inlined: same-line, same-op in-flight entry.
+            slot = line_index.get(line_addr)
+            entry = slots.get(slot) if slot is not None else None
+            if entry is not None and entry.op == req.op:
+                attach(entry, req.req_id, line_addr)
                 merged_counter.value += 1
                 if probes_on:
                     self._t_merges.add(now)
-                out.n_merged += 1
-                out.stall_cycles += now - cycle
+                n_merged += 1
+                stall_cycles += now - cycle
                 entry_clock = now + 1
-                if entry.release_cycle is not None:
-                    account(now, entry.release_cycle)
+                release = entry.release_cycle
+                if release is not None:
+                    if release > now:
+                        raw_service += release - now
+                    raw_serviced += 1
                     if spans_on:
                         # Merged miss rides the in-flight entry: its wait
                         # is an MSHR span ending at the entry's release.
-                        spans.admit(out.n_raw - 1, req, now)
-                        spans.mark(req.req_id, "mshr", entry.release_cycle)
+                        spans.admit(n_raw - 1, req, now)
+                        spans.mark(req.req_id, "mshr", release)
                 continue
-            if mshrs.full:
+            if len(slots) >= n_entries:
                 release = mshrs.next_release_cycle()
                 assert release is not None, "full MSHR file with no releases"
-                now = max(now, release)
+                if release > now:
+                    now = release
                 mshrs.advance(now)
-                entry = try_merge(req, line_addr)
+                entry = self._try_merge(req, line_addr)
                 if entry is not None:
                     merged_counter.value += 1
-                    out.n_merged += 1
-                    out.stall_cycles += now - cycle
+                    n_merged += 1
+                    stall_cycles += now - cycle
                     entry_clock = now + 1
-                    if entry.release_cycle is not None:
-                        account(now, entry.release_cycle)
+                    release = entry.release_cycle
+                    if release is not None:
+                        if release > now:
+                            raw_service += release - now
+                        raw_serviced += 1
                         if spans_on:
-                            spans.admit(out.n_raw - 1, req, now)
-                            spans.mark(
-                                req.req_id, "mshr", entry.release_cycle
-                            )
+                            spans.admit(n_raw - 1, req, now)
+                            spans.mark(req.req_id, "mshr", release)
                     continue
-            out.stall_cycles += now - cycle
+            stall_cycles += now - cycle
             entry_clock = now + 1
             if spans_on:
-                spans.admit(out.n_raw - 1, req, now)
-            slot, _ = mshrs.allocate(line_addr, req.op, now)
-            packet = CoalescedRequest(
-                addr=line_addr,
-                size=CACHE_LINE_BYTES,
-                op=req.op,
-                constituents=(req.req_id,),
-                issue_cycle=now,
-                source="dmc",
+                spans.admit(n_raw - 1, req, now)
+            op = req.op
+            entry = new_entry(line_addr, op, 1, now)
+            slot = next(next_slot)
+            slots[slot] = entry
+            line_index[line_addr] = slot
+            c_allocations.value += 1
+            packet = new_packet(
+                line_addr, line_bytes, op, (req.req_id,), now, "dmc"
             )
             completion = submit(packet, now)
-            mshrs.schedule_release(slot, completion)
+            entry.release_cycle = completion
+            heappush(release_heap, (completion, slot))
             issued_append(packet)
-            out.n_issued += 1
-            if completion > out.last_completion_cycle:
-                out.last_completion_cycle = completion
-            account(now, completion)
+            n_issued += 1
+            if completion > last_completion:
+                last_completion = completion
+            if completion > now:
+                raw_service += completion - now
+            raw_serviced += 1
             if spans_on:
                 spans.mark(req.req_id, "device", completion)
+        out.n_raw = n_raw
+        out.stall_cycles += stall_cycles
+        out.n_issued = n_issued
+        out.n_merged = n_merged
+        out.comparisons = comparisons
+        out.last_completion_cycle = last_completion
+        out.raw_service_cycles = raw_service
+        out.raw_serviced = raw_serviced
         return out

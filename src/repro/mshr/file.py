@@ -13,8 +13,8 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StatsRegistry
-from repro.common.types import MemOp
-from repro.mshr.entry import MSHREntry
+from repro.common.types import CACHE_LINE_BYTES, MemOp
+from repro.mshr.entry import MSHREntry, new_entry
 
 
 class MSHRFileFullError(RuntimeError):
@@ -103,11 +103,14 @@ class MSHRFile:
 
     def allocate(self, line_addr: int, op: MemOp, cycle: int) -> Tuple[int, MSHREntry]:
         """Allocate a fresh entry; returns ``(slot_id, entry)``."""
-        if self.full:
+        if len(self._slots) >= self.n_entries:
             raise MSHRFileFullError(f"{self.name}: all {self.n_entries} busy")
-        entry = MSHREntry(
-            base_block_addr=line_addr, op=op, span_blocks=1, alloc_cycle=cycle
-        )
+        # Same alignment check MSHREntry.__post_init__ performs; with it
+        # done here the fast constructor can skip dataclass machinery on
+        # this per-miss hot path.
+        if line_addr % CACHE_LINE_BYTES:
+            raise ValueError("MSHR base address must be line-aligned")
+        entry = new_entry(line_addr, op, 1, cycle)
         slot = next(self._next_slot)
         self._slots[slot] = entry
         self._line_index[line_addr] = slot

@@ -7,6 +7,17 @@ import pytest
 from repro.common.types import CoalescedRequest
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Point the artifact cache at a per-test temp dir.
+
+    Keeps tests from reading (or polluting) the developer's real
+    ``~/.cache/repro/artifacts``; pool workers inherit the env var
+    through fork, so worker-side cache traffic is isolated too.
+    """
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+
+
 class FixedLatencyMemory:
     """Memory device stub: responds after a constant latency, records
     every submitted packet."""

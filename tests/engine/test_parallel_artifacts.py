@@ -1,0 +1,188 @@
+"""Two-phase suite pipeline vs legacy per-job: bit-identity and the
+parameter-passthrough contract.
+
+The artifact cache and the shared-memory fan-out are pure execution
+strategies — every RunResult they produce must equal the pre-cache
+per-job path field for field (dataclass ``==``, so telemetry timelines
+and span sets participate when attached).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.engine.driver import run_benchmark, run_comparison, run_suite
+from repro.engine.parallel import run_suite_parallel
+from repro.engine.system import CoalescerKind
+
+KINDS = (CoalescerKind.NONE, CoalescerKind.PAC)
+BENCHES = ("gs", "stream")
+N = 1500
+SEED = 9
+
+
+def _suite(**overrides):
+    kwargs = dict(
+        kinds=KINDS, benchmarks=BENCHES, n_accesses=N, seed=SEED,
+        max_workers=2,
+    )
+    kwargs.update(overrides)
+    return run_suite_parallel(**kwargs)
+
+
+class TestBitIdentity:
+    def test_legacy_cold_warm_agree(self):
+        legacy = _suite(pipeline="per-job", use_artifact_cache=False)
+        cold_stats: dict = {}
+        cold = _suite(pipeline="two-phase", stats=cold_stats)
+        warm_stats: dict = {}
+        warm = _suite(pipeline="two-phase", stats=warm_stats)
+        assert cold_stats["artifact_misses"] == len(BENCHES)
+        assert warm_stats["artifact_hits"] == len(BENCHES)
+        assert warm_stats["artifact_misses"] == 0
+        assert set(legacy) == set(cold) == set(warm)
+        for key in legacy:
+            assert legacy[key] == cold[key], key
+            assert legacy[key] == warm[key], key
+
+    def test_cache_disabled_still_identical(self):
+        legacy = _suite(pipeline="per-job", use_artifact_cache=False)
+        uncached = _suite(pipeline="two-phase", use_artifact_cache=False)
+        for key in legacy:
+            assert legacy[key] == uncached[key], key
+
+    def test_serial_two_phase_matches_pooled(self):
+        serial = _suite(max_workers=1, pipeline="two-phase")
+        pooled = _suite(max_workers=2, pipeline="two-phase")
+        for key in serial:
+            assert serial[key] == pooled[key], key
+
+    def test_matches_run_benchmark(self):
+        """The suite runner is a fan-out of run_benchmark: each cell must
+        equal the equivalent standalone call."""
+        out = _suite(pipeline="two-phase")
+        for (bench, kind_value), result in out.items():
+            standalone = run_benchmark(
+                bench,
+                coalescer=CoalescerKind(kind_value),
+                n_accesses=N,
+                seed=SEED,
+            )
+            assert result == standalone, (bench, kind_value)
+
+
+class TestProbeRuns:
+    def test_auto_routes_probes_per_job(self):
+        stats: dict = {}
+        out = _suite(
+            kinds=(CoalescerKind.PAC,), benchmarks=("gs",),
+            telemetry=True, stats=stats,
+        )
+        assert stats["pipeline"] == "per-job"
+        assert out[("gs", "pac")].telemetry is not None
+
+    def test_two_phase_with_probes_is_an_error(self):
+        with pytest.raises(ValueError, match="telemetry/spans"):
+            _suite(telemetry=True, pipeline="two-phase")
+        with pytest.raises(ValueError, match="telemetry/spans"):
+            _suite(spans=True, pipeline="two-phase")
+
+    def test_probe_results_unaffected_by_warm_cache(self):
+        """Telemetry and span runs must be bit-identical whether the
+        artifact cache is hot, cold, or off — they always observe their
+        own end-to-end pass."""
+        _suite(pipeline="two-phase")  # populate the cache
+        warm = _suite(
+            kinds=(CoalescerKind.PAC,), benchmarks=("gs",),
+            telemetry=True, spans=True,
+        )
+        off = _suite(
+            kinds=(CoalescerKind.PAC,), benchmarks=("gs",),
+            telemetry=True, spans=True, use_artifact_cache=False,
+        )
+        assert warm[("gs", "pac")] == off[("gs", "pac")]
+        assert warm[("gs", "pac")].spans is not None
+
+    def test_run_comparison_cold_warm_identical(self):
+        baseline = run_comparison(
+            "gs", kinds=KINDS, n_accesses=N, seed=SEED,
+            use_artifact_cache=False,
+        )
+        cold = run_comparison("gs", kinds=KINDS, n_accesses=N, seed=SEED)
+        warm = run_comparison("gs", kinds=KINDS, n_accesses=N, seed=SEED)
+        for kind in KINDS:
+            assert baseline[kind] == cold[kind]
+            assert baseline[kind] == warm[kind]
+
+
+class TestStats:
+    def test_stats_schema(self):
+        stats: dict = {}
+        _suite(pipeline="two-phase", stats=stats)
+        assert stats["pipeline"] == "two-phase"
+        assert stats["jobs"] == len(KINDS) * len(BENCHES)
+        assert stats["workers"] >= 1
+        assert stats["artifact_hits"] + stats["artifact_misses"] == len(BENCHES)
+        assert stats["phase1_seconds"] >= 0.0
+        assert stats["phase2_seconds"] >= 0.0
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline"):
+            _suite(pipeline="three-phase")
+
+
+class TestParameterParity:
+    """run_suite / run_suite_parallel must forward every run_benchmark
+    knob (enumerated by inspection, so a knob added to run_benchmark
+    without suite plumbing fails here)."""
+
+    #: run_benchmark parameters that the suite runners rename rather
+    #: than forward verbatim.
+    RENAMED = {"benchmark", "coalescer"}
+
+    def _params(self, fn):
+        return inspect.signature(fn).parameters
+
+    @pytest.mark.parametrize("suite_fn", [run_suite, run_suite_parallel])
+    def test_suite_forwards_every_benchmark_knob(self, suite_fn):
+        bench_params = self._params(run_benchmark)
+        suite_params = self._params(suite_fn)
+        missing = [
+            name
+            for name in bench_params
+            if name not in self.RENAMED and name not in suite_params
+        ]
+        assert not missing, (
+            f"{suite_fn.__name__} does not forward run_benchmark "
+            f"parameter(s): {missing}"
+        )
+
+    @pytest.mark.parametrize("suite_fn", [run_suite, run_suite_parallel])
+    def test_shared_defaults_agree(self, suite_fn):
+        bench_params = self._params(run_benchmark)
+        suite_params = self._params(suite_fn)
+        for name, param in bench_params.items():
+            if name in self.RENAMED or param.default is inspect.Parameter.empty:
+                continue
+            assert suite_params[name].default == param.default, (
+                f"{suite_fn.__name__}.{name} default diverged from "
+                f"run_benchmark"
+            )
+
+    def test_forwarded_knob_reaches_the_workers(self):
+        """Spot-check an end-to-end passthrough: fine_grain selects a
+        different hierarchy traversal, so its results must differ from
+        the default and match the standalone call."""
+        out = _suite(
+            kinds=(CoalescerKind.PAC,), benchmarks=("stream",),
+            fine_grain=True, pipeline="two-phase",
+        )
+        standalone = run_benchmark(
+            "stream", coalescer=CoalescerKind.PAC, n_accesses=N, seed=SEED,
+            fine_grain=True,
+        )
+        assert out[("stream", "pac")] == standalone
+        coarse = _suite(kinds=(CoalescerKind.PAC,), benchmarks=("stream",))
+        assert out[("stream", "pac")] != coarse[("stream", "pac")]
