@@ -21,6 +21,11 @@ Commands
               per second, per-phase split, RSS peak); writes the
               machine-readable ``BENCH_<name>.json`` perf trajectory and
               optionally gates against a checked-in baseline.
+``health``    Run a supervised suite and print its execution-health
+              report (retries, timeouts, pool rebuilds, degradation
+              ladder, shm leak check) — optionally under an injected
+              fault plan (``--faults`` / ``--fault-seed``); exits 0 iff
+              the run is healthy.
 ``config``    Print the Table 1 configuration.
 """
 
@@ -266,6 +271,52 @@ def main(argv=None) -> int:
     p_bench.add_argument(
         "--max-regression", type=float, default=0.30, dest="max_regression",
         help="allowed fractional throughput drop vs baseline (default 0.30)",
+    )
+
+    p_health = sub.add_parser(
+        "health",
+        help="supervised suite run + execution-health report",
+    )
+    p_health.add_argument(
+        "benchmark", choices=[*BENCHMARK_NAMES, "all"],
+        help="benchmark to run, or 'all' for the whole suite",
+    )
+    p_health.add_argument(
+        "--coalescer", choices=["all", *[k.value for k in CoalescerKind]],
+        default="all",
+        help="arm to run, or 'all' for the none/dmc/pac trio (default)",
+    )
+    p_health.add_argument(
+        "--faults", default=None,
+        help="fault plan spec, e.g. 'phase2.job:crash@0' "
+             "(default: $REPRO_FAULTS if set)",
+    )
+    p_health.add_argument(
+        "--fault-seed", type=int, default=None, dest="fault_seed",
+        help="derive a random-but-reproducible fault plan from this seed "
+             "(mutually exclusive with --faults)",
+    )
+    p_health.add_argument(
+        "--timeout", type=float, default=None, dest="job_timeout",
+        help="per-job wall-clock timeout in seconds "
+             "(default: $REPRO_JOB_TIMEOUT or 300)",
+    )
+    p_health.add_argument(
+        "--max-retries", type=int, default=None, dest="max_retries",
+        help="retry budget per job (default: $REPRO_MAX_RETRIES or 3)",
+    )
+    p_health.add_argument(
+        "--json", metavar="PATH", default=None, dest="health_json",
+        help="write the machine-readable health report to PATH",
+    )
+    # Same dest-separation trick as `trace` (see comment above).
+    p_health.add_argument(
+        "--accesses", type=int, default=None, dest="health_accesses",
+        help="trace length (overrides the global --accesses)",
+    )
+    p_health.add_argument(
+        "--seed", type=int, default=None, dest="health_seed",
+        help="RNG seed (overrides the global --seed)",
     )
 
     args = parser.parse_args(argv)
@@ -545,6 +596,101 @@ def main(argv=None) -> int:
                 n = write_spans_csv(span_trace, args.spans_csv)
                 print(f"wrote {n:,} span rows to {args.spans_csv}")
         return 0
+
+    if args.command == "health":
+        import json as json_mod
+
+        from repro.engine.parallel import run_suite_parallel
+        from repro.faults import FaultPlan, resolve_plan
+        from repro.telemetry import TelemetryRegistry, record_health
+
+        if args.faults is not None and args.fault_seed is not None:
+            parser.error("--faults and --fault-seed are mutually exclusive")
+        faults = args.faults
+        if args.fault_seed is not None:
+            faults = FaultPlan.from_seed(args.fault_seed)
+        plan = resolve_plan(faults)
+
+        n_accesses = (
+            args.health_accesses
+            if args.health_accesses is not None
+            else args.accesses
+        )
+        seed = (
+            args.health_seed if args.health_seed is not None else args.seed
+        )
+        benches = (
+            list(BENCHMARK_NAMES)
+            if args.benchmark == "all"
+            else [args.benchmark]
+        )
+        kinds = (
+            (CoalescerKind.NONE, CoalescerKind.DMC, CoalescerKind.PAC)
+            if args.coalescer == "all"
+            else (CoalescerKind(args.coalescer),)
+        )
+        if plan is not None:
+            print(f"fault plan: {plan.to_spec()}")
+        stats: dict = {}
+        results = run_suite_parallel(
+            kinds=kinds,
+            benchmarks=benches,
+            n_accesses=n_accesses,
+            seed=seed,
+            max_workers=args.jobs,
+            stats=stats,
+            faults=plan if plan is not None else False,
+            job_timeout=args.job_timeout,
+            max_retries=args.max_retries,
+        )
+        health = next(iter(results.values())).health
+        title = (
+            f"health: {args.benchmark} / {args.coalescer} "
+            f"({stats['pipeline']}, {stats['workers']} workers)"
+        )
+        print(render_table(health.summary_rows(), title=title))
+        for label, items in (
+            ("degradations", health.degradations),
+            ("failures", health.failures),
+            ("shm leaks", health.shm_leaks),
+        ):
+            if items:
+                print(f"  {label}:")
+                for item in items:
+                    print(f"    - {item}")
+        registry = record_health(TelemetryRegistry(), health)
+        gauge_rows = [
+            {"gauge": name, "value": f"{g.windows[0][1]:.3f}"}
+            for name, g in sorted(registry.gauges.items())
+        ]
+        print(render_table(gauge_rows, title="health gauges"))
+        if args.health_json:
+            report = {
+                "benchmark": args.benchmark,
+                "coalescer": args.coalescer,
+                "n_accesses": n_accesses,
+                "fault_plan": plan.to_spec() if plan is not None else None,
+                "stats": stats,
+                "health": health.as_dict(),
+                "results": {
+                    f"{bench}/{kind}": results[(bench, kind)].as_row()
+                    for (bench, kind) in sorted(results)
+                },
+            }
+            with open(args.health_json, "w") as fh:
+                json_mod.dump(report, fh, indent=2, sort_keys=True)
+            print(f"wrote health report to {args.health_json}")
+        if health.healthy:
+            print(
+                f"HEALTHY: {health.completed}/{health.jobs} jobs, "
+                f"{health.events} recovery event(s)"
+            )
+            return 0
+        print(
+            f"UNHEALTHY: {health.completed}/{health.jobs} jobs completed, "
+            f"{len(health.shm_leaks)} shm leak(s)"
+        )
+        return 1
 
     if args.command == "bench":
         from dataclasses import replace

@@ -20,6 +20,7 @@ from repro.artifacts.shm import (
     encode_requests,
     publish,
     release,
+    segment_exists,
 )
 from repro.artifacts.store import (
     ARTIFACT_SCHEMA,
@@ -62,6 +63,7 @@ __all__ = [
     "pass_key",
     "publish",
     "release",
+    "segment_exists",
     "trace_key",
     "try_load_trace_pass",
 ]

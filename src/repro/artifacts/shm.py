@@ -79,14 +79,27 @@ def publish(array: np.ndarray) -> Tuple[object, str]:
     Returns ``(shm, name)``; the caller owns the segment and must
     ``close()`` + ``unlink()`` it (see :func:`release`). Zero-length
     arrays still get a 1-byte segment (POSIX shm forbids empty maps).
+    A failure after segment creation releases the half-built segment
+    before propagating, so a faulting publish can never leak.
+
+    Fault site ``shm.publish`` (kind ``enospc``) injects the
+    allocation-failure path — callers degrade to a pickled per-job
+    transport (see :mod:`repro.engine.parallel`).
     """
     from multiprocessing import shared_memory
 
+    from repro.faults.injector import active
+
+    active().raise_site("shm.publish")
     nbytes = max(1, array.nbytes)
     shm = shared_memory.SharedMemory(create=True, size=nbytes)
-    if array.nbytes:
-        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
-        view[:] = array
+    try:
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[:] = array
+    except BaseException:
+        release(shm)
+        raise
     return shm, shm.name
 
 
@@ -106,6 +119,12 @@ def attach(name: str, n_items: int, dtype: np.dtype = REQ_DTYPE):
     """
     from multiprocessing import resource_tracker, shared_memory
 
+    from repro.faults.injector import active
+
+    # Fault site ``shm.attach`` (kind ``lost``): the segment vanished
+    # between publish and attach — exactly what a worker sees when the
+    # parent died or the segment was externally unlinked.
+    active().raise_site("shm.attach")
     real_register = resource_tracker.register
     resource_tracker.register = lambda *a, **k: None
     try:
@@ -121,8 +140,30 @@ def detach(shm) -> None:
     shm.close()
 
 
-def release(shm) -> None:
-    """Close and unlink a parent-owned segment (idempotent)."""
+def segment_exists(name: str) -> bool:
+    """Whether a POSIX shm segment is still present on this host.
+
+    Linux exposes segments under ``/dev/shm``; on platforms without it
+    (no way to verify) this conservatively reports False.
+    """
+    import pathlib
+
+    root = pathlib.Path("/dev/shm")
+    if not root.is_dir():
+        return False
+    return (root / name).exists()
+
+
+def release(shm) -> bool:
+    """Close and unlink a parent-owned segment (idempotent), then
+    verify the unlink actually removed it.
+
+    Returns True when the segment is verifiably gone (or the platform
+    cannot verify). A False return means the segment leaked — callers
+    record it on :class:`repro.engine.health.RunHealth` rather than
+    failing the run.
+    """
+    name = getattr(shm, "name", None)
     try:
         shm.close()
     except (OSError, ValueError):  # pragma: no cover - double close
@@ -131,3 +172,8 @@ def release(shm) -> None:
         shm.unlink()
     except FileNotFoundError:  # pragma: no cover - already unlinked
         pass
+    except OSError:  # pragma: no cover - unlink refused; verify below
+        pass
+    if name is None:
+        return True
+    return not segment_exists(name)

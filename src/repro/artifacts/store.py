@@ -249,7 +249,23 @@ class ArtifactStore:
         A file that exists but cannot be parsed (torn write, wrong
         version) counts as a miss: it is unlinked and the caller
         recomputes.
+
+        Fault site ``artifact.get`` (kind ``corrupt``) garbles the
+        on-disk entry (and evicts the memo) before the normal read, so
+        injection exercises the real unlink-and-recompute path rather
+        than simulating it.
         """
+        from repro.faults.injector import active
+
+        if active().site_fault("artifact.get") == "corrupt":
+            with self._lock:
+                self._memo.pop(key, None)
+            path = self._path(kind, key)
+            try:
+                if path.is_file():
+                    path.write_bytes(b"repro-injected-corruption")
+            except OSError:  # pragma: no cover - unwritable cache dir
+                pass
         payload = self._memo_get(key)
         if payload is not None:
             self.stats.hits += 1
@@ -286,7 +302,18 @@ class ArtifactStore:
         return payload
 
     def put(self, kind: str, key: str, meta: Dict, **arrays) -> None:
-        """Persist arrays + JSON meta atomically and memoize in-process."""
+        """Persist arrays + JSON meta atomically and memoize in-process.
+
+        Fault site ``artifact.put`` (kind ``enospc``) injects a full
+        disk before anything is written: the entry is skipped entirely
+        (not even memoized) and the run continues uncached — the same
+        graceful degradation a real ``OSError`` below takes.
+        """
+        from repro.faults.injector import active
+
+        if active().site_fault("artifact.put") == "enospc":
+            self.stats.errors += 1
+            return
         self._memo_put(key, {"meta": dict(meta), **arrays})
         path = self._path(kind, key)
         try:

@@ -16,11 +16,28 @@ from repro.config import SimulationConfig, TABLE1
 from repro.core.protocols import MemoryProtocol
 from repro.engine.results import RunResult
 from repro.engine.system import CoalescerKind, System
+from repro.faults import FaultInjector, NullInjector, installed, resolve_plan
 from repro.workloads import BENCHMARK_NAMES
 
 #: Default trace length: long enough for steady-state coalescing
 #: behaviour, short enough for interactive runs.
 DEFAULT_ACCESSES = 60_000
+
+
+def _fault_scope(faults):
+    """Resolve a ``faults=`` argument into an installed-injector scope.
+
+    A resolved plan installs a process-scoped
+    :class:`~repro.faults.FaultInjector` for the duration of the call;
+    no plan installs a *fresh* :class:`~repro.faults.NullInjector`,
+    which both disables injection and (by displacing the pristine
+    singleton) stops ``$REPRO_FAULTS`` from auto-installing underneath
+    an explicit ``faults=False``.
+    """
+    plan = resolve_plan(faults)
+    return installed(
+        FaultInjector(plan) if plan is not None else NullInjector()
+    )
 
 
 def run_benchmark(
@@ -36,6 +53,7 @@ def run_benchmark(
     scale=1.0,
     telemetry=False,
     spans=False,
+    faults=None,
 ) -> RunResult:
     """Run one benchmark through one coalescer configuration.
 
@@ -46,21 +64,27 @@ def run_benchmark(
     collects the windowed probe timeline onto ``result.telemetry``.
     ``spans=True`` (or an int sample rate, or a
     :class:`repro.telemetry.SpanRecorder`) traces sampled per-request
-    lifecycle spans onto ``result.spans``.
+    lifecycle spans onto ``result.spans``. ``faults`` activates
+    deterministic fault injection (:mod:`repro.faults`): a plan, a spec
+    string, ``None`` (consult ``$REPRO_FAULTS``), or ``False`` to
+    force-disable; a single in-process run has no instrumented sites of
+    its own, so plans only matter here through code this call reaches
+    (e.g. the artifact store in cached flows).
     """
-    system = System(
-        config=config,
-        coalescer=coalescer,
-        protocol=protocol,
-        device=device,
-        fine_grain=fine_grain,
-        telemetry=telemetry,
-        spans=spans,
-    )
-    return system.run(
-        benchmark, n_accesses, seed=seed,
-        extra_benchmarks=extra_benchmarks, scale=scale,
-    )
+    with _fault_scope(faults):
+        system = System(
+            config=config,
+            coalescer=coalescer,
+            protocol=protocol,
+            device=device,
+            fine_grain=fine_grain,
+            telemetry=telemetry,
+            spans=spans,
+        )
+        return system.run(
+            benchmark, n_accesses, seed=seed,
+            extra_benchmarks=extra_benchmarks, scale=scale,
+        )
 
 
 def run_comparison(
@@ -78,6 +102,7 @@ def run_comparison(
     telemetry=False,
     spans=False,
     use_artifact_cache: bool = True,
+    faults=None,
 ) -> Dict[CoalescerKind, RunResult]:
     """Run the same trace through several coalescer configurations.
 
@@ -90,47 +115,51 @@ def run_comparison(
     repeated comparison reloads the prefix from disk instead of
     recomputing it (``use_artifact_cache=False`` opts out). When either
     probe facility is on, each arm runs end-to-end so its registry /
-    recorder observes its own cache pass.
+    recorder observes its own cache pass. ``faults`` installs a
+    process-scoped fault injector for the duration of the comparison
+    (the artifact-store sites are live on the cached path).
     """
     out: Dict[CoalescerKind, RunResult] = {}
-    if telemetry or spans:
+    with _fault_scope(faults):
+        if telemetry or spans:
+            for kind in kinds:
+                out[kind] = run_benchmark(
+                    benchmark,
+                    coalescer=kind,
+                    n_accesses=n_accesses,
+                    config=config,
+                    seed=seed,
+                    device=device,
+                    extra_benchmarks=extra_benchmarks,
+                    telemetry=bool(telemetry),
+                    spans=spans if isinstance(spans, (bool, int)) else bool(spans),
+                    faults=False,  # the comparison-wide scope is installed
+                )
+            return out
+
+        from repro.artifacts import load_or_compute_trace_pass
+        from repro.engine.system import System
+
+        tp = load_or_compute_trace_pass(
+            benchmark,
+            n_accesses,
+            config=config,
+            seed=seed,
+            device=device,
+            extra_benchmarks=tuple(extra_benchmarks),
+            use_cache=use_artifact_cache,
+        )
+        requests = tp.requests()
         for kind in kinds:
-            out[kind] = run_benchmark(
-                benchmark,
-                coalescer=kind,
-                n_accesses=n_accesses,
-                config=config,
-                seed=seed,
-                device=device,
-                extra_benchmarks=extra_benchmarks,
-                telemetry=bool(telemetry),
-                spans=spans if isinstance(spans, (bool, int)) else bool(spans),
+            system = System(config=config, coalescer=kind, device=device)
+            out[kind] = system.run_raw(
+                requests,
+                benchmark=tp.benchmark,
+                n_accesses=tp.n_accesses,
+                trace_end_cycle=tp.trace_end_cycle,
+                cache_metrics=tp.cache_metrics,
             )
         return out
-
-    from repro.artifacts import load_or_compute_trace_pass
-    from repro.engine.system import System
-
-    tp = load_or_compute_trace_pass(
-        benchmark,
-        n_accesses,
-        config=config,
-        seed=seed,
-        device=device,
-        extra_benchmarks=tuple(extra_benchmarks),
-        use_cache=use_artifact_cache,
-    )
-    requests = tp.requests()
-    for kind in kinds:
-        system = System(config=config, coalescer=kind, device=device)
-        out[kind] = system.run_raw(
-            requests,
-            benchmark=tp.benchmark,
-            n_accesses=tp.n_accesses,
-            trace_end_cycle=tp.trace_end_cycle,
-            cache_metrics=tp.cache_metrics,
-        )
-    return out
 
 
 def run_suite(
@@ -146,29 +175,33 @@ def run_suite(
     scale=1.0,
     telemetry=False,
     spans=False,
+    faults=None,
 ) -> Dict[str, RunResult]:
     """Run every benchmark through one coalescer configuration.
 
     Every knob of :func:`run_benchmark` forwards (``device``,
     ``protocol``, ``fine_grain``, ``extra_benchmarks``, ``scale``,
-    ``telemetry``, ``spans``), so a whole-suite sweep can target
-    HBM/DDR, the fine-grain mode, or co-running mixes without dropping
-    down to per-benchmark calls.
+    ``telemetry``, ``spans``, ``faults``), so a whole-suite sweep can
+    target HBM/DDR, the fine-grain mode, or co-running mixes without
+    dropping down to per-benchmark calls. ``faults`` installs one
+    process-scoped injector spanning the whole sweep.
     """
-    return {
-        name: run_benchmark(
-            name,
-            coalescer=coalescer,
-            n_accesses=n_accesses,
-            config=config,
-            seed=seed,
-            device=device,
-            protocol=protocol,
-            fine_grain=fine_grain,
-            extra_benchmarks=extra_benchmarks,
-            scale=scale,
-            telemetry=telemetry,
-            spans=spans,
-        )
-        for name in benchmarks
-    }
+    with _fault_scope(faults):
+        return {
+            name: run_benchmark(
+                name,
+                coalescer=coalescer,
+                n_accesses=n_accesses,
+                config=config,
+                seed=seed,
+                device=device,
+                protocol=protocol,
+                fine_grain=fine_grain,
+                extra_benchmarks=extra_benchmarks,
+                scale=scale,
+                telemetry=telemetry,
+                spans=spans,
+                faults=False,  # the suite-wide scope is installed
+            )
+            for name in benchmarks
+        }

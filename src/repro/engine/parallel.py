@@ -1,4 +1,4 @@
-"""Parallel suite execution: two-phase pipeline over a process pool.
+"""Parallel suite execution: a supervised two-phase pipeline.
 
 A full evaluation is ~50 (benchmark, arm) simulations, but only the
 coalescer+device half differs between arms — the trace and the
@@ -15,9 +15,25 @@ across arms. :func:`run_suite_parallel` therefore runs in two phases:
   ``multiprocessing.shared_memory`` — workers map the parent's pages
   instead of unpickling tens of thousands of request objects per job.
 
+Both phases run under :class:`repro.engine.supervisor.PoolSupervisor`:
+per-job wall-clock timeouts, bounded deterministic-backoff retries, and
+crashed-worker pool rebuilds. When the fast path faults, execution
+walks a degradation ladder —
+
+    shm fan-out  →  pickled per-job transport  →  in-parent serial
+
+— per benchmark (transport demotion on segment loss or publish
+failure) and per job (serial fallback once retries exhaust). Every job
+is a pure function of its arguments, so recovered runs are bit-identical
+to fault-free runs; everything supervision did is reported on the
+:class:`repro.engine.health.RunHealth` attached to each result and to
+``stats["health"]``. Deterministic fault injection for all of the above
+lives in :mod:`repro.faults` (``$REPRO_FAULTS`` / ``faults=``).
+
 Every run still derives its RNG from ``(seed, benchmark)``, and probes
 (telemetry/spans) force the legacy one-job-per-arm end-to-end path, so
-results are bit-identical across serial / pooled / cached execution.
+results are bit-identical across serial / pooled / cached / degraded
+execution.
 """
 
 from __future__ import annotations
@@ -26,15 +42,30 @@ import json
 import os
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import SimulationConfig, TABLE1
 from repro.engine.driver import DEFAULT_ACCESSES, run_benchmark
+from repro.engine.health import RunHealth
 from repro.engine.results import RunResult
+from repro.engine.supervisor import (
+    PoolSupervisor,
+    SuiteExecutionError,
+    SupervisedJob,
+    run_serial_with_retries,
+)
 from repro.engine.system import CoalescerKind
+from repro.faults import (
+    FaultInjector,
+    NullInjector,
+    installed,
+    job_scope,
+    resolve_plan,
+)
 from repro.workloads import BENCHMARK_NAMES
+
+__all__ = ["run_suite_parallel", "SuiteExecutionError"]
 
 
 #: Fallback relative wall-clock weight of each (benchmark, arm) job,
@@ -107,22 +138,27 @@ def _job_cost(benchmark: str, kind_value: str) -> float:
 def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
     (
         benchmark, kind_value, n_accesses, config, seed, device, telemetry,
-        spans, protocol, fine_grain, scale, extra_benchmarks,
+        spans, protocol, fine_grain, scale, extra_benchmarks, fault_ctx,
     ) = args
-    result = run_benchmark(
-        benchmark,
-        coalescer=CoalescerKind(kind_value),
-        n_accesses=n_accesses,
-        config=config,
-        seed=seed,
-        device=device,
-        telemetry=telemetry,
-        spans=spans,
-        protocol=protocol,
-        fine_grain=fine_grain,
-        scale=scale,
-        extra_benchmarks=extra_benchmarks,
-    )
+    with job_scope(fault_ctx, "perjob.job"):
+        # faults=False: the job-entry fault already fired above, and the
+        # driver must not resolve $REPRO_FAULTS into a second
+        # (process-scoped) injector inside the worker.
+        result = run_benchmark(
+            benchmark,
+            coalescer=CoalescerKind(kind_value),
+            n_accesses=n_accesses,
+            config=config,
+            seed=seed,
+            device=device,
+            telemetry=telemetry,
+            spans=spans,
+            protocol=protocol,
+            fine_grain=fine_grain,
+            scale=scale,
+            extra_benchmarks=extra_benchmarks,
+            faults=False,
+        )
     return (benchmark, kind_value), result
 
 
@@ -138,15 +174,16 @@ def _phase1_job(args: tuple):
     """
     (
         benchmark, n_accesses, config, seed, device, scale,
-        extra_benchmarks, fine_grain, use_cache,
+        extra_benchmarks, fine_grain, use_cache, fault_ctx,
     ) = args
     from repro.artifacts import load_or_compute_trace_pass
 
-    tp = load_or_compute_trace_pass(
-        benchmark, n_accesses, config=config, seed=seed, device=device,
-        scale=scale, extra_benchmarks=extra_benchmarks,
-        fine_grain=fine_grain, use_cache=use_cache,
-    )
+    with job_scope(fault_ctx, "phase1.job"):
+        tp = load_or_compute_trace_pass(
+            benchmark, n_accesses, config=config, seed=seed, device=device,
+            scale=scale, extra_benchmarks=extra_benchmarks,
+            fine_grain=fine_grain, use_cache=use_cache,
+        )
     return benchmark, tp
 
 
@@ -179,29 +216,40 @@ def _decode_shared(shm_name: str, n_items: int) -> list:
 
 
 def _phase2_job(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
-    """Pool worker: one coalescer arm against a shared raw stream."""
+    """Pool worker: one coalescer arm against a shared raw stream.
+
+    ``payload`` selects the transport rung: ``("shm", name, n_raw)``
+    maps the parent's shared pages; ``("pickle", raw_array)`` carries
+    the packed stream in the job args (the degraded per-job transport
+    used when shared memory is unavailable or faulting).
+    """
     (
-        bench_key, kind_value, shm_name, n_raw, label, n_accesses_done,
+        bench_key, kind_value, payload, label, n_accesses_done,
         trace_end_cycle, cache_metrics, config, protocol, device,
-        fine_grain,
+        fine_grain, fault_ctx,
     ) = args
+    from repro.artifacts import shm as shm_codec
     from repro.engine.system import System
 
-    requests = _decode_shared(shm_name, n_raw)
-    system = System(
-        config=config,
-        coalescer=CoalescerKind(kind_value),
-        protocol=protocol,
-        device=device,
-        fine_grain=fine_grain,
-    )
-    result = system.run_raw(
-        requests,
-        benchmark=label,
-        n_accesses=n_accesses_done,
-        trace_end_cycle=trace_end_cycle,
-        cache_metrics=cache_metrics,
-    )
+    with job_scope(fault_ctx, "phase2.job"):
+        if payload[0] == "shm":
+            requests = _decode_shared(payload[1], payload[2])
+        else:
+            requests = shm_codec.decode_requests(payload[1])
+        system = System(
+            config=config,
+            coalescer=CoalescerKind(kind_value),
+            protocol=protocol,
+            device=device,
+            fine_grain=fine_grain,
+        )
+        result = system.run_raw(
+            requests,
+            benchmark=label,
+            n_accesses=n_accesses_done,
+            trace_end_cycle=trace_end_cycle,
+            cache_metrics=cache_metrics,
+        )
     return (bench_key, kind_value), result
 
 
@@ -256,8 +304,12 @@ def run_suite_parallel(
     use_artifact_cache: bool = True,
     stats: Optional[dict] = None,
     pipeline: str = "auto",
+    faults=None,
+    job_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    backoff_base: Optional[float] = None,
 ) -> Dict[Tuple[str, str], RunResult]:
-    """Run every (benchmark, kind) pair concurrently.
+    """Run every (benchmark, kind) pair concurrently, supervised.
 
     Returns ``{(benchmark, kind.value): RunResult}``. ``max_workers``
     defaults to the CPU count; pass 1 to force serial execution
@@ -269,7 +321,18 @@ def run_suite_parallel(
     behaviour), or ``"auto"`` (two-phase unless probes are on).
     ``use_artifact_cache=False`` keeps the two-phase structure but skips
     all cache reads/writes. ``stats``, if given a dict, is populated
-    with the phase timing split and artifact hit/miss counts.
+    with the phase timing split, artifact hit/miss counts, and a
+    JSON-safe ``"health"`` snapshot.
+
+    Self-healing: pooled jobs run under per-job wall-clock timeouts
+    (``job_timeout``, default ``$REPRO_JOB_TIMEOUT`` or 300s), bounded
+    retries with deterministic backoff (``max_retries``/``backoff_base``,
+    env ``$REPRO_MAX_RETRIES``/``$REPRO_BACKOFF``), crashed-worker pool
+    rebuilds, and the shm → per-job → serial degradation ladder. The
+    :class:`~repro.engine.health.RunHealth` report lands on every
+    result's ``.health`` (excluded from ``==``). ``faults`` accepts a
+    :class:`~repro.faults.FaultPlan`, a spec string, ``None`` (consult
+    ``$REPRO_FAULTS``), or ``False`` (force-disable injection).
 
     ``telemetry=True`` attaches a windowed-probe registry to each result
     (registries pickle back from workers bit-identically);
@@ -298,6 +361,19 @@ def run_suite_parallel(
             "pipeline='two-phase' cannot observe the cache pass — "
             "telemetry/spans runs need pipeline='per-job' (or 'auto')"
         )
+
+    plan = resolve_plan(faults)
+    spec_text = plan.to_spec() if plan is not None else ""
+    health = RunHealth(jobs=n_jobs, faults_enabled=plan is not None)
+    # A *fresh* NullInjector (not the shared singleton) marks injection
+    # as explicitly resolved for this run: active() only auto-installs
+    # from $REPRO_FAULTS while the pristine singleton is in place, so a
+    # run with faults disabled stays disabled even when the variable is
+    # set — in this process and (via fork) in its pool workers.
+    parent_injector = (
+        FaultInjector(plan) if plan is not None else NullInjector()
+    )
+
     if stats is not None:
         stats.update(
             pipeline="two-phase" if two_phase else "per-job",
@@ -309,21 +385,84 @@ def run_suite_parallel(
             phase2_seconds=0.0,
         )
 
-    if not two_phase:
-        return _run_per_job(
-            kind_values, benchmarks, n_accesses, config, seed, device,
-            workers, telemetry, spans, protocol, fine_grain, scale,
-            extra_benchmarks, stats,
+    supervisor = (
+        PoolSupervisor(
+            workers=workers,
+            health=health,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            backoff_base=backoff_base,
         )
+        if workers > 1 and n_jobs > 1
+        else None
+    )
 
+    t_start = time.perf_counter()
+    try:
+        with installed(parent_injector):
+            if two_phase:
+                out = _run_two_phase(
+                    kind_values, benchmarks, n_accesses, config, seed,
+                    device, protocol, fine_grain, scale, extra_benchmarks,
+                    use_artifact_cache, stats, supervisor, spec_text,
+                    health, max_retries, backoff_base,
+                )
+            else:
+                out = _run_per_job(
+                    kind_values, benchmarks, n_accesses, config, seed,
+                    device, telemetry, spans, protocol, fine_grain, scale,
+                    extra_benchmarks, stats, supervisor, spec_text,
+                    health, max_retries, backoff_base,
+                )
+    finally:
+        if supervisor is not None:
+            supervisor.shutdown()
+    health.completed = len(out)
+    health.wall_seconds = time.perf_counter() - t_start
+    if stats is not None:
+        stats["phase1_seconds"] = health.phase1_seconds
+        stats["phase2_seconds"] = health.phase2_seconds
+        stats["health"] = health.as_dict()
+    for result in out.values():
+        result.health = health
+    return out
+
+
+def _run_two_phase(
+    kind_values: Sequence[str],
+    benchmarks: Sequence[str],
+    n_accesses: int,
+    config: SimulationConfig,
+    seed: int,
+    device: str,
+    protocol,
+    fine_grain: bool,
+    scale,
+    extra_benchmarks: Tuple[str, ...],
+    use_artifact_cache: bool,
+    stats: Optional[dict],
+    supervisor: Optional[PoolSupervisor],
+    spec_text: str,
+    health: RunHealth,
+    max_retries: Optional[int],
+    backoff_base: Optional[float],
+) -> Dict[Tuple[str, str], RunResult]:
     from repro.artifacts import (
         cache_enabled,
         shm as shm_codec,
         try_load_trace_pass,
         load_or_compute_trace_pass,
     )
+    from repro.engine.system import System
 
     use_cache = use_artifact_cache and cache_enabled()
+
+    def _compute_pass_in_parent(bench: str):
+        return load_or_compute_trace_pass(
+            bench, n_accesses, config=config, seed=seed, device=device,
+            scale=scale, extra_benchmarks=extra_benchmarks,
+            fine_grain=fine_grain, use_cache=use_cache,
+        )
 
     # ---- phase 1: one trace+cache pass per benchmark ------------------
     t0 = time.perf_counter()
@@ -343,37 +482,52 @@ def run_suite_parallel(
         stats["artifact_hits"] = len(passes)
         stats["artifact_misses"] = len(pending)
 
-    pool = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
-    shm_handles: List[object] = []
-    out: Dict[Tuple[str, str], RunResult] = {}
-    try:
-        if pending:
-            if pool is not None and len(pending) > 1:
-                p1_jobs = [
-                    (
-                        bench, n_accesses, config, seed, device, scale,
-                        extra_benchmarks, fine_grain, use_cache,
-                    )
-                    for bench in pending
-                ]
-                p1_jobs.sort(
-                    key=lambda j: _bench_weights().get(j[0], 2.0),
-                    reverse=True,
-                )
-                for bench, tp in pool.map(_phase1_job, p1_jobs):
-                    passes[bench] = tp
-            else:
-                for bench in pending:
-                    passes[bench] = load_or_compute_trace_pass(
-                        bench, n_accesses, config=config, seed=seed,
-                        device=device, scale=scale,
-                        extra_benchmarks=extra_benchmarks,
-                        fine_grain=fine_grain, use_cache=use_cache,
-                    )
-        t1 = time.perf_counter()
+    if pending:
+        if supervisor is not None and len(pending) > 1:
+            ordered = sorted(
+                pending,
+                key=lambda b: _bench_weights().get(b, 2.0),
+                reverse=True,
+            )
 
-        # ---- phase 2: (benchmark × arm) coalescer+device jobs ---------
-        if pool is None:
+            def _p1_build(bench: str, ordinal: int):
+                def build(attempt: int) -> tuple:
+                    ctx = (
+                        (spec_text, ordinal, attempt) if spec_text else None
+                    )
+                    return (
+                        bench, n_accesses, config, seed, device, scale,
+                        extra_benchmarks, fine_grain, use_cache, ctx,
+                    )
+                return build
+
+            def _p1_fallback(job: SupervisedJob):
+                return job.key, _compute_pass_in_parent(job.key)
+
+            p1_jobs = [
+                SupervisedJob(
+                    key=bench,
+                    label=f"phase1:{bench}",
+                    build_args=_p1_build(bench, i),
+                )
+                for i, bench in enumerate(ordered)
+            ]
+            for bench, tp in supervisor.run(
+                _phase1_job, p1_jobs,
+                fallback=_p1_fallback, fallback_label="phase1-serial",
+            ).values():
+                passes[bench] = tp
+        else:
+            for bench in pending:
+                passes[bench] = _compute_pass_in_parent(bench)
+    t1 = time.perf_counter()
+    health.phase1_seconds = t1 - t0
+
+    # ---- phase 2: (benchmark × arm) coalescer+device jobs -------------
+    out: Dict[Tuple[str, str], RunResult] = {}
+    shm_handles: List[object] = []
+    try:
+        if supervisor is None:
             for bench in benchmarks:
                 out.update(
                     _run_arms_serial(
@@ -382,41 +536,105 @@ def run_suite_parallel(
                     )
                 )
         else:
-            shm_names: Dict[str, str] = {}
+            # Transport rung per benchmark: shared memory when the
+            # publish succeeds, pickled per-job args otherwise. A
+            # benchmark is demoted when its segment faults mid-flight.
+            transport: Dict[str, Tuple] = {}
             for bench in benchmarks:
-                handle, name = shm_codec.publish(passes[bench].raw)
-                shm_handles.append(handle)
-                shm_names[bench] = name
-            jobs = [
-                (
-                    bench, kind_value, shm_names[bench],
-                    passes[bench].n_raw, passes[bench].benchmark,
-                    passes[bench].n_accesses,
-                    passes[bench].trace_end_cycle,
-                    passes[bench].cache_metrics, config, protocol,
-                    device, fine_grain,
+                try:
+                    handle, name = shm_codec.publish(passes[bench].raw)
+                except OSError as exc:
+                    health.record_failure(f"publish:{bench}", exc)
+                    health.degradations.append(f"shm->per-job:{bench}")
+                    transport[bench] = ("pickle",)
+                else:
+                    shm_handles.append(handle)
+                    transport[bench] = ("shm", name)
+
+            def _p2_build(bench: str, kind_value: str, ordinal: int):
+                def build(attempt: int) -> tuple:
+                    tp = passes[bench]
+                    rung = transport[bench]
+                    payload = (
+                        ("shm", rung[1], tp.n_raw)
+                        if rung[0] == "shm"
+                        else ("pickle", tp.raw)
+                    )
+                    ctx = (
+                        (spec_text, ordinal, attempt) if spec_text else None
+                    )
+                    return (
+                        bench, kind_value, payload, tp.benchmark,
+                        tp.n_accesses, tp.trace_end_cycle,
+                        tp.cache_metrics, config, protocol, device,
+                        fine_grain, ctx,
+                    )
+                return build
+
+            def _p2_on_failure(job: SupervisedJob, exc: BaseException):
+                bench = job.key[0]
+                if (
+                    isinstance(exc, FileNotFoundError)
+                    and transport.get(bench, ("",))[0] == "shm"
+                ):
+                    # The segment is gone (or faulting) for this
+                    # benchmark: demote every remaining attempt of its
+                    # jobs to the pickled per-job transport.
+                    transport[bench] = ("pickle",)
+                    health.degradations.append(f"shm->per-job:{bench}")
+
+            def _p2_fallback(job: SupervisedJob):
+                # Last rung: run this single arm in the parent, from
+                # the same trace pass — bit-identical by construction.
+                bench, kind_value = job.key
+                tp = passes[bench]
+                system = System(
+                    config=config,
+                    coalescer=CoalescerKind(kind_value),
+                    protocol=protocol,
+                    device=device,
+                    fine_grain=fine_grain,
                 )
+                result = system.run_raw(
+                    tp.requests(),
+                    benchmark=tp.benchmark,
+                    n_accesses=tp.n_accesses,
+                    trace_end_cycle=tp.trace_end_cycle,
+                    cache_metrics=tp.cache_metrics,
+                )
+                return job.key, result
+
+            grid = [
+                (bench, kind_value)
                 for bench in benchmarks
                 for kind_value in kind_values
             ]
             # Longest-expected-first keeps the pool's tail short — a big
             # job started last would otherwise run alone while every
-            # other worker idles. One future per job (no chunking) so
-            # the scheduler can't batch a heavy job behind light ones.
-            jobs.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
-            futures = [pool.submit(_phase2_job, job) for job in jobs]
-            for future in as_completed(futures):
-                key, result = future.result()
+            # other worker idles. One job per cell (no chunking) so the
+            # scheduler can't batch a heavy job behind light ones.
+            grid.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
+            p2_jobs = [
+                SupervisedJob(
+                    key=cell,
+                    label=f"{cell[0]}/{cell[1]}",
+                    build_args=_p2_build(cell[0], cell[1], i),
+                )
+                for i, cell in enumerate(grid)
+            ]
+            for key, result in supervisor.run(
+                _phase2_job, p2_jobs,
+                fallback=_p2_fallback, fallback_label="serial",
+                on_failure=_p2_on_failure,
+            ).values():
                 out[key] = result
-        t2 = time.perf_counter()
-        if stats is not None:
-            stats["phase1_seconds"] = t1 - t0
-            stats["phase2_seconds"] = t2 - t1
     finally:
         for handle in shm_handles:
-            shm_codec.release(handle)
-        if pool is not None:
-            pool.shutdown()
+            if not shm_codec.release(handle):
+                # Verified leak: record it (the conftest leak fixture
+                # and `repro health` both surface this).
+                health.shm_leaks.append(getattr(handle, "name", "?"))
+    health.phase2_seconds = time.perf_counter() - t1
     return out
 
 
@@ -427,7 +645,6 @@ def _run_per_job(
     config: SimulationConfig,
     seed: int,
     device: str,
-    workers: int,
     telemetry,
     spans,
     protocol,
@@ -435,27 +652,55 @@ def _run_per_job(
     scale,
     extra_benchmarks: Tuple[str, ...],
     stats: Optional[dict],
+    supervisor: Optional[PoolSupervisor],
+    spec_text: str,
+    health: RunHealth,
+    max_retries: Optional[int],
+    backoff_base: Optional[float],
 ) -> Dict[Tuple[str, str], RunResult]:
     """The pre-artifact-cache behaviour: every job runs end-to-end."""
     t0 = time.perf_counter()
-    jobs = [
-        (
-            bench, kind_value, n_accesses, config, seed, device, telemetry,
-            spans, protocol, fine_grain, scale, extra_benchmarks,
-        )
+    grid = [
+        (bench, kind_value)
         for bench in benchmarks
         for kind_value in kind_values
     ]
-    if workers <= 1 or len(jobs) == 1:
-        out = dict(_run_one(job) for job in jobs)
+    grid.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
+
+    def _build(bench: str, kind_value: str, ordinal: int):
+        def build(attempt: int) -> tuple:
+            ctx = (spec_text, ordinal, attempt) if spec_text else None
+            return (
+                bench, kind_value, n_accesses, config, seed, device,
+                telemetry, spans, protocol, fine_grain, scale,
+                extra_benchmarks, ctx,
+            )
+        return build
+
+    jobs = [
+        SupervisedJob(
+            key=cell,
+            label=f"{cell[0]}/{cell[1]}",
+            build_args=_build(cell[0], cell[1], i),
+        )
+        for i, cell in enumerate(grid)
+    ]
+    if supervisor is None:
+        results = run_serial_with_retries(
+            _run_one, jobs, health,
+            max_retries=max_retries, backoff_base=backoff_base,
+        )
     else:
-        jobs.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
-        out = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_one, job) for job in jobs]
-            for future in as_completed(futures):
-                key, result = future.result()
-                out[key] = result
-    if stats is not None:
-        stats["phase2_seconds"] = time.perf_counter() - t0
+
+        def _fallback(job: SupervisedJob):
+            # Re-run end-to-end in the parent, with the fault context
+            # stripped: the fallback rung is the recovery path.
+            args = job.build_args(job.attempt)
+            return _run_one(args[:-1] + (None,))
+
+        results = supervisor.run(
+            _run_one, jobs, fallback=_fallback, fallback_label="serial",
+        )
+    out = {key: result for key, result in results.values()}
+    health.phase2_seconds = time.perf_counter() - t0
     return out

@@ -61,6 +61,12 @@ class RunResult:
     #: dataclass of plain data, so it participates in ``==`` and the
     #: determinism harness compares full span sets.
     spans: Optional[object] = None
+    #: Execution-health report for the suite run that produced this
+    #: result (:class:`repro.engine.health.RunHealth`); None for direct
+    #: single runs. Excluded from ``==``: supervision bookkeeping (how
+    #: the result was obtained), never simulation output — a recovered
+    #: run must compare equal to a fault-free one.
+    health: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def miss_rate(self) -> float:
@@ -175,6 +181,8 @@ class RunResult:
             out["telemetry"] = self.telemetry.as_dict()
         if self.spans is not None:
             out["spans"] = self.spans.as_dict()
+        if self.health is not None:
+            out["health"] = self.health.as_dict()
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:

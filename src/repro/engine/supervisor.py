@@ -1,0 +1,368 @@
+"""Supervised process-pool execution: timeouts, retries, crash recovery.
+
+:class:`PoolSupervisor` owns a rebuildable :class:`ProcessPoolExecutor`
+and runs batches of keyed jobs to completion under a self-healing
+contract:
+
+* **per-job wall-clock timeouts** — a worker observed running past the
+  deadline is declared hung; the pool is torn down (hung workers cannot
+  be interrupted any other way), rebuilt, and the hung job retried while
+  innocent in-flight jobs are resubmitted without penalty;
+* **crashed-worker replacement** — ``BrokenProcessPool`` (a worker died:
+  segfault, OOM-kill, ``os._exit``) triggers the same teardown/rebuild,
+  blaming the jobs that were observed running (or, if the crash landed
+  before any observation, every in-flight job — conservative but
+  bounded);
+* **bounded retries with deterministic backoff** — each job is retried
+  at most ``max_retries`` times with delay ``backoff_base * 2**(attempt-1)``
+  (no jitter: chaos runs must be reproducible);
+* **fallback degradation** — a job that exhausts its retries (or fails
+  with a non-retryable error) is handed to an in-parent ``fallback``
+  callable, the last rung of the degradation ladder.
+
+Because every job is a pure function of its arguments, a retried or
+degraded job produces a bit-identical result — supervision changes how
+a result is obtained, never what it is. Everything the supervisor does
+is recorded on a :class:`repro.engine.health.RunHealth`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.health import RunHealth
+
+#: Defaults, overridable per call and via the environment.
+ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
+ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
+ENV_BACKOFF = "REPRO_BACKOFF"
+DEFAULT_JOB_TIMEOUT = 300.0
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Failures worth retrying: environment/transport trouble (vanished
+#: files or segments, transport pickling, dead workers, OOM), as
+#: opposed to deterministic logic errors, which would fail identically
+#: on every retry and go straight to the fallback.
+RETRYABLE_EXCEPTIONS = (
+    OSError,  # includes FileNotFoundError and TimeoutError
+    EOFError,
+    BrokenProcessPool,
+    pickle.PickleError,
+    MemoryError,
+)
+
+
+def _env_float(name: str, default: float) -> float:
+    import os
+
+    try:
+        return float(os.environ.get(name, default))
+    except (TypeError, ValueError):
+        return default
+
+
+def resolve_supervision(
+    job_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    backoff_base: Optional[float] = None,
+):
+    """Fill supervision knobs from arguments, then env, then defaults."""
+    if job_timeout is None:
+        job_timeout = _env_float(ENV_JOB_TIMEOUT, DEFAULT_JOB_TIMEOUT)
+    if max_retries is None:
+        max_retries = int(_env_float(ENV_MAX_RETRIES, DEFAULT_MAX_RETRIES))
+    if backoff_base is None:
+        backoff_base = _env_float(ENV_BACKOFF, DEFAULT_BACKOFF_BASE)
+    return float(job_timeout), int(max_retries), float(backoff_base)
+
+
+class SuiteExecutionError(RuntimeError):
+    """A job failed terminally: retries exhausted and no fallback."""
+
+
+@dataclass
+class SupervisedJob:
+    """One keyed unit of work.
+
+    ``build_args`` maps the attempt number to the pickled argument
+    tuple — rebuilt per attempt so fault contexts and degraded
+    transports reach the worker deterministically.
+    """
+
+    key: object
+    label: str
+    build_args: Callable[[int], tuple]
+    attempt: int = 0
+    ready_at: float = field(default=0.0, compare=False)
+
+
+class PoolSupervisor:
+    """Runs :class:`SupervisedJob` batches on a self-healing pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        health: RunHealth,
+        job_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        backoff_base: Optional[float] = None,
+        tick: float = 0.05,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.health = health
+        (
+            self.job_timeout,
+            self.max_retries,
+            self.backoff_base,
+        ) = resolve_supervision(job_timeout, max_retries, backoff_base)
+        self.tick = tick
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pools_built = 0
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pools_built += 1
+            if self._pools_built > 1:
+                self.health.pool_rebuilds += 1
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down hard (kills hung/compromised workers)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - pre-3.9 signature
+            pool.shutdown(wait=False)
+        # _processes may already be None once the executor noticed the
+        # break and cleaned up after itself.
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable,
+        jobs: Sequence[SupervisedJob],
+        fallback: Optional[Callable[[SupervisedJob], object]] = None,
+        fallback_label: str = "serial",
+        on_failure: Optional[Callable[[SupervisedJob, BaseException], None]] = None,
+    ) -> Dict:
+        """Run every job; return ``{job.key: fn(args)}``.
+
+        ``fn`` must be a picklable module-level callable taking the args
+        tuple. ``fallback`` runs a job in the parent when the pool path
+        is exhausted; ``on_failure`` observes every failure before the
+        retry decision (the parallel engine uses it to demote a
+        benchmark's transport down the degradation ladder).
+        """
+        results: Dict = {}
+        pending = deque(jobs)
+        total = len(jobs)
+        inflight: Dict = {}  # future -> job
+        started: Dict = {}  # future -> first-observed-running monotonic
+
+        def fail(job: SupervisedJob, exc: BaseException) -> None:
+            self.health.record_failure(job.label, exc)
+            if on_failure is not None:
+                on_failure(job, exc)
+            job.attempt += 1
+            retryable = isinstance(exc, RETRYABLE_EXCEPTIONS)
+            if retryable and job.attempt <= self.max_retries:
+                self.health.retries += 1
+                delay = self.backoff_base * (2 ** (job.attempt - 1))
+                self.health.backoff_seconds += delay
+                job.ready_at = time.monotonic() + delay
+                pending.append(job)
+                return
+            if fallback is None:
+                raise SuiteExecutionError(
+                    f"job {job.label} failed terminally after "
+                    f"{job.attempt} attempt(s): {exc!r}"
+                ) from exc
+            self.health.degradations.append(
+                f"{fallback_label}:{job.label}"
+            )
+            results[job.key] = fallback(job)
+
+        try:
+            while len(results) < total:
+                now = time.monotonic()
+                pool = self._ensure_pool()
+
+                # Submit every pending job whose backoff has elapsed.
+                deferred: List[SupervisedJob] = []
+                submit_failed = False
+                while pending:
+                    job = pending.popleft()
+                    if job.ready_at > now:
+                        deferred.append(job)
+                        continue
+                    try:
+                        fut = pool.submit(fn, job.build_args(job.attempt))
+                    except RuntimeError:
+                        # Pool broke between loop top and submit.
+                        deferred.append(job)
+                        submit_failed = True
+                        break
+                    inflight[fut] = job
+                pending.extend(deferred)
+                if submit_failed:
+                    self._requeue_inflight(inflight, started, pending, fail)
+                    self._discard_pool()
+                    continue
+
+                if not inflight:
+                    soonest = min(
+                        (j.ready_at for j in pending), default=now
+                    )
+                    time.sleep(max(0.0, min(soonest - now, self.tick)))
+                    continue
+
+                done, _ = wait(
+                    list(inflight), timeout=self.tick,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                pool_broken = False
+                blamed_any = False
+                unblamed: List[SupervisedJob] = []
+                for fut in done:
+                    job = inflight.pop(fut)
+                    was_started = started.pop(fut, None) is not None
+                    try:
+                        results[job.key] = fut.result()
+                        continue
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        if was_started:
+                            blamed_any = True
+                            fail(job, exc)
+                        else:
+                            unblamed.append(job)
+                    except CancelledError:
+                        pending.append(job)
+                    except Exception as exc:
+                        fail(job, exc)
+
+                if pool_broken:
+                    # Every future sharing the pool is compromised.
+                    for fut, job in list(inflight.items()):
+                        was_started = started.pop(fut, None) is not None
+                        if was_started:
+                            blamed_any = True
+                            fail(job, BrokenProcessPool(
+                                "pool broke while job was running"
+                            ))
+                        else:
+                            unblamed.append(job)
+                    inflight.clear()
+                    started.clear()
+                    if not blamed_any and unblamed:
+                        # Crash landed before any job was observed
+                        # running: charge everyone so a crash-at-entry
+                        # fault cannot loop forever.
+                        for job in unblamed:
+                            fail(job, BrokenProcessPool(
+                                "worker crashed before observation"
+                            ))
+                    else:
+                        pending.extend(unblamed)
+                    self._discard_pool()
+                    continue
+
+                # Wall-clock watchdog over running futures.
+                now = time.monotonic()
+                for fut in inflight:
+                    if fut not in started and fut.running():
+                        started[fut] = now
+                hung = [
+                    (fut, job)
+                    for fut, job in inflight.items()
+                    if fut in started
+                    and now - started[fut] > self.job_timeout
+                ]
+                if hung:
+                    self.health.timeouts += len(hung)
+                    for fut, job in hung:
+                        inflight.pop(fut)
+                        started.pop(fut, None)
+                        fail(job, TimeoutError(
+                            f"job exceeded {self.job_timeout:.1f}s "
+                            f"wall-clock timeout"
+                        ))
+                    # Killing the pool is the only way to stop a hung
+                    # worker; the other in-flight jobs are innocent and
+                    # resubmit without an attempt charge.
+                    self._requeue_inflight(inflight, started, pending, fail)
+                    self._discard_pool()
+        except BaseException:
+            self._discard_pool()
+            raise
+        return results
+
+    @staticmethod
+    def _requeue_inflight(inflight, started, pending, fail) -> None:
+        for job in inflight.values():
+            pending.append(job)
+        inflight.clear()
+        started.clear()
+
+
+def run_serial_with_retries(
+    fn: Callable,
+    jobs: Sequence[SupervisedJob],
+    health: RunHealth,
+    max_retries: Optional[int] = None,
+    backoff_base: Optional[float] = None,
+) -> Dict:
+    """In-parent analogue of :meth:`PoolSupervisor.run` for serial
+    execution: bounded retries with the same deterministic backoff (no
+    timeouts — a hung parent cannot supervise itself)."""
+    _, max_retries, backoff_base = resolve_supervision(
+        None, max_retries, backoff_base
+    )
+    results: Dict = {}
+    for job in jobs:
+        while True:
+            try:
+                results[job.key] = fn(job.build_args(job.attempt))
+                break
+            except RETRYABLE_EXCEPTIONS as exc:
+                health.record_failure(job.label, exc)
+                job.attempt += 1
+                if job.attempt > max_retries:
+                    raise SuiteExecutionError(
+                        f"job {job.label} failed terminally after "
+                        f"{job.attempt} attempt(s): {exc!r}"
+                    ) from exc
+                health.retries += 1
+                delay = backoff_base * (2 ** (job.attempt - 1))
+                health.backoff_seconds += delay
+                time.sleep(delay)
+    return results

@@ -40,6 +40,7 @@ from repro.telemetry.attribution import (
     stage_breakdown,
     top_k_rows,
 )
+from repro.telemetry.health import record_health
 from repro.telemetry.perfetto import (
     spans_to_csv,
     to_perfetto_json,
@@ -68,6 +69,7 @@ __all__ = [
     "critical_path",
     "csv_rows",
     "end_to_end_percentiles",
+    "record_health",
     "spans_to_csv",
     "stage_breakdown",
     "timeline_csv",

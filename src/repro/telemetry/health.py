@@ -1,0 +1,44 @@
+"""Bridge execution-health reports into the telemetry gauge taxonomy.
+
+:func:`record_health` folds a :class:`repro.engine.health.RunHealth`
+into a :class:`~repro.telemetry.probe.TelemetryRegistry` under the
+``health.*`` namespace, so suite-level recovery bookkeeping exports
+through the same CSV/JSON paths as cycle-level probes (``repro health``
+uses this for its gauge view). Health is per-run scalar data, not a
+timeline — every observation lands at cycle 0 in the first window.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.probe import TelemetryRegistry
+
+#: Scalar RunHealth fields exported as ``health.<name>`` gauges.
+_GAUGE_FIELDS = (
+    "jobs",
+    "completed",
+    "retries",
+    "timeouts",
+    "pool_rebuilds",
+    "backoff_seconds",
+    "phase1_seconds",
+    "phase2_seconds",
+    "wall_seconds",
+)
+
+
+def record_health(registry: TelemetryRegistry, health) -> TelemetryRegistry:
+    """Observe every scalar health metric on ``registry`` and return it.
+
+    List-valued fields export as counts (``health.degradations``,
+    ``health.failures``, ``health.shm_leaks``); the booleans
+    ``health.healthy`` / ``health.degraded`` / ``health.faults_enabled``
+    export as 0/1 gauges.
+    """
+    d = health.as_dict()
+    for name in _GAUGE_FIELDS:
+        registry.gauge(f"health.{name}").observe(0, float(d[name]))
+    for name in ("degradations", "failures", "shm_leaks"):
+        registry.gauge(f"health.{name}").observe(0, float(len(d[name])))
+    for name in ("healthy", "degraded", "faults_enabled"):
+        registry.gauge(f"health.{name}").observe(0, float(bool(d[name])))
+    return registry

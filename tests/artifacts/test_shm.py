@@ -143,3 +143,62 @@ class TestSharedMemoryTransport:
                 detach(shm)
         finally:
             release(handle)
+
+
+class TestReleaseVerification:
+    def test_segment_exists_tracks_lifecycle(self):
+        import sys
+
+        handle, name = publish(encode_requests([MemoryRequest(addr=0)]))
+        try:
+            if sys.platform.startswith("linux"):
+                assert shm_codec.segment_exists(name)
+        finally:
+            assert release(handle) is True
+        assert not shm_codec.segment_exists(name)
+
+    def test_release_reports_verified_unlink(self):
+        handle, _ = publish(encode_requests([MemoryRequest(addr=64)]))
+        assert release(handle) is True
+        # Idempotent: a second release still verifies as gone.
+        assert release(handle) is True
+
+    def test_segment_exists_false_for_unknown_name(self):
+        assert not shm_codec.segment_exists("psm_no_such_segment")
+
+    def test_publish_fault_leaks_nothing(self):
+        """An injected publish failure must raise before (or release
+        after) segment creation — never leak."""
+        from repro.faults import FaultInjector, FaultPlan, installed
+
+        before = set()
+        import pathlib
+
+        root = pathlib.Path("/dev/shm")
+        if root.is_dir():
+            before = {p.name for p in root.glob("psm_*")}
+        plan = FaultPlan.parse("shm.publish:enospc@0")
+        with installed(FaultInjector(plan)):
+            import pytest as _pytest
+
+            with _pytest.raises(OSError):
+                publish(encode_requests([MemoryRequest(addr=0)]))
+        if root.is_dir():
+            assert {p.name for p in root.glob("psm_*")} <= before
+
+    def test_attach_fault_raises_segment_loss(self):
+        from repro.faults import FaultInjector, FaultPlan, installed
+
+        handle, name = publish(encode_requests([MemoryRequest(addr=0)]))
+        try:
+            plan = FaultPlan.parse("shm.attach:lost@0")
+            with installed(FaultInjector(plan)):
+                import pytest as _pytest
+
+                with _pytest.raises(FileNotFoundError):
+                    attach(name, 1)
+            # The segment itself is intact; only the attach was faulted.
+            shm, view = attach(name, 1)
+            detach(shm)
+        finally:
+            release(handle)

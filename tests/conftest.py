@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.common.types import CoalescedRequest
@@ -16,6 +18,50 @@ def _isolated_artifact_cache(tmp_path, monkeypatch):
     through fork, so worker-side cache traffic is isolated too.
     """
     monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "artifacts"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fault_state(monkeypatch):
+    """Keep fault injection off and stateless between tests.
+
+    Clears ``$REPRO_FAULTS`` and resets the process-global injector
+    before and after each test, so a test that installs a plan (or sets
+    the env var) can never leak faults into its neighbours.
+    """
+    from repro.faults import reset_active
+
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    reset_active()
+    yield
+    reset_active()
+
+
+_SHM_ROOT = Path("/dev/shm")
+
+
+def _shm_segments() -> set:
+    """Names of live POSIX shm segments created by Python
+    (``multiprocessing.shared_memory`` names are ``psm_*``)."""
+    if not _SHM_ROOT.is_dir():  # pragma: no cover - non-Linux host
+        return set()
+    return {p.name for p in _SHM_ROOT.glob("psm_*")}
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """Fail any test that leaves a shared-memory segment behind.
+
+    The suite engine's contract is that every published segment is
+    released (verified unlink) even when workers crash mid-job; this
+    fixture enforces the contract across the whole test suite, not just
+    the chaos tests.
+    """
+    before = _shm_segments()
+    yield
+    leaked = _shm_segments() - before
+    assert not leaked, (
+        f"test leaked shared-memory segment(s): {sorted(leaked)}"
+    )
 
 
 class FixedLatencyMemory:

@@ -1,0 +1,153 @@
+"""Chaos suite: inject a fault at every instrumented site, one at a
+time, and assert the supervised engine recovers with bit-identical
+results, bounded retries, and an honest RunHealth report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.parallel import run_suite_parallel
+from repro.engine.system import CoalescerKind
+
+KINDS = (CoalescerKind.NONE, CoalescerKind.PAC)
+BENCHES = ["gs", "bfs"]
+N_ACCESSES = 800
+WORKERS = 3
+MAX_RETRIES = 3
+
+
+def _suite(faults, monkeypatch=None, cache_dir=None, **kw):
+    if cache_dir is not None:
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(cache_dir))
+    stats: dict = {}
+    results = run_suite_parallel(
+        kinds=KINDS,
+        benchmarks=BENCHES,
+        n_accesses=N_ACCESSES,
+        max_workers=kw.pop("max_workers", WORKERS),
+        max_retries=kw.pop("max_retries", MAX_RETRIES),
+        backoff_base=kw.pop("backoff_base", 0.01),
+        stats=stats,
+        faults=faults,
+        **kw,
+    )
+    return results, stats
+
+
+@pytest.fixture(scope="module")
+def clean_suite(tmp_path_factory):
+    """Fault-free reference results, computed once per module under a
+    module-private artifact cache."""
+    import os
+
+    cache = tmp_path_factory.mktemp("clean-artifacts")
+    old = os.environ.get("REPRO_ARTIFACT_DIR")
+    os.environ["REPRO_ARTIFACT_DIR"] = str(cache)
+    try:
+        results, stats = _suite(False)
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_ARTIFACT_DIR", None)
+        else:
+            os.environ["REPRO_ARTIFACT_DIR"] = old
+    assert stats["health"]["events"] == 0
+    return results
+
+
+#: (spec, extra kwargs). Every instrumented site appears at least once;
+#: the per-test artifact cache is cold, so phase-1 jobs really run.
+SCENARIOS = [
+    ("phase1.job:crash@0", {}),
+    ("phase1.job:transient@0", {}),
+    ("phase1.job:pickle@0", {}),
+    ("phase1.job:hang@0", {"job_timeout": 2.0}),
+    ("phase2.job:crash@0", {}),
+    ("phase2.job:transient@1", {}),
+    ("phase2.job:pickle@0", {}),
+    ("phase2.job:hang@0", {"job_timeout": 2.0}),
+    ("shm.attach:lost@0", {}),
+    ("shm.publish:enospc@0", {}),
+    ("artifact.get:corrupt@0", {}),
+    ("artifact.put:enospc@0", {}),
+    ("shm.publish:enospc@0;phase2.job:transient@2", {}),
+]
+
+
+class TestChaosTwoPhase:
+    @pytest.mark.parametrize(
+        "spec,kw", SCENARIOS, ids=[s for s, _ in SCENARIOS]
+    )
+    def test_recovers_bit_identical(self, spec, kw, clean_suite):
+        results, stats = _suite(spec, **kw)
+        health = stats["health"]
+        # Completion: every job produced a result.
+        assert sorted(results) == sorted(clean_suite)
+        assert health["completed"] == health["jobs"] == len(results)
+        assert health["healthy"]
+        assert health["faults_enabled"]
+        # Bit-identity: recovered results equal the fault-free run
+        # (dataclass ==; health is excluded from comparison by design).
+        assert results == clean_suite
+        # Bounded recovery: retries never exceed the per-job budget
+        # summed over the grid, and no shm segment leaked.
+        assert health["retries"] <= MAX_RETRIES * health["jobs"]
+        assert health["shm_leaks"] == []
+
+    def test_health_rides_on_results(self, clean_suite):
+        results, stats = _suite("phase2.job:transient@0")
+        health = next(iter(results.values())).health
+        assert health is not None
+        assert health.as_dict() == stats["health"]
+        assert health.retries >= 1
+        assert any("OSError" in f for f in health.failures)
+        assert results == clean_suite
+
+    def test_clean_run_reports_no_events(self, clean_suite):
+        results, stats = _suite(False)
+        assert results == clean_suite
+        health = stats["health"]
+        assert health["events"] == 0
+        assert health["failures"] == []
+        assert not health["faults_enabled"]
+
+
+class TestChaosPerJob:
+    @pytest.mark.parametrize(
+        "spec,kw",
+        [
+            ("perjob.job:crash@0", {}),
+            ("perjob.job:transient@1", {}),
+            ("perjob.job:pickle@0", {}),
+            ("perjob.job:hang@0", {"job_timeout": 2.0}),
+            # Serial parent path: destructive kinds are inert, transient
+            # retried in-process.
+            ("perjob.job:transient@1", {"max_workers": 1}),
+            ("perjob.job:crash@0", {"max_workers": 1}),
+        ],
+        ids=[
+            "crash", "transient", "pickle", "hang",
+            "serial-transient", "serial-crash-inert",
+        ],
+    )
+    def test_recovers_bit_identical(self, spec, kw, clean_suite):
+        results, stats = _suite(spec, pipeline="per-job", **kw)
+        health = stats["health"]
+        assert results == clean_suite
+        assert health["healthy"]
+        assert health["retries"] <= MAX_RETRIES * health["jobs"]
+
+
+class TestEnvActivation:
+    def test_env_plan_reaches_workers(self, monkeypatch, clean_suite):
+        monkeypatch.setenv("REPRO_FAULTS", "phase2.job:transient@0")
+        results, stats = _suite(None)
+        assert results == clean_suite
+        assert stats["health"]["faults_enabled"]
+        assert stats["health"]["retries"] >= 1
+
+    def test_faults_false_overrides_env(self, monkeypatch, clean_suite):
+        monkeypatch.setenv("REPRO_FAULTS", "phase2.job:transient@0")
+        results, stats = _suite(False)
+        assert results == clean_suite
+        assert not stats["health"]["faults_enabled"]
+        assert stats["health"]["events"] == 0
