@@ -26,13 +26,23 @@ Commands
               ladder, shm leak check) — optionally under an injected
               fault plan (``--faults`` / ``--fault-seed``); exits 0 iff
               the run is healthy.
+``runs``      List or show records from the persistent run ledger
+              (``$REPRO_LEDGER_DIR`` / ``--ledger``).
+``diff``      Attribute the delta between two ledger runs to stage and
+              counter movement, ranked by contribution; ``--threshold``
+              turns it into a CI regression gate (nonzero exit).
+``events``    Render or schema-validate a structured JSONL event log
+              written via ``$REPRO_EVENTS`` / ``--events``.
 ``config``    Print the Table 1 configuration.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 
 from repro.config import TABLE1
 from repro.engine.driver import run_benchmark, run_comparison
@@ -75,6 +85,25 @@ def _print_result(result) -> None:
         print(f"  {key:28s} {value}")
 
 
+def _maybe_record(
+    results, *, kind: str, n_accesses: int, seed, device: str = "hmc",
+    wall_seconds: float = 0.0,
+) -> None:
+    """Append a run record when the ledger is enabled (silent no-op
+    otherwise — recording must never change a run's observable cost)."""
+    from repro import ledger
+
+    if not ledger.ledger_enabled():
+        return
+    record = ledger.build_record(
+        results, kind=kind, config=TABLE1, n_accesses=n_accesses,
+        seed=seed, device=device, wall_seconds=wall_seconds,
+    )
+    path = ledger.record_run(record)
+    if path is not None:
+        print(f"ledger: recorded {record.run_id}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="PAC reproduction CLI"
@@ -93,6 +122,16 @@ def main(argv=None) -> int:
         "--no-artifact-cache", action="store_true", dest="no_artifact_cache",
         help="disable the content-addressed trace/cache-pass artifact "
              "cache for this invocation (recompute everything)",
+    )
+    parser.add_argument(
+        "--events", metavar="PATH", default=None, dest="events_path",
+        help="append structured JSONL events to PATH for this invocation "
+             "(equivalent to $REPRO_EVENTS; pool workers inherit it)",
+    )
+    parser.add_argument(
+        "--ledger", metavar="DIR", default=None, dest="ledger_env",
+        help="record runs into the persistent ledger at DIR "
+             "(equivalent to $REPRO_LEDGER_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -114,11 +153,38 @@ def main(argv=None) -> int:
 
     p_cmp = sub.add_parser("compare", help="run all three arms")
     p_cmp.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p_cmp.add_argument(
+        "--json", action="store_true", dest="cmp_json",
+        help="emit the full per-arm results as JSON instead of a table",
+    )
+    p_cmp.add_argument(
+        "--spans", action="store_true", dest="cmp_spans",
+        help="trace per-request spans (enriches ledger stage digests)",
+    )
+    p_cmp.add_argument(
+        "--telemetry", action="store_true", dest="cmp_telemetry",
+        help="collect windowed probes (enriches ledger counter digests)",
+    )
 
     p_suite = sub.add_parser("suite", help="sweep all benchmarks")
     p_suite.add_argument(
         "--coalescer", choices=[k.value for k in CoalescerKind],
         default="pac",
+    )
+    p_suite.add_argument(
+        "--json", action="store_true", dest="suite_json",
+        help="emit the full per-benchmark results as JSON instead of "
+             "a table",
+    )
+    p_suite.add_argument(
+        "--spans", action="store_true", dest="suite_spans",
+        help="trace per-request spans (forces the per-job pipeline; "
+             "enriches ledger stage digests)",
+    )
+    p_suite.add_argument(
+        "--telemetry", action="store_true", dest="suite_telemetry",
+        help="collect windowed probes (forces the per-job pipeline; "
+             "enriches ledger counter digests)",
     )
 
     p_cache = sub.add_parser(
@@ -319,13 +385,79 @@ def main(argv=None) -> int:
         help="RNG seed (overrides the global --seed)",
     )
 
+    p_runs = sub.add_parser(
+        "runs", help="list or show persistent run-ledger records"
+    )
+    p_runs.add_argument(
+        "action", choices=["list", "show"], nargs="?", default="list",
+    )
+    p_runs.add_argument(
+        "ref", nargs="?", default=None,
+        help="run id, unique id prefix, or record path (show mode)",
+    )
+    p_runs.add_argument(
+        "--dir", default=None, dest="ledger_root",
+        help="ledger directory (default: $REPRO_LEDGER_DIR)",
+    )
+    p_runs.add_argument(
+        "--json", action="store_true", dest="runs_json",
+        help="emit machine-readable JSON instead of a table",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="attribute the delta between two ledger runs "
+             "(stage/counter contributions, CI regression gate)",
+    )
+    p_diff.add_argument("run_a", help="run id, id prefix, or record path")
+    p_diff.add_argument("run_b", help="run id, id prefix, or record path")
+    p_diff.add_argument(
+        "--dir", default=None, dest="ledger_root",
+        help="ledger directory (default: $REPRO_LEDGER_DIR)",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", dest="diff_json",
+        help="emit the full diff report as JSON instead of tables",
+    )
+    p_diff.add_argument(
+        "--threshold", type=float, default=None,
+        help="exit nonzero when the worst relative regression across "
+             "deterministic metrics exceeds this fraction (CI gate)",
+    )
+    p_diff.add_argument(
+        "--top", type=int, default=10,
+        help="rows shown per attribution/counter table (default 10)",
+    )
+
+    p_events = sub.add_parser(
+        "events", help="render or validate a structured JSONL event log"
+    )
+    p_events.add_argument("path", help="event log written via --events")
+    p_events.add_argument(
+        "--validate", action="store_true",
+        help="schema-check only; exit nonzero on any problem",
+    )
+    p_events.add_argument(
+        "--kind", default=None, dest="kind_filter",
+        help="only show events whose kind starts with this prefix",
+    )
+    p_events.add_argument(
+        "--json", action="store_true", dest="events_json",
+        help="emit the parsed events as JSON instead of a table",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.events_path:
+        # Environment, not a parameter: fork/spawn pool workers inherit
+        # it, so one flag covers every process of a suite run.
+        os.environ["REPRO_EVENTS"] = args.events_path
+    if args.ledger_env:
+        os.environ["REPRO_LEDGER_DIR"] = args.ledger_env
 
     if args.no_artifact_cache:
         # Environment (not a parameter): fork/spawn pool workers inherit
         # it, so the switch reaches every process of a suite run.
-        import os
-
         os.environ["REPRO_ARTIFACT_CACHE"] = "0"
 
     if args.command == "cache":
@@ -378,6 +510,7 @@ def main(argv=None) -> int:
             scale = float(args.scale)
         except ValueError:
             scale = args.scale
+        t0 = time.perf_counter()
         result = run_benchmark(
             args.benchmark,
             coalescer=CoalescerKind(args.coalescer),
@@ -386,42 +519,75 @@ def main(argv=None) -> int:
             device=args.device,
             scale=scale,
         )
+        wall = time.perf_counter() - t0
         if args.json:
             print(result.to_json(indent=2))
         else:
             print(f"{args.benchmark} / {args.coalescer} / {args.device}:")
             _print_result(result)
+        _maybe_record(
+            {(args.benchmark, args.coalescer): result},
+            kind="run", n_accesses=args.accesses, seed=args.seed,
+            device=args.device, wall_seconds=wall,
+        )
         return 0
 
     if args.command == "compare":
+        t0 = time.perf_counter()
         results = run_comparison(
-            args.benchmark, n_accesses=args.accesses, seed=args.seed
+            args.benchmark, n_accesses=args.accesses, seed=args.seed,
+            telemetry=args.cmp_telemetry, spans=args.cmp_spans,
         )
-        rows = [r.as_row() for r in results.values()]
-        keep = ["coalescer", "n_raw", "n_issued", "coalescing_efficiency",
-                "transaction_efficiency", "bank_conflicts",
-                "runtime_cycles", "energy_nj"]
-        print(render_table(rows, title=args.benchmark, columns=keep))
+        wall = time.perf_counter() - t0
+        if args.cmp_json:
+            doc = {kind.value: r.to_dict() for kind, r in results.items()}
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            rows = [r.as_row() for r in results.values()]
+            keep = ["coalescer", "n_raw", "n_issued",
+                    "coalescing_efficiency", "transaction_efficiency",
+                    "bank_conflicts", "runtime_cycles", "energy_nj"]
+            print(render_table(rows, title=args.benchmark, columns=keep))
+        _maybe_record(
+            results, kind="compare", n_accesses=args.accesses,
+            seed=args.seed, wall_seconds=wall,
+        )
         return 0
 
     if args.command == "suite":
         from repro.engine.parallel import run_suite_parallel
 
         kind = CoalescerKind(args.coalescer)
+        t0 = time.perf_counter()
         results = run_suite_parallel(
             kinds=(kind,),
             n_accesses=args.accesses, seed=args.seed,
             max_workers=args.jobs,
+            telemetry=args.suite_telemetry,
+            spans=args.suite_spans,
         )
-        rows = [
-            results[(name, kind.value)].as_row()
-            for name in BENCHMARK_NAMES
-            if (name, kind.value) in results
-        ]
-        keep = ["benchmark", "n_raw", "n_issued", "coalescing_efficiency",
-                "bank_conflicts", "runtime_cycles"]
-        print(render_table(rows, title=f"suite / {args.coalescer}",
-                           columns=keep))
+        wall = time.perf_counter() - t0
+        if args.suite_json:
+            doc = {
+                f"{bench}/{arm}": results[(bench, arm)].to_dict()
+                for (bench, arm) in sorted(results)
+            }
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            rows = [
+                results[(name, kind.value)].as_row()
+                for name in BENCHMARK_NAMES
+                if (name, kind.value) in results
+            ]
+            keep = ["benchmark", "n_raw", "n_issued",
+                    "coalescing_efficiency", "bank_conflicts",
+                    "runtime_cycles"]
+            print(render_table(rows, title=f"suite / {args.coalescer}",
+                               columns=keep))
+        _maybe_record(
+            results, kind="suite", n_accesses=args.accesses,
+            seed=args.seed, wall_seconds=wall,
+        )
         return 0
 
     if args.command == "figure":
@@ -680,6 +846,10 @@ def main(argv=None) -> int:
             with open(args.health_json, "w") as fh:
                 json_mod.dump(report, fh, indent=2, sort_keys=True)
             print(f"wrote health report to {args.health_json}")
+        _maybe_record(
+            results, kind="health", n_accesses=n_accesses, seed=seed,
+            wall_seconds=health.wall_seconds,
+        )
         if health.healthy:
             print(
                 f"HEALTHY: {health.completed}/{health.jobs} jobs, "
@@ -738,6 +908,166 @@ def main(argv=None) -> int:
                 f"({cmp['current_rps']:,.0f} vs "
                 f"{cmp['baseline_rps']:,.0f} raw req/s)"
             )
+        return 0
+
+    if args.command == "runs":
+        from repro import ledger
+
+        root = args.ledger_root
+        if args.action == "show":
+            if not args.ref:
+                parser.error("runs show needs a run id/prefix/path")
+            try:
+                doc = ledger.load_run(args.ref, root=root)
+            except (FileNotFoundError, ValueError) as exc:
+                print(f"error: {exc}")
+                return 1
+            doc = {k: v for k, v in doc.items() if not k.startswith("_")}
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        runs = ledger.list_runs(root)
+        if args.runs_json:
+            print(json.dumps(
+                [{k: v for k, v in d.items() if not k.startswith("_")}
+                 for d in runs],
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        if not runs:
+            where = root or ledger.ledger_dir()
+            print(
+                f"no ledger records in {where}"
+                if where else
+                "ledger disabled: set $REPRO_LEDGER_DIR (or --ledger/"
+                "--dir) to record and list runs"
+            )
+            return 0
+        rows = [
+            {
+                "run_id": d["run_id"],
+                "kind": d.get("kind", "?"),
+                "benchmarks": ",".join(d.get("benchmarks", []))[:24],
+                "arms": ",".join(d.get("arms", [])),
+                "n": d.get("n_accesses", 0),
+                "seed": d.get("seed"),
+                "git": d.get("git", "?"),
+                "wall_s": round(d.get("wall_seconds", 0.0), 2),
+                "spans": "y" if d.get("stages") else "",
+                "probes": "y" if d.get("counters") else "",
+            }
+            for d in runs
+        ]
+        print(render_table(rows, title=f"{len(runs)} ledger record(s)"))
+        return 0
+
+    if args.command == "diff":
+        from repro import ledger
+        from repro.ledger.diff import diff_runs
+
+        try:
+            rec_a = ledger.load_run(args.run_a, root=args.ledger_root)
+            rec_b = ledger.load_run(args.run_b, root=args.ledger_root)
+        except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}")
+            return 2
+        report = diff_runs(rec_a, rec_b)
+        gated = (
+            args.threshold is not None
+            and report.max_regression > args.threshold
+        )
+        if args.diff_json:
+            doc = report.as_dict()
+            doc["threshold"] = args.threshold
+            doc["gate_failed"] = gated
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 1 if gated else 0
+        print(f"diff {report.run_a} -> {report.run_b}")
+        for warning in report.warnings:
+            print(f"  warning: {warning}")
+        moved = [r for r in report.metrics if r["delta"] != 0]
+        if moved:
+            rows = [
+                {
+                    "label": r["label"],
+                    "metric": r["metric"],
+                    "a": r["a"],
+                    "b": r["b"],
+                    "delta": r["delta"],
+                    "relative": f"{r['relative']:+.3%}",
+                }
+                for r in moved
+            ]
+            print(render_table(rows, title="metric movement"))
+        else:
+            print("  deterministic metrics: no movement")
+        for entry in report.attribution:
+            e2e = entry["e2e"]
+            rows = [
+                {
+                    "stage": r["stage"],
+                    "a": round(r["a"], 2),
+                    "b": round(r["b"], 2),
+                    "delta": round(r["delta"], 3),
+                    "contribution": f"{r['contribution']:+.1%}",
+                }
+                for r in entry["stages"][: args.top]
+            ]
+            print(render_table(
+                rows,
+                title=(
+                    f"{entry['label']}: end-to-end mean "
+                    f"{e2e['a']:.2f} -> {e2e['b']:.2f} cycles "
+                    f"(delta {e2e['delta']:+.3f})"
+                ),
+            ))
+        if report.counters:
+            print(render_table(
+                report.counters[: args.top], title="counter movement"
+            ))
+        print(
+            f"max relative regression: {report.max_regression:+.3%}"
+            + (
+                f" (threshold {args.threshold:.3%}:"
+                f" {'FAIL' if gated else 'ok'})"
+                if args.threshold is not None else ""
+            )
+        )
+        return 1 if gated else 0
+
+    if args.command == "events":
+        from repro.telemetry import events as ev_mod
+
+        try:
+            docs = ev_mod.read_events(args.path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.path}: {exc}")
+            return 2
+        problems = ev_mod.validate_events(docs)
+        if args.validate:
+            if problems:
+                for problem in problems:
+                    print(f"  {problem}")
+                print(f"INVALID: {len(problems)} problem(s) "
+                      f"in {len(docs)} event(s)")
+                return 1
+            print(f"OK: {len(docs)} event(s), schema valid")
+            return 0
+        if args.kind_filter:
+            docs = [
+                d for d in docs
+                if str(d.get("kind", "")).startswith(args.kind_filter)
+            ]
+        if args.events_json:
+            print(json.dumps(docs, indent=2, sort_keys=True))
+            return 0
+        if not docs:
+            print(f"no events in {args.path}")
+            return 0
+        rows = [ev_mod.render_event(d) for d in docs]
+        print(render_table(rows, title=f"{len(rows)} event(s)"))
+        if problems:
+            print(f"  warning: {len(problems)} schema problem(s); "
+                  f"run with --validate for details")
         return 0
 
     return 1

@@ -89,6 +89,7 @@ def publish(array: np.ndarray) -> Tuple[object, str]:
     from multiprocessing import shared_memory
 
     from repro.faults.injector import active
+    from repro.telemetry import events as ev
 
     active().raise_site("shm.publish")
     nbytes = max(1, array.nbytes)
@@ -100,6 +101,9 @@ def publish(array: np.ndarray) -> Tuple[object, str]:
     except BaseException:
         release(shm)
         raise
+    elog = ev.active()
+    if elog.enabled:
+        elog.emit(ev.ShmPublished(name=shm.name, nbytes=nbytes))
     return shm, shm.name
 
 
@@ -132,6 +136,11 @@ def attach(name: str, n_items: int, dtype: np.dtype = REQ_DTYPE):
     finally:
         resource_tracker.register = real_register
     array = np.ndarray((n_items,), dtype=dtype, buffer=shm.buf)
+    from repro.telemetry import events as ev
+
+    elog = ev.active()
+    if elog.enabled:
+        elog.emit(ev.ShmAttached(name=name))
     return shm, array
 
 
@@ -163,6 +172,8 @@ def release(shm) -> bool:
     record it on :class:`repro.engine.health.RunHealth` rather than
     failing the run.
     """
+    from repro.telemetry import events as ev
+
     name = getattr(shm, "name", None)
     try:
         shm.close()
@@ -174,6 +185,8 @@ def release(shm) -> bool:
         pass
     except OSError:  # pragma: no cover - unlink refused; verify below
         pass
-    if name is None:
-        return True
-    return not segment_exists(name)
+    gone = True if name is None else not segment_exists(name)
+    elog = ev.active()
+    if elog.enabled:
+        elog.emit(ev.ShmReleased(name=name or "?", leaked=not gone))
+    return gone

@@ -256,7 +256,9 @@ class ArtifactStore:
         than simulating it.
         """
         from repro.faults.injector import active
+        from repro.telemetry import events as ev
 
+        elog = ev.active()
         if active().site_fault("artifact.get") == "corrupt":
             with self._lock:
                 self._memo.pop(key, None)
@@ -269,6 +271,8 @@ class ArtifactStore:
         payload = self._memo_get(key)
         if payload is not None:
             self.stats.hits += 1
+            if elog.enabled:
+                elog.emit(ev.CacheHit(artifact=kind, key=key))
             return payload
         path = self._path(kind, key)
         try:
@@ -276,11 +280,15 @@ class ArtifactStore:
                 arrays = {name: npz[name] for name in npz.files}
         except FileNotFoundError:
             self.stats.misses += 1
+            if elog.enabled:
+                elog.emit(ev.CacheMiss(artifact=kind, key=key))
             return None
         except Exception:
             # Corrupt or stale-format entry: drop it, report a miss.
             self.stats.errors += 1
             self.stats.misses += 1
+            if elog.enabled:
+                elog.emit(ev.CacheCorrupt(artifact=kind, key=key))
             try:
                 path.unlink()
             except OSError:
@@ -291,6 +299,8 @@ class ArtifactStore:
         except Exception:
             self.stats.errors += 1
             self.stats.misses += 1
+            if elog.enabled:
+                elog.emit(ev.CacheCorrupt(artifact=kind, key=key))
             try:
                 path.unlink()
             except OSError:
@@ -299,6 +309,8 @@ class ArtifactStore:
         payload = {"meta": meta, **arrays}
         self._memo_put(key, payload)
         self.stats.hits += 1
+        if elog.enabled:
+            elog.emit(ev.CacheHit(artifact=kind, key=key))
         return payload
 
     def put(self, kind: str, key: str, meta: Dict, **arrays) -> None:
@@ -310,6 +322,7 @@ class ArtifactStore:
         graceful degradation a real ``OSError`` below takes.
         """
         from repro.faults.injector import active
+        from repro.telemetry import events as ev
 
         if active().site_fault("artifact.put") == "enospc":
             self.stats.errors += 1
@@ -329,6 +342,9 @@ class ArtifactStore:
             tmp.write_bytes(blob.getvalue())
             os.replace(tmp, path)
             self.stats.stores += 1
+            elog = ev.active()
+            if elog.enabled:
+                elog.emit(ev.CacheStored(artifact=kind, key=key))
         except OSError:
             # Read-only or full cache dir: run uncached rather than fail.
             self.stats.errors += 1

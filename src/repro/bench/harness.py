@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.config import TABLE1
 from repro.engine.driver import run_comparison
 from repro.engine.system import CoalescerKind, System
+from repro.telemetry import events as ev
 
 #: Coalescer arms the suite-scale measurement fans out.
 SUITE_ARMS = (CoalescerKind.NONE, CoalescerKind.DMC, CoalescerKind.PAC)
@@ -279,10 +280,12 @@ class _TimedDevice:
 
 
 def _min_of(
-    fn: Callable[[], int], repeats: int, warmup: int
+    fn: Callable[[], int], repeats: int, warmup: int,
+    label: Optional[str] = None,
 ) -> Timing:
     """Run ``fn`` (returns its work-item count) warmup+repeats times;
-    keep the min wall-clock."""
+    keep the min wall-clock. ``label`` names the measurement in the
+    structured event log (one ``bench.measure`` event per timing)."""
     items = 0
     for _ in range(warmup):
         items = fn()
@@ -291,7 +294,14 @@ def _min_of(
         t0 = time.perf_counter()
         items = fn()
         samples.append(time.perf_counter() - t0)
-    return Timing(seconds=min(samples), samples=samples, items=items)
+    timing = Timing(seconds=min(samples), samples=samples, items=items)
+    if label is not None:
+        elog = ev.active()
+        if elog.enabled:
+            elog.emit(ev.BenchMeasured(
+                name=label, items=timing.items, seconds=timing.seconds,
+            ))
+    return timing
 
 
 def _measure_end_to_end(bench: str, cfg: BenchConfig) -> Timing:
@@ -305,7 +315,9 @@ def _measure_end_to_end(bench: str, cfg: BenchConfig) -> Timing:
         )
         return sum(r.n_raw for r in results.values())
 
-    return _min_of(once, cfg.repeats, cfg.warmup)
+    return _min_of(
+        once, cfg.repeats, cfg.warmup, label=f"{bench}:end_to_end"
+    )
 
 
 def _measure_suite(cfg: BenchConfig) -> SuiteBench:
@@ -342,7 +354,9 @@ def _measure_suite(cfg: BenchConfig) -> SuiteBench:
                 return sum(r.n_raw for r in results.values())
 
             legacy.results = {}
-            suite.legacy = _min_of(legacy, cfg.repeats, cfg.warmup)
+            suite.legacy = _min_of(
+                legacy, cfg.repeats, cfg.warmup, label="suite:per-job"
+            )
 
             cold_stats: Dict = {}
             t0 = time.perf_counter()
@@ -360,7 +374,9 @@ def _measure_suite(cfg: BenchConfig) -> SuiteBench:
                 return sum(r.n_raw for r in results.values())
 
             warm.results = {}
-            suite.warm = _min_of(warm, cfg.repeats, cfg.warmup)
+            suite.warm = _min_of(
+                warm, cfg.repeats, cfg.warmup, label="suite:two-phase-warm"
+            )
             suite.warm_stats = dict(warm_stats)
             suite.artifact_cache = {
                 "cold": {

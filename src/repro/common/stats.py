@@ -10,7 +10,46 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile over a **pre-sorted** sequence.
+
+    ``q`` is a fraction in [0, 1]; an empty sequence yields 0.0. This is
+    the one percentile definition used everywhere in the repo (span
+    attribution, telemetry probes, HMC packet latencies), so percentile
+    columns are comparable across reports.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if not sorted_values:
+        return 0.0
+    idx = min(
+        len(sorted_values) - 1,
+        max(0, math.ceil(q * len(sorted_values)) - 1),
+    )
+    return float(sorted_values[idx])
+
+
+def dist_percentile(dist: Mapping, count: int, q: float) -> float:
+    """Nearest-rank percentile over a value->count distribution.
+
+    Equivalent to :func:`percentile` on the expanded sample list but
+    O(distinct values) — ``count`` must equal ``sum(dist.values())``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if not count:
+        return 0.0
+    rank = max(1, min(count, math.ceil(q * count)))
+    seen = 0
+    value = 0.0
+    for value, n in sorted(dist.items()):
+        seen += n
+        if seen >= rank:
+            return float(value)
+    return float(value)
 
 
 class Counter:

@@ -17,6 +17,7 @@ from repro.core.protocols import MemoryProtocol
 from repro.engine.results import RunResult
 from repro.engine.system import CoalescerKind, System
 from repro.faults import FaultInjector, NullInjector, installed, resolve_plan
+from repro.telemetry import events as ev
 from repro.workloads import BENCHMARK_NAMES
 
 #: Default trace length: long enough for steady-state coalescing
@@ -54,6 +55,7 @@ def run_benchmark(
     telemetry=False,
     spans=False,
     faults=None,
+    events=None,
 ) -> RunResult:
     """Run one benchmark through one coalescer configuration.
 
@@ -69,9 +71,18 @@ def run_benchmark(
     string, ``None`` (consult ``$REPRO_FAULTS``), or ``False`` to
     force-disable; a single in-process run has no instrumented sites of
     its own, so plans only matter here through code this call reaches
-    (e.g. the artifact store in cached flows).
+    (e.g. the artifact store in cached flows). ``events`` selects the
+    structured event log (:mod:`repro.telemetry.events`): ``None``
+    keeps whatever is active (including a ``$REPRO_EVENTS`` sink), a
+    path or :class:`~repro.telemetry.events.EventLog` installs one for
+    the call, ``False`` force-disables.
     """
-    with _fault_scope(faults):
+    with ev.installed(ev.resolve_events(events)) as log, _fault_scope(faults):
+        if log.enabled:
+            log.emit(ev.RunStarted(
+                benchmark=benchmark, coalescer=coalescer.value,
+                n_accesses=n_accesses, seed=seed, device=device,
+            ))
         system = System(
             config=config,
             coalescer=coalescer,
@@ -81,10 +92,17 @@ def run_benchmark(
             telemetry=telemetry,
             spans=spans,
         )
-        return system.run(
+        result = system.run(
             benchmark, n_accesses, seed=seed,
             extra_benchmarks=extra_benchmarks, scale=scale,
         )
+        if log.enabled:
+            log.emit(ev.RunCompleted(
+                benchmark=benchmark, coalescer=coalescer.value,
+                n_raw=result.n_raw, n_issued=result.n_issued,
+                runtime_cycles=result.runtime_cycles,
+            ))
+        return result
 
 
 def run_comparison(
@@ -103,6 +121,7 @@ def run_comparison(
     spans=False,
     use_artifact_cache: bool = True,
     faults=None,
+    events=None,
 ) -> Dict[CoalescerKind, RunResult]:
     """Run the same trace through several coalescer configurations.
 
@@ -120,7 +139,7 @@ def run_comparison(
     (the artifact-store sites are live on the cached path).
     """
     out: Dict[CoalescerKind, RunResult] = {}
-    with _fault_scope(faults):
+    with ev.installed(ev.resolve_events(events)) as log, _fault_scope(faults):
         if telemetry or spans:
             for kind in kinds:
                 out[kind] = run_benchmark(
@@ -151,14 +170,26 @@ def run_comparison(
         )
         requests = tp.requests()
         for kind in kinds:
+            if log.enabled:
+                log.emit(ev.RunStarted(
+                    benchmark=benchmark, coalescer=kind.value,
+                    n_accesses=n_accesses, seed=seed, device=device,
+                ))
             system = System(config=config, coalescer=kind, device=device)
-            out[kind] = system.run_raw(
+            result = system.run_raw(
                 requests,
                 benchmark=tp.benchmark,
                 n_accesses=tp.n_accesses,
                 trace_end_cycle=tp.trace_end_cycle,
                 cache_metrics=tp.cache_metrics,
             )
+            out[kind] = result
+            if log.enabled:
+                log.emit(ev.RunCompleted(
+                    benchmark=benchmark, coalescer=kind.value,
+                    n_raw=result.n_raw, n_issued=result.n_issued,
+                    runtime_cycles=result.runtime_cycles,
+                ))
         return out
 
 
@@ -176,17 +207,19 @@ def run_suite(
     telemetry=False,
     spans=False,
     faults=None,
+    events=None,
 ) -> Dict[str, RunResult]:
     """Run every benchmark through one coalescer configuration.
 
     Every knob of :func:`run_benchmark` forwards (``device``,
     ``protocol``, ``fine_grain``, ``extra_benchmarks``, ``scale``,
-    ``telemetry``, ``spans``, ``faults``), so a whole-suite sweep can
-    target HBM/DDR, the fine-grain mode, or co-running mixes without
-    dropping down to per-benchmark calls. ``faults`` installs one
-    process-scoped injector spanning the whole sweep.
+    ``telemetry``, ``spans``, ``faults``, ``events``), so a
+    whole-suite sweep can target HBM/DDR, the fine-grain mode, or
+    co-running mixes without dropping down to per-benchmark calls.
+    ``faults`` installs one process-scoped injector spanning the whole
+    sweep; ``events`` likewise installs one suite-wide event-log scope.
     """
-    with _fault_scope(faults):
+    with ev.installed(ev.resolve_events(events)), _fault_scope(faults):
         return {
             name: run_benchmark(
                 name,

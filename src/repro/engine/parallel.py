@@ -63,6 +63,7 @@ from repro.faults import (
     job_scope,
     resolve_plan,
 )
+from repro.telemetry import events as ev
 from repro.workloads import BENCHMARK_NAMES
 
 __all__ = ["run_suite_parallel", "SuiteExecutionError"]
@@ -308,6 +309,7 @@ def run_suite_parallel(
     job_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     backoff_base: Optional[float] = None,
+    events=None,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (benchmark, kind) pair concurrently, supervised.
 
@@ -341,6 +343,13 @@ def run_suite_parallel(
     the raw-stream ordinal, so span sets are bit-identical to serial
     runs. Probe runs must observe the cache pass, so they always take
     the per-job path.
+
+    ``events`` installs a suite-wide structured event log
+    (:mod:`repro.telemetry.events`): suite/phase boundaries, supervisor
+    retries/timeouts/rebuilds, and transport demotions are emitted from
+    the parent; forked pool workers inherit the sink (or auto-install
+    from ``$REPRO_EVENTS``) and append their own lines, distinguished
+    by ``pid``.
     """
     if pipeline not in ("auto", "two-phase", "per-job"):
         raise ValueError(f"unknown pipeline {pipeline!r}")
@@ -398,27 +407,42 @@ def run_suite_parallel(
     )
 
     t_start = time.perf_counter()
-    try:
-        with installed(parent_injector):
-            if two_phase:
-                out = _run_two_phase(
-                    kind_values, benchmarks, n_accesses, config, seed,
-                    device, protocol, fine_grain, scale, extra_benchmarks,
-                    use_artifact_cache, stats, supervisor, spec_text,
-                    health, max_retries, backoff_base,
-                )
-            else:
-                out = _run_per_job(
-                    kind_values, benchmarks, n_accesses, config, seed,
-                    device, telemetry, spans, protocol, fine_grain, scale,
-                    extra_benchmarks, stats, supervisor, spec_text,
-                    health, max_retries, backoff_base,
-                )
-    finally:
-        if supervisor is not None:
-            supervisor.shutdown()
-    health.completed = len(out)
-    health.wall_seconds = time.perf_counter() - t_start
+    with ev.installed(ev.resolve_events(events)) as elog:
+        if elog.enabled:
+            elog.emit(ev.SuiteStarted(
+                benchmarks=list(benchmarks),
+                arms=list(kind_values),
+                jobs=n_jobs,
+                pipeline="two-phase" if two_phase else "per-job",
+                workers=workers,
+            ))
+        try:
+            with installed(parent_injector):
+                if two_phase:
+                    out = _run_two_phase(
+                        kind_values, benchmarks, n_accesses, config, seed,
+                        device, protocol, fine_grain, scale, extra_benchmarks,
+                        use_artifact_cache, stats, supervisor, spec_text,
+                        health, max_retries, backoff_base,
+                    )
+                else:
+                    out = _run_per_job(
+                        kind_values, benchmarks, n_accesses, config, seed,
+                        device, telemetry, spans, protocol, fine_grain, scale,
+                        extra_benchmarks, stats, supervisor, spec_text,
+                        health, max_retries, backoff_base,
+                    )
+        finally:
+            if supervisor is not None:
+                supervisor.shutdown()
+        health.completed = len(out)
+        health.wall_seconds = time.perf_counter() - t_start
+        if elog.enabled:
+            elog.emit(ev.SuiteCompleted(
+                jobs=n_jobs,
+                completed=health.completed,
+                healthy=health.healthy,
+            ))
     if stats is not None:
         stats["phase1_seconds"] = health.phase1_seconds
         stats["phase2_seconds"] = health.phase2_seconds
@@ -456,6 +480,7 @@ def _run_two_phase(
     from repro.engine.system import System
 
     use_cache = use_artifact_cache and cache_enabled()
+    elog = ev.active()
 
     def _compute_pass_in_parent(bench: str):
         return load_or_compute_trace_pass(
@@ -466,6 +491,8 @@ def _run_two_phase(
 
     # ---- phase 1: one trace+cache pass per benchmark ------------------
     t0 = time.perf_counter()
+    if elog.enabled:
+        elog.emit(ev.PhaseStarted(phase="phase1", jobs=len(benchmarks)))
     passes: Dict[str, object] = {}
     pending: List[str] = []
     for bench in benchmarks:
@@ -522,8 +549,13 @@ def _run_two_phase(
                 passes[bench] = _compute_pass_in_parent(bench)
     t1 = time.perf_counter()
     health.phase1_seconds = t1 - t0
+    if elog.enabled:
+        elog.emit(ev.PhaseCompleted(phase="phase1", completed=len(passes)))
 
     # ---- phase 2: (benchmark × arm) coalescer+device jobs -------------
+    n_arm_jobs = len(benchmarks) * len(kind_values)
+    if elog.enabled:
+        elog.emit(ev.PhaseStarted(phase="phase2", jobs=n_arm_jobs))
     out: Dict[Tuple[str, str], RunResult] = {}
     shm_handles: List[object] = []
     try:
@@ -546,6 +578,10 @@ def _run_two_phase(
                 except OSError as exc:
                     health.record_failure(f"publish:{bench}", exc)
                     health.degradations.append(f"shm->per-job:{bench}")
+                    if elog.enabled:
+                        elog.emit(ev.Demoted(
+                            rung="shm->per-job", label=bench,
+                        ))
                     transport[bench] = ("pickle",)
                 else:
                     shm_handles.append(handle)
@@ -582,6 +618,10 @@ def _run_two_phase(
                     # jobs to the pickled per-job transport.
                     transport[bench] = ("pickle",)
                     health.degradations.append(f"shm->per-job:{bench}")
+                    if elog.enabled:
+                        elog.emit(ev.Demoted(
+                            rung="shm->per-job", label=bench,
+                        ))
 
             def _p2_fallback(job: SupervisedJob):
                 # Last rung: run this single arm in the parent, from
@@ -635,6 +675,8 @@ def _run_two_phase(
                 # and `repro health` both surface this).
                 health.shm_leaks.append(getattr(handle, "name", "?"))
     health.phase2_seconds = time.perf_counter() - t1
+    if elog.enabled:
+        elog.emit(ev.PhaseCompleted(phase="phase2", completed=len(out)))
     return out
 
 
@@ -660,12 +702,15 @@ def _run_per_job(
 ) -> Dict[Tuple[str, str], RunResult]:
     """The pre-artifact-cache behaviour: every job runs end-to-end."""
     t0 = time.perf_counter()
+    elog = ev.active()
     grid = [
         (bench, kind_value)
         for bench in benchmarks
         for kind_value in kind_values
     ]
     grid.sort(key=lambda j: _job_cost(j[0], j[1]), reverse=True)
+    if elog.enabled:
+        elog.emit(ev.PhaseStarted(phase="per-job", jobs=len(grid)))
 
     def _build(bench: str, kind_value: str, ordinal: int):
         def build(attempt: int) -> tuple:
@@ -703,4 +748,6 @@ def _run_per_job(
         )
     out = {key: result for key, result in results.values()}
     health.phase2_seconds = time.perf_counter() - t0
+    if elog.enabled:
+        elog.emit(ev.PhaseCompleted(phase="per-job", completed=len(out)))
     return out

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.engine.health import RunHealth
+from repro.telemetry import events as ev
 
 #: Defaults, overridable per call and via the environment.
 ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
@@ -139,6 +140,11 @@ class PoolSupervisor:
             self._pools_built += 1
             if self._pools_built > 1:
                 self.health.pool_rebuilds += 1
+                elog = ev.active()
+                if elog.enabled:
+                    elog.emit(ev.PoolRebuilt(
+                        rebuilds=self.health.pool_rebuilds,
+                    ))
         return self._pool
 
     def _discard_pool(self) -> None:
@@ -186,9 +192,20 @@ class PoolSupervisor:
         total = len(jobs)
         inflight: Dict = {}  # future -> job
         started: Dict = {}  # future -> first-observed-running monotonic
+        elog = ev.active()
+
+        def done_event(job: SupervisedJob) -> None:
+            if elog.enabled:
+                elog.emit(ev.JobCompleted(label=job.label))
 
         def fail(job: SupervisedJob, exc: BaseException) -> None:
             self.health.record_failure(job.label, exc)
+            if elog.enabled:
+                elog.emit(ev.JobFailed(
+                    label=job.label,
+                    error=type(exc).__name__,
+                    attempt=job.attempt,
+                ))
             if on_failure is not None:
                 on_failure(job, exc)
             job.attempt += 1
@@ -198,6 +215,10 @@ class PoolSupervisor:
                 delay = self.backoff_base * (2 ** (job.attempt - 1))
                 self.health.backoff_seconds += delay
                 job.ready_at = time.monotonic() + delay
+                if elog.enabled:
+                    elog.emit(ev.JobRetried(
+                        label=job.label, attempt=job.attempt, delay=delay,
+                    ))
                 pending.append(job)
                 return
             if fallback is None:
@@ -208,7 +229,12 @@ class PoolSupervisor:
             self.health.degradations.append(
                 f"{fallback_label}:{job.label}"
             )
+            if elog.enabled:
+                elog.emit(ev.Demoted(
+                    rung=fallback_label, label=job.label,
+                ))
             results[job.key] = fallback(job)
+            done_event(job)
 
         try:
             while len(results) < total:
@@ -257,6 +283,7 @@ class PoolSupervisor:
                     was_started = started.pop(fut, None) is not None
                     try:
                         results[job.key] = fut.result()
+                        done_event(job)
                         continue
                     except BrokenProcessPool as exc:
                         pool_broken = True
@@ -312,6 +339,11 @@ class PoolSupervisor:
                     for fut, job in hung:
                         inflight.pop(fut)
                         started.pop(fut, None)
+                        if elog.enabled:
+                            elog.emit(ev.JobTimedOut(
+                                label=job.label,
+                                timeout=self.job_timeout,
+                            ))
                         fail(job, TimeoutError(
                             f"job exceeded {self.job_timeout:.1f}s "
                             f"wall-clock timeout"
@@ -348,13 +380,22 @@ def run_serial_with_retries(
         None, max_retries, backoff_base
     )
     results: Dict = {}
+    elog = ev.active()
     for job in jobs:
         while True:
             try:
                 results[job.key] = fn(job.build_args(job.attempt))
+                if elog.enabled:
+                    elog.emit(ev.JobCompleted(label=job.label))
                 break
             except RETRYABLE_EXCEPTIONS as exc:
                 health.record_failure(job.label, exc)
+                if elog.enabled:
+                    elog.emit(ev.JobFailed(
+                        label=job.label,
+                        error=type(exc).__name__,
+                        attempt=job.attempt,
+                    ))
                 job.attempt += 1
                 if job.attempt > max_retries:
                     raise SuiteExecutionError(
@@ -364,5 +405,9 @@ def run_serial_with_retries(
                 health.retries += 1
                 delay = backoff_base * (2 ** (job.attempt - 1))
                 health.backoff_seconds += delay
+                if elog.enabled:
+                    elog.emit(ev.JobRetried(
+                        label=job.label, attempt=job.attempt, delay=delay,
+                    ))
                 time.sleep(delay)
     return results

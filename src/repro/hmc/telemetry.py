@@ -9,9 +9,10 @@ kind of insight HMC-Sim exposes and the paper uses to attribute savings
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
+
+from repro.common.stats import percentile as _percentile
 
 
 @dataclass(frozen=True)
@@ -36,13 +37,6 @@ class PacketRecord:
             self.link_wait + self.route + self.vault_wait
             + self.dram + self.response
         )
-
-
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    if not sorted_values:
-        return 0.0
-    idx = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
-    return float(sorted_values[idx])
 
 
 class Telemetry:

@@ -1,0 +1,206 @@
+"""Regression attribution between two ledger records.
+
+``repro diff <run-a> <run-b>`` answers "the numbers moved — where?".
+For every (benchmark, arm) label present in both records it:
+
+* compares the deterministic headline metrics (runtime cycles, mean
+  memory latency, ...) — these gate CI: diffing a run against itself is
+  exactly zero, and the CLI exits nonzero when the worst relative
+  regression exceeds ``--threshold``;
+* attributes the end-to-end mean-latency delta to per-stage deltas when
+  both records carry span digests. Stage means partition the end-to-end
+  mean (see :func:`repro.ledger.span_digest`), so the per-stage deltas
+  **sum exactly to the end-to-end delta** — attribution is an identity,
+  not an estimate. Stages are ranked by contribution magnitude;
+* ranks probe-counter movement when both records carry telemetry
+  digests, surfacing *which* mechanism moved (MAQ merges, bank
+  conflicts, bypasses) behind a latency shift;
+* reports wall-clock/throughput movement informationally only — shared
+  machines are too noisy to gate on, and the deterministic metrics
+  already capture every simulated consequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["DiffReport", "diff_runs"]
+
+#: Headline metrics compared per label; all are lower-is-better, so a
+#: positive relative delta is a regression.
+GATE_METRICS = (
+    "runtime_cycles",
+    "mean_memory_latency_cycles",
+    "stall_cycles",
+    "bank_conflicts",
+    "transaction_bytes",
+)
+
+
+def _relative(a: float, b: float) -> float:
+    if a == 0:
+        return 0.0 if b == 0 else float("inf")
+    return (b - a) / a
+
+
+@dataclass
+class DiffReport:
+    """Everything one ``repro diff`` invocation computed (JSON-safe)."""
+
+    run_a: str
+    run_b: str
+    warnings: List[str] = field(default_factory=list)
+    #: ``[{label, metric, a, b, delta, relative}]`` gate metrics.
+    metrics: List[Dict] = field(default_factory=list)
+    #: ``[{label, e2e_delta, stages: [{stage, a, b, delta, contribution}]}]``
+    attribution: List[Dict] = field(default_factory=list)
+    #: ``[{label, counter, a, b, delta}]`` ranked by magnitude.
+    counters: List[Dict] = field(default_factory=list)
+    #: Informational wall-clock movement.
+    envelope: Dict = field(default_factory=dict)
+
+    @property
+    def max_regression(self) -> float:
+        """Worst relative worsening across the gate metrics (0 when
+        nothing regressed — improvements never trip the gate)."""
+        worst = 0.0
+        for row in self.metrics:
+            rel = row["relative"]
+            if rel > worst:
+                worst = rel
+        for entry in self.attribution:
+            e2e = entry["e2e"]
+            rel = _relative(e2e["a"], e2e["b"])
+            if rel > worst:
+                worst = rel
+        return worst
+
+    def as_dict(self) -> Dict:
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "warnings": self.warnings,
+            "metrics": self.metrics,
+            "attribution": self.attribution,
+            "counters": self.counters,
+            "envelope": self.envelope,
+            "max_regression": self.max_regression,
+        }
+
+
+def diff_runs(a: Dict, b: Dict) -> DiffReport:
+    """Compare two ledger record dicts (see :func:`repro.ledger.load_run`)."""
+    report = DiffReport(
+        run_a=a.get("run_id", "?"), run_b=b.get("run_id", "?")
+    )
+    for key, name in (
+        ("config_hash", "config"),
+        ("code_fingerprint", "code"),
+        ("n_accesses", "n_accesses"),
+        ("seed", "seed"),
+        ("device", "device"),
+    ):
+        if a.get(key) != b.get(key):
+            report.warnings.append(
+                f"{name} differs: {a.get(key)!r} vs {b.get(key)!r}"
+            )
+
+    metrics_a = a.get("metrics", {}) or {}
+    metrics_b = b.get("metrics", {}) or {}
+    shared = sorted(set(metrics_a) & set(metrics_b))
+    only_a = sorted(set(metrics_a) - set(metrics_b))
+    only_b = sorted(set(metrics_b) - set(metrics_a))
+    if only_a:
+        report.warnings.append(f"only in {report.run_a}: {', '.join(only_a)}")
+    if only_b:
+        report.warnings.append(f"only in {report.run_b}: {', '.join(only_b)}")
+
+    for label in shared:
+        row_a, row_b = metrics_a[label], metrics_b[label]
+        for metric in GATE_METRICS:
+            if metric not in row_a or metric not in row_b:
+                continue
+            va, vb = float(row_a[metric]), float(row_b[metric])
+            report.metrics.append(
+                {
+                    "label": label,
+                    "metric": metric,
+                    "a": va,
+                    "b": vb,
+                    "delta": vb - va,
+                    "relative": _relative(va, vb),
+                }
+            )
+
+    # -- span-stage attribution ----------------------------------------
+    stages_a = a.get("stages", {}) or {}
+    stages_b = b.get("stages", {}) or {}
+    for label in sorted(set(stages_a) & set(stages_b)):
+        dig_a, dig_b = stages_a[label], stages_b[label]
+        e2e_a = float(dig_a["end_to_end"]["mean"])
+        e2e_b = float(dig_b["end_to_end"]["mean"])
+        e2e_delta = e2e_b - e2e_a
+        rows: List[Dict] = []
+        for stage in sorted(set(dig_a["stages"]) | set(dig_b["stages"])):
+            sa = float(dig_a["stages"].get(stage, {}).get("mean", 0.0))
+            sb = float(dig_b["stages"].get(stage, {}).get("mean", 0.0))
+            delta = sb - sa
+            rows.append(
+                {
+                    "stage": stage,
+                    "a": sa,
+                    "b": sb,
+                    "delta": delta,
+                    # Fraction of the end-to-end movement this stage
+                    # explains; the fractions sum to 1 (identity, not
+                    # estimate) whenever the end-to-end mean moved.
+                    "contribution": (
+                        delta / e2e_delta if e2e_delta else 0.0
+                    ),
+                }
+            )
+        rows.sort(key=lambda r: (-abs(r["delta"]), r["stage"]))
+        report.attribution.append(
+            {
+                "label": label,
+                "e2e": {"a": e2e_a, "b": e2e_b, "delta": e2e_delta},
+                "stages": rows,
+            }
+        )
+
+    # -- probe-counter movement ----------------------------------------
+    counters_a = a.get("counters", {}) or {}
+    counters_b = b.get("counters", {}) or {}
+    for label in sorted(set(counters_a) & set(counters_b)):
+        ca = counters_a[label].get("counters", {})
+        cb = counters_b[label].get("counters", {})
+        for name in sorted(set(ca) | set(cb)):
+            va = float(ca.get(name, 0.0))
+            vb = float(cb.get(name, 0.0))
+            if va == vb:
+                continue
+            report.counters.append(
+                {
+                    "label": label,
+                    "counter": name,
+                    "a": va,
+                    "b": vb,
+                    "delta": vb - va,
+                }
+            )
+    report.counters.sort(
+        key=lambda r: (-abs(r["delta"]), r["label"], r["counter"])
+    )
+
+    report.envelope = {
+        "wall_seconds": {
+            "a": a.get("wall_seconds", 0.0),
+            "b": b.get("wall_seconds", 0.0),
+        },
+        "throughput": {
+            "a": a.get("throughput", 0.0),
+            "b": b.get("throughput", 0.0),
+        },
+    }
+    return report

@@ -15,9 +15,9 @@ into the answers an optimization pass actually needs:
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
+from repro.common.stats import percentile as _percentile
 from repro.telemetry.spans import STAGES, SpanTrace
 
 __all__ = [
@@ -29,17 +29,6 @@ __all__ = [
 ]
 
 PERCENTILES = (0.50, 0.95, 0.99)
-
-
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile over a pre-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    idx = min(
-        len(sorted_values) - 1,
-        max(0, math.ceil(q * len(sorted_values)) - 1),
-    )
-    return float(sorted_values[idx])
 
 
 def stage_breakdown(trace: SpanTrace) -> Dict[str, Dict[str, float]]:

@@ -33,12 +33,25 @@ def record_health(registry: TelemetryRegistry, health) -> TelemetryRegistry:
     ``health.failures``, ``health.shm_leaks``); the booleans
     ``health.healthy`` / ``health.degraded`` / ``health.faults_enabled``
     export as 0/1 gauges.
+
+    Recording replaces rather than accumulates: any prior ``health.*``
+    gauges are dropped first, so folding the same (or an updated) health
+    report twice leaves one observation per gauge instead of skewing the
+    gauge means. Missing or ``None`` fields — older pickled reports, or
+    bare dict-alikes from tests — record as 0.
     """
     d = health.as_dict()
+    gauges = getattr(registry, "gauges", None)
+    if gauges is not None:
+        for name in [n for n in gauges if n.startswith("health.")]:
+            del gauges[name]
     for name in _GAUGE_FIELDS:
-        registry.gauge(f"health.{name}").observe(0, float(d[name]))
+        value = d.get(name)
+        registry.gauge(f"health.{name}").observe(
+            0, float(value) if value is not None else 0.0
+        )
     for name in ("degradations", "failures", "shm_leaks"):
-        registry.gauge(f"health.{name}").observe(0, float(len(d[name])))
+        registry.gauge(f"health.{name}").observe(0, float(len(d.get(name) or ())))
     for name in ("healthy", "degraded", "faults_enabled"):
-        registry.gauge(f"health.{name}").observe(0, float(bool(d[name])))
+        registry.gauge(f"health.{name}").observe(0, float(bool(d.get(name))))
     return registry

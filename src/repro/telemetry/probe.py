@@ -35,8 +35,9 @@ view; probe names join with ``.`` (e.g. ``pac.maq.occupancy``).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.stats import dist_percentile as _dist_percentile
 
 __all__ = [
     "CounterProbe",
@@ -47,22 +48,6 @@ __all__ = [
     "TelemetryRegistry",
     "TelemetryScope",
 ]
-
-
-def _dist_percentile(dist: Dict, count: int, q: float) -> float:
-    """Nearest-rank percentile over a value->count distribution."""
-    if not count:
-        return 0.0
-    if not 0.0 <= q <= 1.0:
-        raise ValueError("q must be in [0, 1]")
-    rank = max(1, min(count, math.ceil(q * count)))
-    seen = 0
-    value = 0.0
-    for value, n in sorted(dist.items()):
-        seen += n
-        if seen >= rank:
-            return float(value)
-    return float(value)
 
 
 class CounterProbe:

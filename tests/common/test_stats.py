@@ -2,7 +2,50 @@
 
 import pytest
 
-from repro.common.stats import Accumulator, Counter, Histogram, StatsRegistry
+from repro.common.stats import (
+    Accumulator,
+    Counter,
+    Histogram,
+    StatsRegistry,
+    dist_percentile,
+    percentile,
+)
+
+
+class TestPercentile:
+    """The one nearest-rank percentile shared by spans/probes/HMC."""
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.95) == 10.0
+        assert percentile(values, 0.99) == 10.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_q_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            dist_percentile({1.0: 1}, 1, -0.1)
+
+    def test_dist_matches_expanded_list(self):
+        dist = {1.0: 3, 5.0: 5, 9.0: 2}
+        expanded = sorted(
+            v for value, n in dist.items() for v in [value] * n
+        )
+        count = sum(dist.values())
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 1.0):
+            assert dist_percentile(dist, count, q) == percentile(expanded, q)
+
+    def test_dist_empty_is_zero(self):
+        assert dist_percentile({}, 0, 0.5) == 0.0
 
 
 class TestCounter:

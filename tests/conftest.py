@@ -36,6 +36,52 @@ def _isolated_fault_state(monkeypatch):
     reset_active()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_observability_state(monkeypatch):
+    """Keep the event log and run ledger off and stateless between tests.
+
+    Mirrors ``_isolated_fault_state`` for the observability globals:
+    clears ``$REPRO_EVENTS`` / ``$REPRO_LEDGER_DIR`` and resets the
+    process-global event log before and after each test, so a test that
+    installs an ``EventLog`` (or sets the env vars) can never leak event
+    emission — or ledger writes — into its neighbours.
+    """
+    from repro.telemetry import events as ev
+
+    monkeypatch.delenv("REPRO_EVENTS", raising=False)
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+    ev.reset_active()
+    yield
+    ev.reset_active()
+
+
+@pytest.fixture(autouse=True)
+def _no_stray_observability_files():
+    """Fail any test that drops event-log/ledger files outside tmp_path.
+
+    An accidental relative ``EventLog("events.jsonl")`` or
+    ``REPRO_LEDGER_DIR=ledger`` lands in the process CWD — the repo
+    checkout under pytest. Snapshot the CWD before/after and fail on new
+    JSONL logs or ledger records so the pollution is caught at the test
+    that caused it, not at the next ``git status``.
+    """
+    cwd = Path.cwd()
+
+    def _snapshot() -> set:
+        return {
+            p.name
+            for pattern in ("*.jsonl", "run-*.json", "ledger")
+            for p in cwd.glob(pattern)
+        }
+
+    before = _snapshot()
+    yield
+    stray = _snapshot() - before
+    assert not stray, (
+        f"test left stray event-log/ledger file(s) in {cwd}: {sorted(stray)}"
+    )
+
+
 _SHM_ROOT = Path("/dev/shm")
 
 

@@ -1,0 +1,82 @@
+"""Tests for :func:`repro.telemetry.health.record_health` edge cases."""
+
+from __future__ import annotations
+
+from repro.engine.health import RunHealth
+from repro.telemetry.health import record_health
+from repro.telemetry.probe import NULL_TELEMETRY, TelemetryRegistry
+
+
+class _DictHealth:
+    """Bare dict-alike standing in for an older/partial health report."""
+
+    def __init__(self, d):
+        self._d = d
+
+    def as_dict(self):
+        return dict(self._d)
+
+
+class TestRecordHealth:
+    def test_full_report_exports_all_gauges(self):
+        health = RunHealth(jobs=6, completed=6, retries=1)
+        health.degradations.append("shm->per-job:gs")
+        reg = record_health(TelemetryRegistry(), health)
+        assert reg.gauge("health.jobs").mean == 6.0
+        assert reg.gauge("health.retries").mean == 1.0
+        assert reg.gauge("health.degradations").mean == 1.0
+        assert reg.gauge("health.healthy").mean == 1.0
+        assert reg.gauge("health.degraded").mean == 1.0
+
+    def test_empty_registry_and_default_health(self):
+        reg = record_health(TelemetryRegistry(), RunHealth())
+        # a zero-job run is vacuously healthy; everything else is 0
+        assert reg.gauge("health.jobs").mean == 0.0
+        assert reg.gauge("health.healthy").mean == 1.0
+        assert reg.gauge("health.failures").mean == 0.0
+
+    def test_missing_fields_record_as_zero(self):
+        health = _DictHealth({"jobs": 3, "completed": 3})
+        reg = record_health(TelemetryRegistry(), health)
+        assert reg.gauge("health.jobs").mean == 3.0
+        assert reg.gauge("health.retries").mean == 0.0
+        assert reg.gauge("health.shm_leaks").mean == 0.0
+        assert reg.gauge("health.healthy").mean == 0.0
+
+    def test_none_fields_record_as_zero(self):
+        health = _DictHealth(
+            {"jobs": None, "wall_seconds": None, "failures": None,
+             "healthy": None}
+        )
+        reg = record_health(TelemetryRegistry(), health)
+        assert reg.gauge("health.jobs").mean == 0.0
+        assert reg.gauge("health.wall_seconds").mean == 0.0
+        assert reg.gauge("health.failures").mean == 0.0
+        assert reg.gauge("health.healthy").mean == 0.0
+
+    def test_repeated_recording_is_idempotent(self):
+        reg = TelemetryRegistry()
+        health = RunHealth(jobs=4, completed=4)
+        record_health(reg, health)
+        record_health(reg, health)
+        gauge = reg.gauge("health.jobs")
+        # one observation per gauge, not one per recording
+        assert gauge.count == 1
+        assert gauge.mean == 4.0
+
+    def test_rerecording_updated_health_replaces_values(self):
+        reg = TelemetryRegistry()
+        record_health(reg, RunHealth(jobs=4, completed=2))
+        record_health(reg, RunHealth(jobs=4, completed=4))
+        assert reg.gauge("health.completed").mean == 4.0
+        assert reg.gauge("health.healthy").mean == 1.0
+
+    def test_rerecording_preserves_non_health_gauges(self):
+        reg = TelemetryRegistry()
+        reg.gauge("pac.maq.occupancy").observe(0, 7.0)
+        record_health(reg, RunHealth())
+        record_health(reg, RunHealth())
+        assert reg.gauge("pac.maq.occupancy").count == 1
+
+    def test_null_registry_is_accepted(self):
+        assert record_health(NULL_TELEMETRY, RunHealth()) is NULL_TELEMETRY

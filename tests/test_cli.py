@@ -173,3 +173,131 @@ class TestSpansCommand:
     def test_bad_sample_rate_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["spans", "gs", "--sample-rate", "0", "--accesses", "500"])
+
+
+class TestObservabilityCommands:
+    """``--events`` / ``--ledger`` globals plus runs/diff/events."""
+
+    def _record_twice(self, tmp_path, monkeypatch, capsys):
+        """Two identical ledgered compares; returns (ledger_dir, ids)."""
+        ledger_dir = tmp_path / "ledger"
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(ledger_dir))
+        for _ in range(2):
+            assert main(
+                ["--accesses", "2000", "--ledger", str(ledger_dir),
+                 "compare", "stream", "--spans"]
+            ) == 0
+        capsys.readouterr()
+        ids = sorted(
+            p.stem[len("run-"):] for p in ledger_dir.glob("run-*.json")
+        )
+        assert len(ids) == 2
+        return ledger_dir, ids
+
+    def test_compare_json(self, capsys):
+        assert main(["--accesses", "2000", "compare", "stream", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"none", "dmc", "pac"}
+        assert doc["pac"]["runtime_cycles"] > 0
+
+    def test_suite_json(self, capsys):
+        assert main(
+            ["--accesses", "500", "--jobs", "2", "suite", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert all("/" in label for label in doc)
+        assert all(v["runtime_cycles"] > 0 for v in doc.values())
+
+    def test_events_flag_writes_validatable_log(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        path = tmp_path / "ev.jsonl"
+        monkeypatch.setenv("REPRO_EVENTS", str(path))
+        assert main(
+            ["--accesses", "2000", "--events", str(path), "run", "gs"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["events", str(path), "--validate"]) == 0
+        assert "schema valid" in capsys.readouterr().out
+
+    def test_events_table_and_json(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "ev.jsonl"
+        monkeypatch.setenv("REPRO_EVENTS", str(path))
+        assert main(
+            ["--accesses", "2000", "--events", str(path), "run", "gs"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["events", str(path), "--kind", "run"]) == 0
+        out = capsys.readouterr().out
+        assert "run.start" in out and "run.end" in out
+        assert main(["events", str(path), "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert all("kind" in d for d in docs)
+
+    def test_events_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["events", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_runs_list_and_show(self, tmp_path, monkeypatch, capsys):
+        ledger_dir, ids = self._record_twice(tmp_path, monkeypatch, capsys)
+        assert main(["runs", "--dir", str(ledger_dir)]) == 0
+        out = capsys.readouterr().out
+        for run_id in ids:
+            assert run_id in out
+        assert main(["runs", "show", ids[0], "--dir", str(ledger_dir)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["run_id"] == ids[0]
+        assert doc["kind"] == "compare"
+
+    def test_runs_json(self, tmp_path, monkeypatch, capsys):
+        ledger_dir, ids = self._record_twice(tmp_path, monkeypatch, capsys)
+        assert main(["runs", "--dir", str(ledger_dir), "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [d["run_id"] for d in docs] == ids
+
+    def test_runs_show_unknown_exits_1(self, tmp_path, capsys):
+        (tmp_path / "ledger").mkdir()
+        assert main(
+            ["runs", "show", "zzz", "--dir", str(tmp_path / "ledger")]
+        ) == 1
+
+    def test_diff_self_is_gated_green(self, tmp_path, monkeypatch, capsys):
+        ledger_dir, ids = self._record_twice(tmp_path, monkeypatch, capsys)
+        assert main(
+            ["diff", "--dir", str(ledger_dir), ids[0], ids[1],
+             "--threshold", "0.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max relative regression" in out
+
+    def test_diff_json_reports_zero_regression(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        ledger_dir, ids = self._record_twice(tmp_path, monkeypatch, capsys)
+        assert main(
+            ["diff", "--dir", str(ledger_dir), ids[0], ids[1], "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["max_regression"] == 0.0
+        assert doc["run_a"] == ids[0] and doc["run_b"] == ids[1]
+
+    def test_diff_threshold_gates_regressions(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        ledger_dir, ids = self._record_twice(tmp_path, monkeypatch, capsys)
+        # hand-craft a regressed copy of the second record
+        path_b = sorted(ledger_dir.glob("run-*.json"))[1]
+        doc = json.loads(path_b.read_text())
+        for label in doc["metrics"]:
+            doc["metrics"][label]["runtime_cycles"] *= 1.5
+        regressed = tmp_path / "run-regressed.json"
+        regressed.write_text(json.dumps(doc))
+        assert main(
+            ["diff", "--dir", str(ledger_dir), ids[0], str(regressed),
+             "--threshold", "0.1"]
+        ) == 1
+
+    def test_diff_unknown_run_exits_2(self, tmp_path, capsys):
+        (tmp_path / "ledger").mkdir()
+        assert main(
+            ["diff", "--dir", str(tmp_path / "ledger"), "aaa", "bbb"]
+        ) == 2
