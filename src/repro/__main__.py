@@ -338,6 +338,11 @@ def main(argv=None) -> int:
         "--max-regression", type=float, default=0.30, dest="max_regression",
         help="allowed fractional throughput drop vs baseline (default 0.30)",
     )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each pipeline stage instead of timing: top-20 "
+             "cumulative hotspots per stage, PROFILE_<name>.json + table",
+    )
 
     p_health = sub.add_parser(
         "health",
@@ -888,6 +893,20 @@ def main(argv=None) -> int:
             overrides["seed"] = args.seed
         if overrides:
             cfg = replace(cfg, **overrides)
+        if args.profile:
+            import json as _json
+
+            from repro.bench import render_profile, run_profile
+
+            name = args.name or "profile"
+            profile = run_profile(cfg, name=name, progress=print)
+            print(render_profile(profile))
+            out = args.out or f"PROFILE_{name}.json"
+            with open(out, "w") as fh:
+                _json.dump(profile.as_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {out}")
+            return 0
         name = args.name or ("quick" if args.quick else "main")
         report = run_bench(cfg, name=name, progress=print)
         print(render_report(report))

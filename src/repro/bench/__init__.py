@@ -23,6 +23,13 @@ from repro.bench.harness import (
     Timing,
     run_bench,
 )
+from repro.bench.profiler import (
+    ProfileReport,
+    StageProfile,
+    profile_benchmark,
+    render_profile,
+    run_profile,
+)
 from repro.bench.report import (
     RegressionError,
     check_regression,
@@ -36,12 +43,17 @@ __all__ = [
     "BenchConfig",
     "BenchReport",
     "PhaseTimes",
+    "ProfileReport",
     "RegressionError",
+    "StageProfile",
     "StageTimes",
     "Timing",
     "check_regression",
     "compare_reports",
+    "profile_benchmark",
+    "render_profile",
     "render_report",
     "run_bench",
+    "run_profile",
     "write_report",
 ]

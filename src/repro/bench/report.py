@@ -28,9 +28,12 @@ def write_report(report: BenchReport, path: Union[str, Path]) -> Path:
 
 
 #: Accepted report schemas. v2 added the ``suite`` section (two-phase
-#: pipeline + artifact-cache measurements); the totals/end_to_end shape
-#: the gate reads is unchanged, so v1 baselines still load.
-_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+#: pipeline + artifact-cache measurements); v3 added per-engine
+#: coalescer stage timings, ``totals.fraction_of_end_to_end``, and
+#: ``totals.coalescer_stage_speedup``. The totals/end_to_end shape the
+#: throughput gate reads is unchanged, so older baselines still load
+#: (the stage gate simply skips baselines that predate the field).
+_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
 
 
 def load_report_dict(path: Union[str, Path]) -> Dict:
@@ -94,7 +97,15 @@ def render_report(report: BenchReport) -> str:
             f"{name} {t.seconds * 1e3:.0f}ms ({_fmt_rate(t.items_per_second)})"
             for name, t in stages.timings.items()
         )
+        if stages.coalescer_speedup:
+            parts += f" — engine {stages.coalescer_speedup:.2f}x"
         lines.append(f"  [{bench} stages] {parts}")
+    if report.coalescer_stage_speedup:
+        lines.append(
+            f"  [engine] batched coalescer kernel: "
+            f"{report.coalescer_stage_speedup:.2f}x aggregate over the "
+            f"reference pipeline (isolated stage, min-of-N)"
+        )
     suite = report.suite
     if suite is not None and suite.legacy is not None:
         warm_s = suite.warm.seconds if suite.warm else 0.0
@@ -127,17 +138,27 @@ def compare_reports(
     """Throughput comparison of ``current`` vs a baseline report dict.
 
     Returns ``{"current_rps", "baseline_rps", "speedup"}`` where speedup
-    > 1 means the current code is faster.
+    > 1 means the current code is faster. When both reports carry the
+    v3 ``totals.coalescer_stage_speedup`` field, the pair is included
+    as ``current_stage_speedup``/``baseline_stage_speedup`` — a
+    machine-relative ratio (reference over batched on the *same* host),
+    so it compares cleanly across hosts where raw req/s does not.
     """
     if isinstance(current, BenchReport):
         current = current.as_dict()
     cur = current["totals"]["requests_per_second"]
     base = baseline["totals"]["requests_per_second"]
-    return {
+    out = {
         "current_rps": cur,
         "baseline_rps": base,
         "speedup": (cur / base) if base else float("inf"),
     }
+    cur_stage = current["totals"].get("coalescer_stage_speedup", 0.0)
+    base_stage = baseline["totals"].get("coalescer_stage_speedup", 0.0)
+    if cur_stage and base_stage:
+        out["current_stage_speedup"] = cur_stage
+        out["baseline_stage_speedup"] = base_stage
+    return out
 
 
 def check_regression(
@@ -145,8 +166,20 @@ def check_regression(
     baseline_path: Union[str, Path],
     max_regression: float = 0.30,
 ) -> Dict[str, float]:
-    """Fail (raise :class:`RegressionError`) when the current aggregate
-    throughput is more than ``max_regression`` below the baseline's."""
+    """Fail (raise :class:`RegressionError`) when the current run
+    regresses more than ``max_regression`` below the baseline.
+
+    Two gates run from one comparison:
+
+    * **end-to-end throughput** — ``totals.requests_per_second`` must
+      stay above ``(1 - max_regression)`` of the baseline's;
+    * **coalescer-stage engine speedup** — when both reports carry
+      ``totals.coalescer_stage_speedup`` (schema v3), the batched
+      kernel's advantage over the reference pipeline must likewise stay
+      above ``(1 - max_regression)`` of the baseline ratio. Being a
+      same-host ratio, this gate is insensitive to absolute machine
+      speed and catches regressions that hide inside a faster host.
+    """
     baseline = load_report_dict(baseline_path)
     cmp = compare_reports(current, baseline)
     floor = 1.0 - max_regression
@@ -157,4 +190,13 @@ def check_regression(
             f"{cmp['baseline_rps']:,.0f} req/s "
             f"({cmp['speedup']:.2f}x, floor {floor:.2f}x of {baseline_path})"
         )
+    if "current_stage_speedup" in cmp:
+        ratio = cmp["current_stage_speedup"] / cmp["baseline_stage_speedup"]
+        if ratio < floor:
+            raise RegressionError(
+                f"coalescer-stage engine speedup regressed: "
+                f"{cmp['current_stage_speedup']:.2f}x vs baseline "
+                f"{cmp['baseline_stage_speedup']:.2f}x "
+                f"({ratio:.2f}x, floor {floor:.2f}x of {baseline_path})"
+            )
     return cmp

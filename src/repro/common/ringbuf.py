@@ -1,0 +1,126 @@
+"""Preallocated ring buffer with :class:`~repro.common.fifo.BoundedFIFO`
+semantics.
+
+The batched coalescer kernel (:mod:`repro.core.pac_batched`) replaces the
+MAQ's deque-backed FIFO with this structure: a fixed slot array plus two
+integer cursors, so push/pop never allocate and the head peek is a plain
+index. The API mirrors :class:`BoundedFIFO` exactly (same exceptions,
+same ``peak_occupancy``/``total_pushed`` bookkeeping) — the hypothesis
+property suite in ``tests/common/test_ringbuf_property.py`` drives both
+through arbitrary interleavings and asserts lock-step equivalence, which
+is what lets the batched engine swap it in without touching the MAQ's
+observable accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, TypeVar
+
+from repro.common.fifo import QueueEmptyError, QueueFullError
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """Fixed-capacity FIFO over a preallocated slot array.
+
+    Unlike :class:`BoundedFIFO`, capacity is mandatory: the whole point
+    is the preallocated array, which an unbounded buffer cannot have.
+    """
+
+    __slots__ = (
+        "_buf", "_capacity", "_head", "_count", "name",
+        "peak_occupancy", "total_pushed",
+    )
+
+    def __init__(self, capacity: int, name: str = "ring") -> None:
+        if capacity is None or capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._buf: List[Optional[T]] = [None] * capacity
+        self._capacity = capacity
+        self._head = 0
+        self._count = 0
+        self.name = name
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __iter__(self) -> Iterator[T]:
+        buf, cap, head = self._buf, self._capacity, self._head
+        for i in range(self._count):
+            yield buf[(head + i) % cap]
+
+    @property
+    def empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self._capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self._capacity - self._count
+
+    def push(self, item: T) -> None:
+        count = self._count
+        if count >= self._capacity:
+            raise QueueFullError(
+                f"{self.name}: push into full queue (cap={self._capacity})"
+            )
+        self._buf[(self._head + count) % self._capacity] = item
+        count += 1
+        self._count = count
+        self.total_pushed += 1
+        if count > self.peak_occupancy:
+            self.peak_occupancy = count
+
+    def try_push(self, item: T) -> bool:
+        """Push if space is available; return whether the push happened."""
+        if self._count >= self._capacity:
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        if not self._count:
+            raise QueueEmptyError(f"{self.name}: pop from empty queue")
+        head = self._head
+        item = self._buf[head]
+        self._buf[head] = None  # release the reference
+        self._head = (head + 1) % self._capacity
+        self._count -= 1
+        return item
+
+    def try_pop(self) -> Optional[T]:
+        if not self._count:
+            return None
+        return self.pop()
+
+    def peek(self) -> T:
+        if not self._count:
+            raise QueueEmptyError(f"{self.name}: peek at empty queue")
+        return self._buf[self._head]
+
+    def drain(self) -> Iterator[T]:
+        """Pop everything, yielding in FIFO order."""
+        while self._count:
+            yield self.pop()
+
+    def clear(self) -> None:
+        buf = self._buf
+        cap = self._capacity
+        head = self._head
+        for i in range(self._count):
+            buf[(head + i) % cap] = None
+        self._head = 0
+        self._count = 0

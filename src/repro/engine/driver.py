@@ -56,6 +56,7 @@ def run_benchmark(
     spans=False,
     faults=None,
     events=None,
+    engine: str = "auto",
 ) -> RunResult:
     """Run one benchmark through one coalescer configuration.
 
@@ -75,7 +76,12 @@ def run_benchmark(
     structured event log (:mod:`repro.telemetry.events`): ``None``
     keeps whatever is active (including a ``$REPRO_EVENTS`` sink), a
     path or :class:`~repro.telemetry.events.EventLog` installs one for
-    the call, ``False`` force-disables.
+    the call, ``False`` force-disables. ``engine`` selects the coalescer
+    execution path: ``"reference"`` (the per-request object pipeline),
+    ``"batched"`` (the bit-identical array-backed kernel, PAC-only), or
+    ``"auto"`` (default; batched when applicable, demoting to reference
+    — with a ``demote`` event — when telemetry, spans, a non-PAC arm,
+    or active fault injection make the batched path inapplicable).
     """
     with ev.installed(ev.resolve_events(events)) as log, _fault_scope(faults):
         if log.enabled:
@@ -91,6 +97,7 @@ def run_benchmark(
             fine_grain=fine_grain,
             telemetry=telemetry,
             spans=spans,
+            engine=engine,
         )
         result = system.run(
             benchmark, n_accesses, seed=seed,
@@ -122,6 +129,7 @@ def run_comparison(
     use_artifact_cache: bool = True,
     faults=None,
     events=None,
+    engine: str = "auto",
 ) -> Dict[CoalescerKind, RunResult]:
     """Run the same trace through several coalescer configurations.
 
@@ -136,7 +144,9 @@ def run_comparison(
     probe facility is on, each arm runs end-to-end so its registry /
     recorder observes its own cache pass. ``faults`` installs a
     process-scoped fault injector for the duration of the comparison
-    (the artifact-store sites are live on the cached path).
+    (the artifact-store sites are live on the cached path). ``engine``
+    applies per arm (:meth:`System.arm_engine`): ``"batched"`` pins the
+    PAC arms to the fast kernel while non-PAC arms resolve ``"auto"``.
     """
     out: Dict[CoalescerKind, RunResult] = {}
     with ev.installed(ev.resolve_events(events)) as log, _fault_scope(faults):
@@ -153,11 +163,11 @@ def run_comparison(
                     telemetry=bool(telemetry),
                     spans=spans if isinstance(spans, (bool, int)) else bool(spans),
                     faults=False,  # the comparison-wide scope is installed
+                    engine=System.arm_engine(kind, engine),
                 )
             return out
 
         from repro.artifacts import load_or_compute_trace_pass
-        from repro.engine.system import System
 
         tp = load_or_compute_trace_pass(
             benchmark,
@@ -175,7 +185,10 @@ def run_comparison(
                     benchmark=benchmark, coalescer=kind.value,
                     n_accesses=n_accesses, seed=seed, device=device,
                 ))
-            system = System(config=config, coalescer=kind, device=device)
+            system = System(
+                config=config, coalescer=kind, device=device,
+                engine=System.arm_engine(kind, engine),
+            )
             result = system.run_raw(
                 requests,
                 benchmark=tp.benchmark,
@@ -208,6 +221,7 @@ def run_suite(
     spans=False,
     faults=None,
     events=None,
+    engine: str = "auto",
 ) -> Dict[str, RunResult]:
     """Run every benchmark through one coalescer configuration.
 
@@ -235,6 +249,7 @@ def run_suite(
                 telemetry=telemetry,
                 spans=spans,
                 faults=False,  # the suite-wide scope is installed
+                engine=engine,
             )
             for name in benchmarks
         }

@@ -139,8 +139,11 @@ def _job_cost(benchmark: str, kind_value: str) -> float:
 def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
     (
         benchmark, kind_value, n_accesses, config, seed, device, telemetry,
-        spans, protocol, fine_grain, scale, extra_benchmarks, fault_ctx,
+        spans, protocol, fine_grain, scale, extra_benchmarks, engine,
+        fault_ctx,
     ) = args
+    from repro.engine.system import System
+
     with job_scope(fault_ctx, "perjob.job"):
         # faults=False: the job-entry fault already fired above, and the
         # driver must not resolve $REPRO_FAULTS into a second
@@ -158,6 +161,7 @@ def _run_one(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
             fine_grain=fine_grain,
             scale=scale,
             extra_benchmarks=extra_benchmarks,
+            engine=System.arm_engine(CoalescerKind(kind_value), engine),
             faults=False,
         )
     return (benchmark, kind_value), result
@@ -227,7 +231,7 @@ def _phase2_job(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
     (
         bench_key, kind_value, payload, label, n_accesses_done,
         trace_end_cycle, cache_metrics, config, protocol, device,
-        fine_grain, fault_ctx,
+        fine_grain, engine, fault_ctx,
     ) = args
     from repro.artifacts import shm as shm_codec
     from repro.engine.system import System
@@ -237,12 +241,14 @@ def _phase2_job(args: tuple) -> Tuple[Tuple[str, str], RunResult]:
             requests = _decode_shared(payload[1], payload[2])
         else:
             requests = shm_codec.decode_requests(payload[1])
+        kind = CoalescerKind(kind_value)
         system = System(
             config=config,
-            coalescer=CoalescerKind(kind_value),
+            coalescer=kind,
             protocol=protocol,
             device=device,
             fine_grain=fine_grain,
+            engine=System.arm_engine(kind, engine),
         )
         result = system.run_raw(
             requests,
@@ -262,6 +268,7 @@ def _run_arms_serial(
     protocol,
     device: str,
     fine_grain: bool,
+    engine: str = "auto",
 ) -> Dict[Tuple[str, str], RunResult]:
     """In-process phase 2: every arm shares one decoded request list."""
     from repro.engine.system import System
@@ -269,12 +276,14 @@ def _run_arms_serial(
     requests = tp.requests()
     out: Dict[Tuple[str, str], RunResult] = {}
     for kind_value in kind_values:
+        kind = CoalescerKind(kind_value)
         system = System(
             config=config,
-            coalescer=CoalescerKind(kind_value),
+            coalescer=kind,
             protocol=protocol,
             device=device,
             fine_grain=fine_grain,
+            engine=System.arm_engine(kind, engine),
         )
         out[(bench_key, kind_value)] = system.run_raw(
             requests,
@@ -310,6 +319,7 @@ def run_suite_parallel(
     max_retries: Optional[int] = None,
     backoff_base: Optional[float] = None,
     events=None,
+    engine: str = "auto",
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run every (benchmark, kind) pair concurrently, supervised.
 
@@ -350,6 +360,16 @@ def run_suite_parallel(
     the parent; forked pool workers inherit the sink (or auto-install
     from ``$REPRO_EVENTS``) and append their own lines, distinguished
     by ``pid``.
+
+    ``engine`` forwards the coalescer execution-path knob of
+    :func:`~repro.engine.driver.run_benchmark` into every worker: each
+    PAC arm independently resolves ``"auto"`` inside its own process, so
+    a faulted worker demotes itself to the reference path (bit-identical
+    by the engine contract) while clean workers keep the batched kernel.
+    The knob applies per arm (:meth:`System.arm_engine`):
+    ``engine="batched"`` pins the PAC arms to the fast path while the
+    non-PAC arms — which have only their reference implementation —
+    resolve ``"auto"`` instead of rejecting the whole grid.
     """
     if pipeline not in ("auto", "two-phase", "per-job"):
         raise ValueError(f"unknown pipeline {pipeline!r}")
@@ -423,14 +443,14 @@ def run_suite_parallel(
                         kind_values, benchmarks, n_accesses, config, seed,
                         device, protocol, fine_grain, scale, extra_benchmarks,
                         use_artifact_cache, stats, supervisor, spec_text,
-                        health, max_retries, backoff_base,
+                        health, max_retries, backoff_base, engine,
                     )
                 else:
                     out = _run_per_job(
                         kind_values, benchmarks, n_accesses, config, seed,
                         device, telemetry, spans, protocol, fine_grain, scale,
                         extra_benchmarks, stats, supervisor, spec_text,
-                        health, max_retries, backoff_base,
+                        health, max_retries, backoff_base, engine,
                     )
         finally:
             if supervisor is not None:
@@ -470,6 +490,7 @@ def _run_two_phase(
     health: RunHealth,
     max_retries: Optional[int],
     backoff_base: Optional[float],
+    engine: str = "auto",
 ) -> Dict[Tuple[str, str], RunResult]:
     from repro.artifacts import (
         cache_enabled,
@@ -564,7 +585,7 @@ def _run_two_phase(
                 out.update(
                     _run_arms_serial(
                         passes[bench], bench, kind_values, config,
-                        protocol, device, fine_grain,
+                        protocol, device, fine_grain, engine,
                     )
                 )
         else:
@@ -603,7 +624,7 @@ def _run_two_phase(
                         bench, kind_value, payload, tp.benchmark,
                         tp.n_accesses, tp.trace_end_cycle,
                         tp.cache_metrics, config, protocol, device,
-                        fine_grain, ctx,
+                        fine_grain, engine, ctx,
                     )
                 return build
 
@@ -628,12 +649,14 @@ def _run_two_phase(
                 # the same trace pass — bit-identical by construction.
                 bench, kind_value = job.key
                 tp = passes[bench]
+                kind = CoalescerKind(kind_value)
                 system = System(
                     config=config,
-                    coalescer=CoalescerKind(kind_value),
+                    coalescer=kind,
                     protocol=protocol,
                     device=device,
                     fine_grain=fine_grain,
+                    engine=System.arm_engine(kind, engine),
                 )
                 result = system.run_raw(
                     tp.requests(),
@@ -699,6 +722,7 @@ def _run_per_job(
     health: RunHealth,
     max_retries: Optional[int],
     backoff_base: Optional[float],
+    engine: str = "auto",
 ) -> Dict[Tuple[str, str], RunResult]:
     """The pre-artifact-cache behaviour: every job runs end-to-end."""
     t0 = time.perf_counter()
@@ -718,7 +742,7 @@ def _run_per_job(
             return (
                 bench, kind_value, n_accesses, config, seed, device,
                 telemetry, spans, protocol, fine_grain, scale,
-                extra_benchmarks, ctx,
+                extra_benchmarks, engine, ctx,
             )
         return build
 

@@ -24,6 +24,7 @@ from repro.cache.hierarchy import CacheHierarchy, RawStream
 from repro.common.rng import derive_seed
 from repro.config import SimulationConfig, TABLE1
 from repro.core.pac import PagedAdaptiveCoalescer
+from repro.core.pac_batched import BatchedPagedAdaptiveCoalescer
 from repro.core.protocols import HMC2, HMC2_FINE, MemoryProtocol
 from repro.engine.results import RunResult, build_result
 from repro.hmc.device import HMCDevice
@@ -50,6 +51,10 @@ class CoalescerKind(enum.Enum):
     SORT = "sortdmc"
 
 
+#: Valid values of the ``engine=`` knob.
+ENGINES = ("auto", "reference", "batched")
+
+
 class System:
     """One simulated node: cores + caches + coalescer + 3D-stacked memory."""
 
@@ -62,10 +67,16 @@ class System:
         fine_grain: bool = False,
         telemetry=False,
         spans=False,
+        engine: str = "auto",
     ) -> None:
         self.config = config
         self.kind = coalescer
         self.fine_grain = fine_grain
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine_requested = engine
         # ``telemetry`` is False (off), True (fresh registry at the
         # default window), or a caller-supplied TelemetryRegistry (e.g.
         # with a custom window_cycles).
@@ -133,7 +144,69 @@ class System:
         self._hierarchy: Optional[CacheHierarchy] = None
         if self.telemetry is not None or self.spans is not None:
             _ = self.hierarchy
+        self.engine = self._resolve_engine(engine)
         self.coalescer = self._build_coalescer(probes, span_rec)
+
+    @staticmethod
+    def arm_engine(kind: "CoalescerKind", engine: str) -> str:
+        """Per-arm engine for a multi-arm grid.
+
+        ``engine="batched"`` names the PAC fast path; the other arms
+        have only their reference implementation, so a grid-level
+        request resolves to ``auto`` on non-PAC arms (where ``auto``
+        is always ``reference``, eventlessly) instead of rejecting the
+        whole grid. Single-arm entry points stay strict: naming the
+        arm *and* ``batched`` is a contradiction worth a ``ValueError``.
+        """
+        if engine == "batched" and kind is not CoalescerKind.PAC:
+            return "auto"
+        return engine
+
+    def _resolve_engine(self, engine: str) -> str:
+        """Resolve the requested engine to ``"reference"`` or ``"batched"``.
+
+        The batched kernel exists only for the PAC arm and skips the
+        per-cycle state that telemetry probes and span tracers observe;
+        active fault injection likewise targets the reference execution
+        path. ``auto`` demotes to the reference engine in those cases
+        (emitting a ``demote`` event when the event log is active);
+        ``batched`` raises instead of silently changing behaviour.
+        """
+        if engine == "reference":
+            return "reference"
+        if self.kind != CoalescerKind.PAC:
+            if engine == "batched":
+                raise ValueError(
+                    "engine='batched' implements only the PAC arm; "
+                    f"got coalescer={self.kind.value!r}"
+                )
+            return "reference"
+        from repro.faults import active as faults_active
+
+        blockers = []
+        if self.telemetry is not None:
+            blockers.append("telemetry")
+        if self.spans is not None:
+            blockers.append("spans")
+        if faults_active().enabled:
+            blockers.append("faults")
+        if not blockers:
+            return "batched"
+        if engine == "batched":
+            raise ValueError(
+                "engine='batched' is incompatible with "
+                f"{'+'.join(blockers)} — use engine='reference' (or "
+                "'auto' to demote automatically)"
+            )
+        from repro.telemetry import events as ev
+
+        log = ev.active()
+        if log.enabled:
+            log.emit(ev.Demoted(
+                rung="engine:batched->reference",
+                label="+".join(blockers),
+            ))
+        return "reference"
 
     @property
     def hierarchy(self) -> CacheHierarchy:
@@ -182,7 +255,12 @@ class System:
             from dataclasses import replace
 
             pac_cfg = replace(pac_cfg, fine_grain=True)
-        return PagedAdaptiveCoalescer(
+        cls = (
+            BatchedPagedAdaptiveCoalescer
+            if self.engine == "batched"
+            else PagedAdaptiveCoalescer
+        )
+        return cls(
             pac_cfg, protocol=self.protocol, probes=probes.scope("pac"),
             spans=spans,
         )

@@ -1,0 +1,127 @@
+"""Property: RingBuffer is observationally equal to BoundedFIFO.
+
+The batched coalescer kernel inlines :class:`repro.common.ringbuf.
+RingBuffer`'s slot-array representation for the MAQ, so the engine's
+bit-identity contract leans on this equivalence: any interleaving of
+pushes, pops, peeks, and drains must leave both structures with the
+same contents, the same exceptions, and the same ``peak_occupancy`` /
+``total_pushed`` accounting. Hypothesis drives both through arbitrary
+operation sequences in lock-step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.fifo import BoundedFIFO, QueueEmptyError, QueueFullError
+from repro.common.ringbuf import RingBuffer
+
+#: Operation alphabet; weights skew toward push/pop so deep occupancy
+#: states (full, empty, wrap-around) are actually reached.
+OPS = st.sampled_from(
+    ["push", "push", "push", "pop", "pop", "try_push", "try_pop",
+     "peek", "len", "drain", "clear"]
+)
+
+SETTINGS = dict(max_examples=200, deadline=None)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(OPS, min_size=0, max_size=120),
+)
+@settings(**SETTINGS)
+def test_lockstep_equivalence(capacity, ops):
+    ring: RingBuffer[int] = RingBuffer(capacity, name="x")
+    fifo: BoundedFIFO[int] = BoundedFIFO(capacity, name="x")
+    token = 0
+    for op in ops:
+        if op == "push":
+            token += 1
+            r_exc = f_exc = None
+            try:
+                ring.push(token)
+            except QueueFullError as exc:
+                r_exc = exc
+            try:
+                fifo.push(token)
+            except QueueFullError as exc:
+                f_exc = exc
+            assert (r_exc is None) == (f_exc is None)
+        elif op == "try_push":
+            token += 1
+            assert ring.try_push(token) == fifo.try_push(token)
+        elif op == "pop":
+            r_exc = f_exc = None
+            r_val = f_val = None
+            try:
+                r_val = ring.pop()
+            except QueueEmptyError as exc:
+                r_exc = exc
+            try:
+                f_val = fifo.pop()
+            except QueueEmptyError as exc:
+                f_exc = exc
+            assert (r_exc is None) == (f_exc is None)
+            assert r_val == f_val
+        elif op == "try_pop":
+            assert ring.try_pop() == fifo.try_pop()
+        elif op == "peek":
+            r_exc = f_exc = None
+            r_val = f_val = None
+            try:
+                r_val = ring.peek()
+            except QueueEmptyError as exc:
+                r_exc = exc
+            try:
+                f_val = fifo.peek()
+            except QueueEmptyError as exc:
+                f_exc = exc
+            assert (r_exc is None) == (f_exc is None)
+            assert r_val == f_val
+        elif op == "len":
+            assert len(ring) == len(fifo)
+            assert bool(ring) == bool(fifo)
+            assert ring.empty == fifo.empty
+            assert ring.full == fifo.full
+            assert ring.free_slots == fifo.free_slots
+        elif op == "drain":
+            assert list(ring.drain()) == list(fifo.drain())
+        elif op == "clear":
+            ring.clear()
+            fifo.clear()
+        # Invariants that must hold after EVERY operation, not only at
+        # the end: contents, order, and the observable accounting.
+        assert list(ring) == list(fifo)
+        assert ring.total_pushed == fifo.total_pushed
+        assert ring.peak_occupancy == fifo.peak_occupancy
+    assert list(ring.drain()) == list(fifo.drain())
+
+
+@given(capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_wraparound_preserves_fifo_order(capacity):
+    """Push/pop cycling far past capacity exercises index wrap."""
+    ring: RingBuffer[int] = RingBuffer(capacity)
+    expect = []
+    n = 0
+    for round_ in range(4 * capacity + 3):
+        while not ring.full:
+            ring.push(n)
+            expect.append(n)
+            n += 1
+        # Pop a varying amount so the head lands on every slot index.
+        for _ in range((round_ % capacity) + 1):
+            assert ring.pop() == expect.pop(0)
+        assert list(ring) == expect
+    assert list(ring.drain()) == expect
+
+
+def test_capacity_must_be_positive():
+    import pytest
+
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+    with pytest.raises(ValueError):
+        RingBuffer(None)  # unbounded is BoundedFIFO's job, not ours

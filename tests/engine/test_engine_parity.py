@@ -1,0 +1,188 @@
+"""Bit-identity contract of the batched coalescer engine.
+
+The batched kernel (:mod:`repro.core.pac_batched`) is only allowed to
+exist because it is *indistinguishable* from the reference PAC pipeline:
+every field of every :class:`~repro.engine.results.RunResult` (``health``
+excluded from ``==`` by design) must match, across every benchmark, arm,
+and protocol. This suite is the enforcement point — the perf numbers in
+``BENCH_*.json`` are only meaningful while these tests pass.
+
+The grid here intentionally trades trace length for coverage breadth:
+short traces across benchmarks × protocols × fine_grain catch divergence
+in per-op dispatch, window partitioning, MSHR merging, and drain
+ordering far more reliably than one long trace on one configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.driver import run_benchmark
+from repro.engine.system import CoalescerKind, System
+from repro.telemetry import events as ev
+
+GRID_ACCESSES = 4000
+SEED = 1234
+
+BENCHMARKS = ("gs", "stream", "bfs")
+DEVICES = ("hmc", "hbm", "ddr")
+
+
+def _run(bench, device, engine, **kw):
+    return run_benchmark(
+        bench,
+        coalescer=CoalescerKind.PAC,
+        n_accesses=GRID_ACCESSES,
+        seed=SEED,
+        device=device,
+        engine=engine,
+        faults=False,
+        **kw,
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("device", DEVICES)
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_full_runresult_equality(self, bench, device):
+        ref = _run(bench, device, "reference")
+        bat = _run(bench, device, "batched")
+        assert ref == bat
+
+    def test_fine_grain_equality(self):
+        ref = _run("gs", "hmc", "reference", fine_grain=True)
+        bat = _run("gs", "hmc", "batched", fine_grain=True)
+        assert ref == bat
+
+    def test_auto_resolves_to_batched_and_matches(self):
+        system = System(coalescer=CoalescerKind.PAC)
+        assert system.engine == "batched"
+        auto = _run("stream", "hmc", "auto")
+        ref = _run("stream", "hmc", "reference")
+        assert auto == ref
+
+    def test_issued_packets_identical(self):
+        """The packet stream itself — not just aggregates — must match.
+
+        req_ids come from a process-global counter, so both engines must
+        replay the *same* trace object to be comparable.
+        """
+        base = System(coalescer=CoalescerKind.PAC, engine="reference")
+        trace = base.build_trace(["gs"], 3000, seed=7)
+        requests = list(trace.requests())
+        ref = base.coalescer.process(list(requests), base.device)
+        bat_sys = System(coalescer=CoalescerKind.PAC, engine="batched")
+        bat = bat_sys.coalescer.process(list(requests), bat_sys.device)
+        assert len(ref.issued) == len(bat.issued)
+        for a, b in zip(ref.issued, bat.issued):
+            assert a == b
+        for reg_name in ("stats",):
+            assert (
+                getattr(base.coalescer, reg_name).as_dict()
+                == getattr(bat_sys.coalescer, reg_name).as_dict()
+            )
+
+
+class TestDispatchRules:
+    def test_reference_always_honoured(self):
+        s = System(coalescer=CoalescerKind.PAC, engine="reference")
+        assert s.engine == "reference"
+
+    @pytest.mark.parametrize("kind", [CoalescerKind.NONE, CoalescerKind.DMC])
+    def test_non_pac_auto_is_reference(self, kind):
+        s = System(coalescer=kind, engine="auto")
+        assert s.engine == "reference"
+
+    @pytest.mark.parametrize("kind", [CoalescerKind.NONE, CoalescerKind.DMC])
+    def test_non_pac_explicit_batched_rejected(self, kind):
+        with pytest.raises(ValueError, match="only the PAC arm"):
+            System(coalescer=kind, engine="batched")
+
+    @pytest.mark.parametrize(
+        "blocker_kw", [dict(telemetry=True), dict(spans=True)]
+    )
+    def test_probe_blockers_reject_explicit_batched(self, blocker_kw):
+        with pytest.raises(ValueError, match="incompatible"):
+            System(coalescer=CoalescerKind.PAC, engine="batched", **blocker_kw)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            System(coalescer=CoalescerKind.PAC, engine="vectorised")
+
+    @pytest.mark.parametrize("kind", [CoalescerKind.NONE, CoalescerKind.DMC])
+    def test_arm_engine_maps_batched_to_auto_off_pac(self, kind):
+        assert System.arm_engine(kind, "batched") == "auto"
+        assert System.arm_engine(kind, "reference") == "reference"
+        assert System.arm_engine(CoalescerKind.PAC, "batched") == "batched"
+
+
+class TestGridLevelEngine:
+    """``engine="batched"`` on multi-arm grids pins only the PAC arms.
+
+    Naming a single non-PAC System ``batched`` is a contradiction and
+    raises (``TestDispatchRules``); asking a whole comparison or suite
+    for the fast path must instead run non-PAC arms on their only
+    (reference) implementation — bit-identically to ``reference``.
+    """
+
+    def test_run_comparison_accepts_batched(self):
+        from repro.engine.driver import run_comparison
+
+        ref = run_comparison(
+            "stream", n_accesses=2000, seed=11, engine="reference",
+            use_artifact_cache=False,
+        )
+        bat = run_comparison(
+            "stream", n_accesses=2000, seed=11, engine="batched",
+            use_artifact_cache=False,
+        )
+        assert ref == bat
+
+    def test_run_suite_parallel_accepts_batched(self):
+        from repro.engine.parallel import run_suite_parallel
+
+        ref = run_suite_parallel(
+            n_accesses=1500, seed=9, benchmarks=["gs", "stream"],
+            max_workers=1, engine="reference",
+        )
+        bat = run_suite_parallel(
+            n_accesses=1500, seed=9, benchmarks=["gs", "stream"],
+            max_workers=2, engine="batched",
+        )
+        assert ref == bat
+
+
+class TestAutoDemotion:
+    def test_telemetry_demotes_and_matches_reference(self):
+        demoted = _run("gs", "hmc", "auto", telemetry=True)
+        ref = _run("gs", "hmc", "reference", telemetry=True)
+        assert demoted == ref
+
+    def test_demotion_emits_event(self):
+        log = ev.EventLog()
+        with ev.installed(log):
+            system = System(
+                coalescer=CoalescerKind.PAC, engine="auto", telemetry=True
+            )
+        assert system.engine == "reference"
+        demotes = [r for r in log.records if r["kind"] == "demote"]
+        assert demotes, "auto demotion must land in the event log"
+        assert demotes[0]["rung"] == "engine:batched->reference"
+        assert "telemetry" in demotes[0]["label"]
+
+    def test_faults_demote_auto(self):
+        from repro.faults import FaultInjector, installed, resolve_plan
+
+        plan = resolve_plan("artifact.get:corrupt@0")
+        with installed(FaultInjector(plan)):
+            s = System(coalescer=CoalescerKind.PAC, engine="auto")
+            assert s.engine == "reference"
+            with pytest.raises(ValueError, match="incompatible"):
+                System(coalescer=CoalescerKind.PAC, engine="batched")
+
+    def test_clean_run_does_not_demote(self):
+        log = ev.EventLog()
+        with ev.installed(log):
+            system = System(coalescer=CoalescerKind.PAC, engine="auto")
+        assert system.engine == "batched"
+        assert not [r for r in log.records if r["kind"] == "demote"]

@@ -1,0 +1,57 @@
+"""Guard: no scalar ``PageTable.translate`` calls in hot paths.
+
+Audit result (recorded here so it stays true): trace translation went
+vectorized when ``System.build_trace`` switched to
+``PageTable.translate_array`` — a single first-touch loop over *unique*
+pages followed by one numpy gather — and no production code path calls
+the scalar ``translate`` per request anymore. A scalar call inside a
+hot loop costs a dict lookup + divmod per access (~60k/run), which the
+batched coalescer work measured as several percent of end-to-end time.
+
+This test enforces the audit structurally: the only permitted
+``.translate(`` call sites under ``src/`` are inside
+``repro/mem/pagetable.py`` itself (the definition and the
+``translate_array`` first-touch loop that feeds on it). Anything else
+is a reintroduced per-request translation and fails here with the
+offending location, pointing at ``translate_array`` as the fix.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: The definition site — scalar translate may be referenced here only.
+ALLOWED = ("repro/mem/pagetable.py",)
+
+#: ``.translate(`` catches method calls on any receiver; the stdlib
+#: ``str.translate`` is not used in this codebase, so every match is a
+#: page-table translation.
+CALL = re.compile(r"\.translate\(")
+
+
+def test_no_scalar_translate_outside_pagetable():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel.endswith(ALLOWED):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if CALL.search(line):
+                offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "scalar PageTable.translate call(s) reintroduced outside "
+        "mem/pagetable.py — use translate_array over the whole trace "
+        "instead:\n" + "\n".join(offenders)
+    )
+
+
+def test_translate_array_is_the_trace_path():
+    """``System.build_trace`` must keep using the vectorized path."""
+    system_src = (SRC / "repro/engine/system.py").read_text()
+    assert "translate_array" in system_src, (
+        "System.build_trace no longer uses PageTable.translate_array — "
+        "the vectorized translation path was the point of the audit"
+    )
