@@ -18,8 +18,10 @@ Methodology (pyperf-style):
   pre-computed input so stage costs can be compared without upstream
   noise; the coalescer stage is measured once per execution engine
   (``coalescer`` = the batched kernel, ``coalescer_reference`` = the
-  per-request object pipeline), so the engine speedup is a first-class
-  harness output;
+  per-request object pipeline), and the two front-end stages likewise
+  (``trace_gen``/``cache`` on the batched front-end,
+  ``trace_gen_reference``/``cache_reference`` on the scalar reference),
+  so both engine speedups are first-class harness outputs;
 * peak RSS comes from ``resource.getrusage`` (kilobytes on Linux).
 
 **Best vs median.** Every :class:`Timing` retains all samples, and
@@ -153,10 +155,27 @@ class StageTimes:
             return 0.0
         return ref.seconds / bat.seconds
 
+    @property
+    def frontend_speedup(self) -> float:
+        """Reference-over-batched front-end ratio: summed trace-gen +
+        cache seconds (min-of-N each); 0.0 when any leg is absent."""
+        tg = self.timings.get("trace_gen")
+        tg_ref = self.timings.get("trace_gen_reference")
+        ca = self.timings.get("cache")
+        ca_ref = self.timings.get("cache_reference")
+        if None in (tg, tg_ref, ca, ca_ref):
+            return 0.0
+        fast = tg.seconds + ca.seconds
+        if fast <= 0:
+            return 0.0
+        return (tg_ref.seconds + ca_ref.seconds) / fast
+
     def as_dict(self) -> Dict:
         doc = {name: t.as_dict() for name, t in self.timings.items()}
         if self.coalescer_speedup:
             doc["coalescer_speedup"] = self.coalescer_speedup
+        if self.frontend_speedup:
+            doc["frontend_speedup"] = self.frontend_speedup
         return doc
 
 
@@ -314,6 +333,27 @@ class BenchReport:
                 ref += r.seconds
         return ref / bat if bat > 0 else 0.0
 
+    @property
+    def frontend_stage_speedup(self) -> float:
+        """Suite-aggregate batched front-end speedup on the isolated
+        trace-gen + cache stages: summed reference seconds over summed
+        batched seconds (min-of-N each). Same-host ratio — the
+        machine-relative stage gate compares it across runs."""
+        ref = bat = 0.0
+        for stages in self.stages.values():
+            legs = [
+                stages.timings.get(n)
+                for n in (
+                    "trace_gen", "cache",
+                    "trace_gen_reference", "cache_reference",
+                )
+            ]
+            if None in legs:
+                continue
+            bat += legs[0].seconds + legs[1].seconds
+            ref += legs[2].seconds + legs[3].seconds
+        return ref / bat if bat > 0 else 0.0
+
     def as_dict(self) -> Dict:
         return {
             "schema": "repro-bench/3",
@@ -331,6 +371,7 @@ class BenchReport:
                 "requests_per_second": self.total_requests_per_second,
                 "fraction_of_end_to_end": self.phase_fractions,
                 "coalescer_stage_speedup": self.coalescer_stage_speedup,
+                "frontend_stage_speedup": self.frontend_stage_speedup,
             },
         }
 
@@ -495,26 +536,72 @@ def _measure_phases(bench: str, cfg: BenchConfig) -> PhaseTimes:
     return phases
 
 
+def _interleaved_engine_pair(
+    once: Callable[[str], float], items: int, repeats: int, warmup: int,
+) -> tuple:
+    """Min-of-N over a fast/reference engine pair, repeats interleaved
+    so machine-load drift hits both paths symmetrically instead of
+    biasing whichever ran second. Returns ``(fast, reference)``."""
+    for _ in range(warmup):
+        once("auto")
+        once("reference")
+    fast_samples: List[float] = []
+    ref_samples: List[float] = []
+    for _ in range(repeats):
+        fast_samples.append(once("auto"))
+        ref_samples.append(once("reference"))
+    return (
+        Timing(seconds=min(fast_samples), samples=fast_samples, items=items),
+        Timing(seconds=min(ref_samples), samples=ref_samples, items=items),
+    )
+
+
 def _measure_stages(bench: str, cfg: BenchConfig) -> StageTimes:
-    """Isolation benchmarks: each stage re-runs alone over fixed input."""
+    """Isolation benchmarks: each stage re-runs alone over fixed input.
+
+    The two front-end stages are measured once per engine —
+    ``trace_gen``/``cache`` on the default (batched) front-end,
+    ``trace_gen_reference``/``cache_reference`` on the scalar
+    generators and hierarchy they must stay bit-identical to — so the
+    front-end engine speedup is a first-class harness output alongside
+    the coalescer's.
+    """
     out = StageTimes()
 
-    def trace_gen() -> int:
-        system = System(config=TABLE1, coalescer=CoalescerKind.NONE)
-        trace = system.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
-        return len(trace)
+    def trace_gen_once(engine: str) -> float:
+        system = System(
+            config=TABLE1, coalescer=CoalescerKind.NONE, engine=engine
+        )
+        t0 = time.perf_counter()
+        system.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
+        return time.perf_counter() - t0
 
-    out.timings["trace_gen"] = _min_of(trace_gen, cfg.repeats, cfg.warmup)
+    out.timings["trace_gen"], out.timings["trace_gen_reference"] = (
+        _interleaved_engine_pair(
+            trace_gen_once, cfg.n_accesses, cfg.repeats, cfg.warmup
+        )
+    )
 
     base = System(config=TABLE1, coalescer=CoalescerKind.PAC)
     trace = base.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
+    n_raw_items = len(base.hierarchy.process(trace).requests)
 
-    def cache() -> int:
-        system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
-        raw = system.hierarchy.process(trace)
-        return len(raw.requests)
+    def cache_once(engine: str) -> float:
+        # The hierarchy is built outside the timed region — this
+        # measures the cache pass, not per-core L1 construction.
+        system = System(
+            config=TABLE1, coalescer=CoalescerKind.PAC, engine=engine
+        )
+        hierarchy = system.hierarchy
+        t0 = time.perf_counter()
+        hierarchy.process(trace)
+        return time.perf_counter() - t0
 
-    out.timings["cache"] = _min_of(cache, cfg.repeats, cfg.warmup)
+    out.timings["cache"], out.timings["cache_reference"] = (
+        _interleaved_engine_pair(
+            cache_once, n_raw_items, cfg.repeats, cfg.warmup
+        )
+    )
 
     raw = System(
         config=TABLE1, coalescer=CoalescerKind.PAC

@@ -1,10 +1,10 @@
 """Per-stage cProfile hotspot capture for ``repro bench --profile``.
 
 Where the harness (:mod:`repro.bench.harness`) answers *how fast*, this
-module answers *where the time goes*: each pipeline stage — trace_gen,
-cache, both coalescer engines, device — runs once under
-:mod:`cProfile`, and the top functions by **cumulative time** are
-extracted per stage. Profiling adds interpreter overhead, so these
+module answers *where the time goes*: each pipeline stage — both
+front-end engines of trace_gen and cache, both coalescer engines,
+device — runs once under :mod:`cProfile`, and the top functions by
+**cumulative time** are extracted per stage. Profiling adds interpreter overhead, so these
 numbers are for ranking hotspots, never for speedup claims; the
 harness's unprofiled timings remain the only quotable seconds.
 
@@ -32,8 +32,16 @@ from repro.bench.harness import BenchConfig
 TOP_N = 20
 
 #: Stage order in reports (insertion order of ``profile_benchmark``).
+#: The front-end appears once per engine, like the coalescer: the
+#: unsuffixed stages run the batched front-end (vectorized generators,
+#: array-backed hierarchy), the ``_reference`` stages the scalar twins
+#: they are bit-identical to — so a hotspot list exists for both sides
+#: of each engine-speedup ratio the harness reports.
 PROFILE_STAGES = (
-    "trace_gen", "cache", "coalescer", "coalescer_reference", "device",
+    "trace_gen", "trace_gen_reference",
+    "cache", "cache_reference",
+    "coalescer", "coalescer_reference",
+    "device",
 )
 
 
@@ -139,20 +147,30 @@ def profile_benchmark(bench: str, cfg: BenchConfig) -> Dict[str, StageProfile]:
     """Profile every pipeline stage of one benchmark, in stage order."""
     out: Dict[str, StageProfile] = {}
 
-    def trace_gen():
-        system = System(config=TABLE1, coalescer=CoalescerKind.NONE)
-        return system.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
+    def trace_gen_for(engine: str) -> Callable[[], object]:
+        def run():
+            system = System(
+                config=TABLE1, coalescer=CoalescerKind.NONE, engine=engine
+            )
+            return system.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
+        return run
 
-    out["trace_gen"] = _profile_once(trace_gen)
+    out["trace_gen"] = _profile_once(trace_gen_for("auto"))
+    out["trace_gen_reference"] = _profile_once(trace_gen_for("reference"))
 
     base = System(config=TABLE1, coalescer=CoalescerKind.PAC)
     trace = base.build_trace([bench], cfg.n_accesses, seed=cfg.seed)
 
-    def cache():
-        system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
-        return system.hierarchy.process(trace)
+    def cache_for(engine: str) -> Callable[[], object]:
+        def run():
+            system = System(
+                config=TABLE1, coalescer=CoalescerKind.PAC, engine=engine
+            )
+            return system.hierarchy.process(trace)
+        return run
 
-    out["cache"] = _profile_once(cache)
+    out["cache"] = _profile_once(cache_for("auto"))
+    out["cache_reference"] = _profile_once(cache_for("reference"))
 
     raw = System(
         config=TABLE1, coalescer=CoalescerKind.PAC

@@ -30,9 +30,12 @@ def write_report(report: BenchReport, path: Union[str, Path]) -> Path:
 #: Accepted report schemas. v2 added the ``suite`` section (two-phase
 #: pipeline + artifact-cache measurements); v3 added per-engine
 #: coalescer stage timings, ``totals.fraction_of_end_to_end``, and
-#: ``totals.coalescer_stage_speedup``. The totals/end_to_end shape the
+#: ``totals.coalescer_stage_speedup``, later extended in place with the
+#: per-engine front-end stage timings
+#: (``trace_gen_reference``/``cache_reference``) and
+#: ``totals.frontend_stage_speedup``. The totals/end_to_end shape the
 #: throughput gate reads is unchanged, so older baselines still load
-#: (the stage gate simply skips baselines that predate the field).
+#: (each stage gate simply skips baselines that predate its field).
 _SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
 
 
@@ -99,12 +102,20 @@ def render_report(report: BenchReport) -> str:
         )
         if stages.coalescer_speedup:
             parts += f" — engine {stages.coalescer_speedup:.2f}x"
+        if stages.frontend_speedup:
+            parts += f", frontend {stages.frontend_speedup:.2f}x"
         lines.append(f"  [{bench} stages] {parts}")
     if report.coalescer_stage_speedup:
         lines.append(
             f"  [engine] batched coalescer kernel: "
             f"{report.coalescer_stage_speedup:.2f}x aggregate over the "
             f"reference pipeline (isolated stage, min-of-N)"
+        )
+    if report.frontend_stage_speedup:
+        lines.append(
+            f"  [engine] batched front-end (trace-gen + cache): "
+            f"{report.frontend_stage_speedup:.2f}x aggregate over the "
+            f"scalar reference (isolated stages, min-of-N)"
         )
     suite = report.suite
     if suite is not None and suite.legacy is not None:
@@ -158,6 +169,11 @@ def compare_reports(
     if cur_stage and base_stage:
         out["current_stage_speedup"] = cur_stage
         out["baseline_stage_speedup"] = base_stage
+    cur_fe = current["totals"].get("frontend_stage_speedup", 0.0)
+    base_fe = baseline["totals"].get("frontend_stage_speedup", 0.0)
+    if cur_fe and base_fe:
+        out["current_frontend_speedup"] = cur_fe
+        out["baseline_frontend_speedup"] = base_fe
     return out
 
 
@@ -178,7 +194,11 @@ def check_regression(
       kernel's advantage over the reference pipeline must likewise stay
       above ``(1 - max_regression)`` of the baseline ratio. Being a
       same-host ratio, this gate is insensitive to absolute machine
-      speed and catches regressions that hide inside a faster host.
+      speed and catches regressions that hide inside a faster host;
+    * **front-end-stage engine speedup** — the same machine-relative
+      gate over ``totals.frontend_stage_speedup`` (the batched
+      trace-gen + cache front-end vs the scalar reference), skipped for
+      baselines that predate the field.
     """
     baseline = load_report_dict(baseline_path)
     cmp = compare_reports(current, baseline)
@@ -197,6 +217,17 @@ def check_regression(
                 f"coalescer-stage engine speedup regressed: "
                 f"{cmp['current_stage_speedup']:.2f}x vs baseline "
                 f"{cmp['baseline_stage_speedup']:.2f}x "
+                f"({ratio:.2f}x, floor {floor:.2f}x of {baseline_path})"
+            )
+    if "current_frontend_speedup" in cmp:
+        ratio = (
+            cmp["current_frontend_speedup"] / cmp["baseline_frontend_speedup"]
+        )
+        if ratio < floor:
+            raise RegressionError(
+                f"front-end-stage engine speedup regressed: "
+                f"{cmp['current_frontend_speedup']:.2f}x vs baseline "
+                f"{cmp['baseline_frontend_speedup']:.2f}x "
                 f"({ratio:.2f}x, floor {floor:.2f}x of {baseline_path})"
             )
     return cmp

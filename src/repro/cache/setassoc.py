@@ -147,3 +147,125 @@ class SetAssociativeCache:
         misses = self.stats.count("misses")
         total = hits + misses
         return hits / total if total else 0.0
+
+
+class FlatLRU:
+    """Flat-array LRU state for the batched front-end engine.
+
+    Replaces the per-set ``OrderedDict`` with four flat parallel way
+    arrays plus one residency dict:
+
+    * ``tags[slot]``  — line address resident in ``slot`` (−1 = empty),
+      where ``slot = set_index * ways + way``.
+    * ``stamps[slot]`` — monotonic age stamp, refreshed on every touch.
+    * ``dirty[slot]`` — write-back flag.
+    * ``lens[base]``  — live lines in the set whose first slot is
+      ``base`` (indexed by slot base, so callers never divide by
+      ``ways``; only multiples of ``ways`` are used).
+    * ``slots``       — dict line_addr → slot, the O(1) residency probe.
+
+    LRU equivalence with :class:`SetAssociativeCache`: an ``OrderedDict``
+    keeps lines in last-touch order (``move_to_end`` on hit/re-install,
+    ``popitem(last=False)`` victim). Unique monotonically increasing
+    stamps reproduce exactly that order, so the min-stamp way of a full
+    set *is* the OrderedDict's first entry. Stamps come from a single
+    shared counter (``tick``) advanced by the caller; only uniqueness
+    and monotonicity matter, so one counter can serve every cache in a
+    hierarchy. Property-tested against the reference in
+    ``tests/cache/test_batched_frontend_properties.py``.
+
+    The methods below are the readable reference implementation of the
+    update rules; the batched hierarchy inlines the same logic over
+    locally-bound state for speed.
+    """
+
+    def __init__(self, cache: SetAssociativeCache) -> None:
+        n_slots = cache.n_sets * cache.ways
+        self.ways = cache.ways
+        self.line_bytes = cache.line_bytes
+        self.n_sets = cache.n_sets
+        self.tags: List[int] = [-1] * n_slots
+        self.stamps: List[int] = [0] * n_slots
+        self.dirty: List[bool] = [False] * n_slots
+        self.lens: List[int] = [0] * n_slots
+        self.slots: dict = {}
+        # Shift/mask set indexing mirrors the wrapped cache exactly.
+        self._line_shift = cache._line_shift
+        self._set_mask = cache._set_mask
+        self.tick = 0
+
+    def slot_base(self, line_addr: int) -> int:
+        """First slot of the set holding ``line_addr``."""
+        if self._line_shift is not None:
+            return ((line_addr >> self._line_shift) & self._set_mask) * self.ways
+        return ((line_addr // self.line_bytes) % self.n_sets) * self.ways
+
+    def touch(self, slot: int, dirty: bool) -> None:
+        """Refresh a resident line's age (OrderedDict ``move_to_end``)."""
+        self.stamps[slot] = self.tick
+        self.tick += 1
+        if dirty:
+            self.dirty[slot] = True
+
+    def fill(self, line_addr: int, dirty: bool) -> Optional[int]:
+        """Insert a line known to be absent; returns any dirty victim.
+
+        Mirrors the miss arm of :meth:`SetAssociativeCache.access` /
+        :meth:`~SetAssociativeCache.install`: evict the min-stamp way
+        when the set is full, otherwise claim the first empty way.
+        """
+        base = self.slot_base(line_addr)
+        end = base + self.ways
+        tags, stamps = self.tags, self.stamps
+        writeback = None
+        if self.lens[base] >= self.ways:
+            set_stamps = stamps[base:end]
+            slot = base + set_stamps.index(min(set_stamps))
+            victim = tags[slot]
+            del self.slots[victim]
+            if self.dirty[slot]:
+                writeback = victim
+        else:
+            self.lens[base] += 1
+            slot = base + tags[base:end].index(-1)
+        tags[slot] = line_addr
+        self.dirty[slot] = dirty
+        stamps[slot] = self.tick
+        self.tick += 1
+        self.slots[line_addr] = slot
+        return writeback
+
+    def access(self, line_addr: int, is_store: bool = False) -> AccessResult:
+        """Reference-equivalent demand access (hit/allocate-on-miss)."""
+        slot = self.slots.get(line_addr)
+        if slot is not None:
+            self.touch(slot, is_store)
+            return _HIT
+        writeback = self.fill(line_addr, is_store)
+        if writeback is None:
+            return _MISS_CLEAN
+        return AccessResult(hit=False, writeback=writeback)
+
+    def install(self, line_addr: int, dirty: bool = False) -> Optional[int]:
+        """Reference-equivalent fill from below (no demand counting)."""
+        slot = self.slots.get(line_addr)
+        if slot is not None:
+            self.touch(slot, dirty)
+            return None
+        return self.fill(line_addr, dirty)
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self.slots
+
+    def invalidate(self, line_addr: int) -> bool:
+        slot = self.slots.pop(line_addr, None)
+        if slot is None:
+            return False
+        self.tags[slot] = -1
+        self.dirty[slot] = False
+        self.lens[slot - slot % self.ways] -= 1
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.slots)

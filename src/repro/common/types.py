@@ -198,6 +198,49 @@ def new_packet(
     return packet
 
 
+def new_request(
+    addr: int,
+    size: int,
+    op: MemOp,
+    core_id: int,
+    cycle: int,
+) -> MemoryRequest:
+    """Fast :class:`MemoryRequest` constructor for per-request hot paths
+    (the cache front-end emits one per raw-stream entry).
+
+    Bypasses the frozen-dataclass ``__init__``/``__post_init__``: the
+    caller must guarantee ``addr >= 0`` and ``size > 0`` — trivially
+    true in the hierarchy, where addresses come from a validated trace
+    and sizes are the line size or a validated access size. ``req_id``
+    is drawn from the same global counter as the dataclass default, so
+    ids issued through either constructor stay globally unique and
+    ordered by emission.
+    """
+    req = _mr_new(MemoryRequest)
+    _set_addr(req, addr)
+    _set_size(req, size)
+    _set_op(req, op)
+    _set_core(req, core_id)
+    _set_cycle(req, cycle)
+    _set_req_id(req, next(_req_counter))
+    return req
+
+
+# Pre-bound slot descriptors for ``new_request``: a ``slots=True``
+# dataclass stores each field as a member_descriptor on the class, and
+# calling its ``__set__`` directly bypasses the frozen ``__setattr__``
+# without the per-call name lookup ``object.__setattr__`` pays (~30%
+# of the constructor). ``_req_counter`` stays a module-global read so
+# ``reset_request_ids`` keeps working.
+_mr_new = MemoryRequest.__new__
+_set_addr = MemoryRequest.__dict__["addr"].__set__
+_set_size = MemoryRequest.__dict__["size"].__set__
+_set_op = MemoryRequest.__dict__["op"].__set__
+_set_core = MemoryRequest.__dict__["core_id"].__set__
+_set_cycle = MemoryRequest.__dict__["cycle"].__set__
+_set_req_id = MemoryRequest.__dict__["req_id"].__set__
+
+
 def reset_request_ids() -> None:
     """Restart the global request id counter (test isolation helper)."""
     global _req_counter

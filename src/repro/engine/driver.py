@@ -147,6 +147,10 @@ def run_comparison(
     (the artifact-store sites are live on the cached path). ``engine``
     applies per arm (:meth:`System.arm_engine`): ``"batched"`` pins the
     PAC arms to the fast kernel while non-PAC arms resolve ``"auto"``.
+    The shared trace+cache prefix resolves the same knob for its
+    front-end (``"reference"`` forces the scalar generators and
+    hierarchy; the default takes the batched front-end — bit-identical
+    either way, so cached artifacts are engine-invariant).
     """
     out: Dict[CoalescerKind, RunResult] = {}
     with ev.installed(ev.resolve_events(events)) as log, _fault_scope(faults):
@@ -177,6 +181,7 @@ def run_comparison(
             device=device,
             extra_benchmarks=tuple(extra_benchmarks),
             use_cache=use_artifact_cache,
+            engine=engine,
         )
         requests = tp.requests()
         for kind in kinds:

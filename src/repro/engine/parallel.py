@@ -179,7 +179,7 @@ def _phase1_job(args: tuple):
     """
     (
         benchmark, n_accesses, config, seed, device, scale,
-        extra_benchmarks, fine_grain, use_cache, fault_ctx,
+        extra_benchmarks, fine_grain, use_cache, engine, fault_ctx,
     ) = args
     from repro.artifacts import load_or_compute_trace_pass
 
@@ -187,7 +187,7 @@ def _phase1_job(args: tuple):
         tp = load_or_compute_trace_pass(
             benchmark, n_accesses, config=config, seed=seed, device=device,
             scale=scale, extra_benchmarks=extra_benchmarks,
-            fine_grain=fine_grain, use_cache=use_cache,
+            fine_grain=fine_grain, use_cache=use_cache, engine=engine,
         )
     return benchmark, tp
 
@@ -369,7 +369,12 @@ def run_suite_parallel(
     The knob applies per arm (:meth:`System.arm_engine`):
     ``engine="batched"`` pins the PAC arms to the fast path while the
     non-PAC arms — which have only their reference implementation —
-    resolve ``"auto"`` instead of rejecting the whole grid.
+    resolve ``"auto"`` instead of rejecting the whole grid. Phase 1
+    resolves the same knob for its per-benchmark trace+cache prefix:
+    the default runs the batched front-end, ``engine="reference"``
+    forces the scalar generators and hierarchy — bit-identical by the
+    front-end contract, so artifact keys and cached passes are shared
+    across engines.
     """
     if pipeline not in ("auto", "two-phase", "per-job"):
         raise ValueError(f"unknown pipeline {pipeline!r}")
@@ -507,7 +512,7 @@ def _run_two_phase(
         return load_or_compute_trace_pass(
             bench, n_accesses, config=config, seed=seed, device=device,
             scale=scale, extra_benchmarks=extra_benchmarks,
-            fine_grain=fine_grain, use_cache=use_cache,
+            fine_grain=fine_grain, use_cache=use_cache, engine=engine,
         )
 
     # ---- phase 1: one trace+cache pass per benchmark ------------------
@@ -545,7 +550,7 @@ def _run_two_phase(
                     )
                     return (
                         bench, n_accesses, config, seed, device, scale,
-                        extra_benchmarks, fine_grain, use_cache, ctx,
+                        extra_benchmarks, fine_grain, use_cache, engine, ctx,
                     )
                 return build
 

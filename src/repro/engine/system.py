@@ -138,13 +138,17 @@ class System:
         # touch the caches, so they skip constructing per-core L1s + LLC
         # entirely. Probe runs build it eagerly to keep the probe
         # registration order (cache before coalescer) identical to the
-        # historical wiring.
+        # historical wiring. Engines resolve first — the eager build
+        # dispatches on ``frontend_engine`` — and the coalescer engine
+        # resolves before the front-end so a doubly-demoted ``auto``
+        # run logs the coalescer rung first (the historical event).
         self._probes = probes
         self._span_rec = span_rec
         self._hierarchy: Optional[CacheHierarchy] = None
+        self.engine = self._resolve_engine(engine)
+        self.frontend_engine = self._resolve_frontend_engine(engine)
         if self.telemetry is not None or self.spans is not None:
             _ = self.hierarchy
-        self.engine = self._resolve_engine(engine)
         self.coalescer = self._build_coalescer(probes, span_rec)
 
     @staticmethod
@@ -208,14 +212,64 @@ class System:
             ))
         return "reference"
 
+    def _resolve_frontend_engine(self, engine: str) -> str:
+        """Resolve the front-end (trace -> raw stream) engine.
+
+        Unlike the coalescer kernel, the cache front-end is independent
+        of the coalescer arm, so ``auto`` resolves to the batched
+        hierarchy (:class:`repro.cache.batched.BatchedCacheHierarchy`)
+        for *every* arm. The blockers match the coalescer's — the
+        batched front-end skips the per-emission state telemetry/span
+        probes observe, and active fault injection targets the
+        reference path — and ``auto`` demotes per component, logging
+        its own ``demote`` event under the ``engine:frontend`` rung.
+        """
+        if engine == "reference":
+            return "reference"
+        from repro.faults import active as faults_active
+
+        blockers = []
+        if self.telemetry is not None:
+            blockers.append("telemetry")
+        if self.spans is not None:
+            blockers.append("spans")
+        if faults_active().enabled:
+            blockers.append("faults")
+        if not blockers:
+            return "batched"
+        if engine == "batched":
+            # Unreachable today: _resolve_engine already raised for
+            # every explicit-batched blocker combination. Kept so the
+            # front-end resolver stands on its own.
+            raise ValueError(
+                "engine='batched' is incompatible with "
+                f"{'+'.join(blockers)} — use engine='reference' (or "
+                "'auto' to demote automatically)"
+            )
+        from repro.telemetry import events as ev
+
+        log = ev.active()
+        if log.enabled:
+            log.emit(ev.Demoted(
+                rung="engine:frontend:batched->reference",
+                label="+".join(blockers),
+            ))
+        return "reference"
+
     @property
     def hierarchy(self) -> CacheHierarchy:
         if self._hierarchy is None:
+            if self.frontend_engine == "batched":
+                from repro.cache.batched import BatchedCacheHierarchy
+
+                hierarchy_cls = BatchedCacheHierarchy
+            else:
+                hierarchy_cls = CacheHierarchy
             # Fine-grain mode traces demand accesses at their CPU data
             # size; line-granular prefetch traffic would drown the
             # Figure 10b size distribution, so the prefetcher is off
             # there.
-            self._hierarchy = CacheHierarchy(
+            self._hierarchy = hierarchy_cls(
                 self.config.cache,
                 n_cores=self.config.n_cores,
                 prefetch_enabled=not self.fine_grain,
@@ -280,9 +334,28 @@ class System:
         with its own page table over a shared frame pool, pinned to a
         disjoint core subset and interleaved in time — the paper's
         multiprocessing mode (Figure 6b).
+
+        A ``"reference"`` front-end engine pins generation to the
+        retained scalar generators (where one exists); the vectorized
+        generators are bit-identical, so the two paths produce the same
+        trace.
         """
         if not benchmarks:
             raise ValueError("need at least one benchmark")
+        if self.frontend_engine == "reference":
+            from repro.workloads.base import reference_trace_gen
+
+            with reference_trace_gen():
+                return self._build_trace(benchmarks, n_accesses, seed, scale)
+        return self._build_trace(benchmarks, n_accesses, seed, scale)
+
+    def _build_trace(
+        self,
+        benchmarks: Sequence[str],
+        n_accesses: int,
+        seed: int,
+        scale,
+    ) -> AccessTrace:
         seed = self.config.seed if seed is None else seed
         if self.spans is not None:
             # Bind the resolved run seed so serial and parallel suites

@@ -45,6 +45,42 @@ def decompose(addr: int) -> DecomposedAddress:
     return DecomposedAddress(ppn, block, offset)
 
 
+def line_addresses(addrs, line_bytes: int):
+    """Vectorized align-down of an address column to line boundaries.
+
+    ``addrs`` is a non-negative integer numpy array; returns an int64
+    array where every element equals ``a - a % line_bytes``. Power-of-two
+    line sizes take the mask fast path, which is bit-identical to the
+    mod fallback for non-negative inputs (same argument as
+    :class:`AddressMap`'s shift/mask modes).
+    """
+    import numpy as np
+
+    arr = np.asarray(addrs, dtype=np.int64)
+    if line_bytes > 0 and not (line_bytes & (line_bytes - 1)):
+        return arr & ~np.int64(line_bytes - 1)
+    return arr - arr % line_bytes
+
+
+def set_slot_bases(line_addrs, line_bytes: int, n_sets: int, ways: int):
+    """Vectorized cache-set decomposition: flat slot base per line address.
+
+    For each (line-aligned, non-negative) address the result is
+    ``((a // line_bytes) % n_sets) * ways`` — the first slot of the
+    address's set in a flat ``n_sets * ways`` way array. Power-of-two
+    geometry uses the shift/mask fast path, bit-identical to the
+    div/mod fallback.
+    """
+    import numpy as np
+
+    arr = np.asarray(line_addrs, dtype=np.int64)
+    pow2 = not (line_bytes & (line_bytes - 1)) and not (n_sets & (n_sets - 1))
+    if pow2:
+        shift = line_bytes.bit_length() - 1
+        return ((arr >> shift) & np.int64(n_sets - 1)) * ways
+    return ((arr // line_bytes) % n_sets) * ways
+
+
 class DeviceLocation(NamedTuple):
     """Where a physical address lands inside the 3D-stacked device."""
 

@@ -14,6 +14,7 @@ Generators are registered by name; :func:`get_workload` and
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -84,6 +85,33 @@ class WorkloadSpec:
 SIZE_CLASSES = {"S": 0.125, "W": 0.5, "A": 1.0, "B": 2.0, "C": 4.0}
 
 
+#: When True, :meth:`WorkloadGenerator.generate` runs generators on their
+#: retained scalar ``_core_stream_reference`` implementations (where one
+#: exists) instead of the vectorized ``_core_stream``. Used by the
+#: bit-identity gate tests and by the bench harness to time the reference
+#: trace-generation stage.
+_REFERENCE_STREAMS = False
+
+
+@contextmanager
+def reference_trace_gen():
+    """Context manager forcing the scalar reference trace generators.
+
+    Vectorized generators keep their original per-access implementation
+    as ``_core_stream_reference``; inside this context ``generate``
+    dispatches to it. Generators without a reference variant are
+    unaffected. Not thread-safe (module-global flag) — intended for
+    tests and single-threaded bench timing.
+    """
+    global _REFERENCE_STREAMS
+    prev = _REFERENCE_STREAMS
+    _REFERENCE_STREAMS = True
+    try:
+        yield
+    finally:
+        _REFERENCE_STREAMS = prev
+
+
 class WorkloadGenerator(abc.ABC):
     """Produces the virtual-address access stream of one benchmark.
 
@@ -132,12 +160,17 @@ class WorkloadGenerator(abc.ABC):
         if n_cores <= 0:
             raise ValueError("n_cores must be positive")
         per_core = self._split(n_accesses, n_cores)
+        stream_fn = self._core_stream
+        if _REFERENCE_STREAMS:
+            ref_fn = getattr(self, "_core_stream_reference", None)
+            if ref_fn is not None:
+                stream_fn = ref_fn
         traces: List[AccessTrace] = []
         for core_id, count in enumerate(per_core):
             if count == 0:
                 continue
             rng = make_rng(self.seed, self.name, f"core{core_id}")
-            addrs, sizes, ops = self._core_stream(core_id, count, rng)
+            addrs, sizes, ops = stream_fn(core_id, count, rng)
             addrs = np.asarray(addrs, dtype=np.int64)
             if not (len(addrs) == len(sizes) == len(ops) == count):
                 raise AssertionError(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.types import MemOp
+from repro.common.types import PAGE_BYTES, MemOp
 from repro.workloads import patterns
 from repro.workloads.base import (
     VirtualLayout,
@@ -41,6 +41,81 @@ class GatherScatter(WorkloadGenerator):
     )
 
     def _core_stream(self, core_id: int, n_accesses: int, rng: np.random.Generator):
+        """Vectorized bucket assembly, bit-identical to the scalar
+        reference below (gated by ``tests/workloads/test_vectorized_gen``).
+
+        The six RNG draws per bucket must stay separate calls in exactly
+        the reference order — the integer-draw bounds interleave (gather
+        page, start slot, offsets, then the scatter triple), so merging
+        draws of one bound across buckets would consume different words
+        of the bit stream. Only the address arithmetic, op/size tiling,
+        and concatenation are batched; that is where ~85% of the scalar
+        generator's time went.
+        """
+        table_bytes = self._s(_TABLE_BYTES, minimum=1 << 20)
+        layout = VirtualLayout()
+        idx_base = layout.alloc("idx", n_accesses * 4 + 4096)
+        table = layout.alloc("table", table_bytes)
+        dest = layout.alloc("dest", table_bytes)
+
+        step = 1 + _BURST + _BURST // 2
+        sburst = _BURST // 2
+        n_buckets = -(-n_accesses // step)
+        # Draw bounds mirror page_clustered_random(burst=_BURST/_BURST//2,
+        # spread_bytes=_SPREAD, align=_ELEM) with count == burst (one
+        # burst per call in the reference).
+        n_pages = max(1, table_bytes // PAGE_BYTES)
+        start_slots = max(1, (PAGE_BYTES - _SPREAD) // _ELEM)
+        off_slots = max(1, _SPREAD // _ELEM)
+
+        g_pages = np.empty(n_buckets, dtype=np.int64)
+        g_starts = np.empty(n_buckets, dtype=np.int64)
+        g_offs = np.empty((n_buckets, _BURST), dtype=np.int64)
+        s_pages = np.empty(n_buckets, dtype=np.int64)
+        s_starts = np.empty(n_buckets, dtype=np.int64)
+        s_offs = np.empty((n_buckets, sburst), dtype=np.int64)
+        ri = rng.integers
+        i64 = np.int64
+        for b in range(n_buckets):
+            g_pages[b] = ri(0, n_pages, dtype=i64)
+            g_starts[b] = ri(0, start_slots, dtype=i64)
+            g_offs[b] = ri(0, off_slots, size=_BURST, dtype=i64)
+            s_pages[b] = ri(0, n_pages, dtype=i64)
+            s_starts[b] = ri(0, start_slots, dtype=i64)
+            s_offs[b] = ri(0, off_slots, size=sburst, dtype=i64)
+
+        clamp = PAGE_BYTES - _ELEM
+        rows = np.empty((n_buckets, step), dtype=np.int64)
+        # Index load: sequential(idx_base, 1, 4, start_index=step * b).
+        rows[:, 0] = idx_base + np.arange(n_buckets, dtype=np.int64) * (step * 4)
+        rows[:, 1 : 1 + _BURST] = (
+            table
+            + g_pages[:, None] * PAGE_BYTES
+            + np.minimum(g_starts[:, None] * _ELEM + g_offs * _ELEM, clamp)
+        )
+        rows[:, 1 + _BURST :] = (
+            dest
+            + s_pages[:, None] * PAGE_BYTES
+            + np.minimum(s_starts[:, None] * _ELEM + s_offs * _ELEM, clamp)
+        )
+        op_row = np.concatenate(
+            [
+                [int(MemOp.LOAD)],
+                np.full(_BURST, int(MemOp.LOAD)),
+                np.full(sburst, int(MemOp.STORE)),
+            ]
+        )
+        size_row = np.concatenate([[4], np.full(_BURST + sburst, _ELEM)])
+        addrs = rows.reshape(-1)[:n_accesses]
+        ops = np.tile(op_row, n_buckets)[:n_accesses]
+        sizes = np.tile(size_row, n_buckets)[:n_accesses]
+        return addrs, sizes, ops
+
+    def _core_stream_reference(
+        self, core_id: int, n_accesses: int, rng: np.random.Generator
+    ):
+        """Scalar per-bucket reference — the bit-identity contract for
+        ``_core_stream`` (see :func:`repro.workloads.base.reference_trace_gen`)."""
         table_bytes = self._s(_TABLE_BYTES, minimum=1 << 20)
         layout = VirtualLayout()
         idx_base = layout.alloc("idx", n_accesses * 4 + 4096)

@@ -51,6 +51,102 @@ class BFS(WorkloadGenerator):
     )
 
     def _core_stream(self, core_id: int, n_accesses: int, rng: np.random.Generator):
+        """Vectorized frontier assembly, bit-identical to the scalar
+        reference below (gated by ``tests/workloads/test_vectorized_gen``).
+
+        The per-expansion RNG draws (frontier vertex, degree, CSR
+        position, power-law neighbour ids) stay in reference order; the
+        only batching the bit stream permits inside an expansion is
+        folding the per-neighbour store-decision draws into one
+        ``rng.random(deg)`` call — ``deg`` consecutive scalar draws
+        consume exactly the same words. Record assembly (the ~28
+        appends per expansion) becomes one fancy-index scatter over
+        precomputed record positions.
+        """
+        n_vertices = self._s(_N_VERTICES, minimum=1 << 12)
+        _, offsets, targets, parent, visited = _graph_layout(n_vertices)
+        edge_slots = n_vertices * _AVG_DEGREE
+        # The loop keeps only what the bit stream and the termination
+        # condition force: the four RNG draws (in reference order) and
+        # the per-expansion store count. All address math — power-law
+        # inverse CDF, hash scatters, CSR runs — is deferred to one
+        # vectorized pass over the concatenated draws.
+        us = []
+        deg_list = []
+        ebs = []
+        pl_draws = []
+        masks = []
+        inv_deg = 1.0 / _AVG_DEGREE
+        produced = 0
+        while produced < n_accesses:
+            u = int(rng.integers(0, n_vertices))
+            deg = int(min(rng.geometric(inv_deg), 64))
+            edge_base = int(rng.integers(0, max(1, edge_slots - deg)))
+            us.append(u)
+            deg_list.append(deg)
+            ebs.append(edge_base)
+            # powerlaw_vertices(rng, n_vertices, deg) consumes exactly
+            # rng.random(deg); the store decisions the next rng.random(deg).
+            pl_draws.append(rng.random(deg))
+            mask = rng.random(deg) < 0.25
+            masks.append(mask)
+            produced += 1 + 3 * deg + int(np.count_nonzero(mask))
+
+        n_exp = len(us)
+        degs = np.asarray(deg_list, dtype=np.int64)
+        u_all = np.concatenate(pl_draws)
+        mask_all = np.concatenate(masks)
+        # Bounded-Pareto inverse CDF over [1, n_vertices] with alpha=1.4
+        # — patterns.powerlaw_vertices elementwise (lo**a == 1.0), then
+        # the reference's hash scatters.
+        a = 1.0 - 1.4
+        hi = float(n_vertices)
+        ids = (1.0 + u_all * (hi**a - 1.0)) ** (1.0 / a)
+        neigh_all = np.minimum(ids.astype(np.int64), n_vertices - 1)
+        neigh_all = (neigh_all * 2654435761) % n_vertices
+        level_all = (neigh_all * 40503) % n_vertices
+        # CSR neighbour runs: sequential(targets, deg, 4, start_index=eb)
+        # for every expansion, flattened.
+        deg_starts = np.zeros(n_exp, dtype=np.int64)
+        np.cumsum(degs[:-1], out=deg_starts[1:])
+        intra = np.arange(len(u_all), dtype=np.int64) - np.repeat(deg_starts, degs)
+        run_all = targets + (np.repeat(np.asarray(ebs, dtype=np.int64), degs) + intra) * 4
+
+        # Record layout per expansion: [offset load][per-neighbour
+        # run/visited/parent(/store)]. Per-neighbour record width is
+        # 3 + store flag; expansion block length is 1 + sum of widths.
+        widths = mask_all.astype(np.int64) + 3
+        exp_units = 1 + np.add.reduceat(widths, deg_starts)
+        exp_pos = np.zeros(n_exp, dtype=np.int64)
+        np.cumsum(exp_units[:-1], out=exp_pos[1:])
+        total = int(exp_pos[-1] + exp_units[-1])
+        # Exclusive prefix of widths, rebased per expansion, gives each
+        # neighbour record's start position.
+        w_cum = np.zeros(len(widths), dtype=np.int64)
+        np.cumsum(widths[:-1], out=w_cum[1:])
+        pos = (
+            np.repeat(exp_pos, degs) + 1 + w_cum - np.repeat(w_cum[deg_starts], degs)
+        )
+
+        addrs = np.empty(total, dtype=np.int64)
+        ops = np.zeros(total, dtype=np.int64)  # LOAD everywhere but stores
+        sizes = np.full(total, 8, dtype=np.int64)
+        addrs[exp_pos] = offsets + np.asarray(us, dtype=np.int64) * 8
+        addrs[pos] = run_all
+        sizes[pos] = 4
+        addrs[pos + 1] = visited + neigh_all * 8
+        addrs[pos + 2] = parent + level_all * 8
+        store_pos = (pos + 3)[mask_all]
+        addrs[store_pos] = parent + neigh_all[mask_all] * 8
+        ops[store_pos] = int(MemOp.STORE)
+        n = n_accesses
+        return addrs[:n], sizes[:n], ops[:n]
+
+    def _core_stream_reference(
+        self, core_id: int, n_accesses: int, rng: np.random.Generator
+    ):
+        """Scalar per-expansion reference — the bit-identity contract for
+        ``_core_stream`` (see :func:`repro.workloads.base.reference_trace_gen`)."""
         n_vertices = self._s(_N_VERTICES, minimum=1 << 12)
         _, offsets, targets, parent, visited = _graph_layout(n_vertices)
         addrs = []

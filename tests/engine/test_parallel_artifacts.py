@@ -133,6 +133,69 @@ class TestStats:
             _suite(pipeline="three-phase")
 
 
+class TestFrontendEngineThreading:
+    """Phase 1 runs its per-benchmark trace+cache prefix on the batched
+    front-end when the engine resolves to batched; ``reference`` forces
+    the scalar generators and hierarchy. Both paths are bit-identical,
+    and cached pass artifacts are shared across engines."""
+
+    def test_trace_pass_engine_invariant(self):
+        import numpy as np
+
+        from repro.artifacts.pipeline import compute_trace_pass
+
+        ref = compute_trace_pass("gs", N, seed=SEED, engine="reference")
+        bat = compute_trace_pass("gs", N, seed=SEED, engine="auto")
+        np.testing.assert_array_equal(ref.raw, bat.raw)
+        assert ref.cache_metrics == bat.cache_metrics
+        assert ref.trace_end_cycle == bat.trace_end_cycle
+
+    def test_parallel_batched_prefix_matches_serial_reference(self):
+        """Satellite gate: pooled phase 1 on the batched front-end ==
+        serial phase 1 on the reference front-end, full RunResults."""
+        ref = _suite(
+            engine="reference", use_artifact_cache=False, max_workers=1,
+            pipeline="two-phase",
+        )
+        bat = _suite(
+            engine="auto", use_artifact_cache=False, max_workers=2,
+            pipeline="two-phase",
+        )
+        assert set(ref) == set(bat)
+        for key in ref:
+            assert ref[key] == bat[key], key
+
+    def test_cached_pass_shared_across_engines(self):
+        """Artifact keys ignore the engine (bit-identity makes the pass
+        engine-invariant): a prefix computed by one engine must serve
+        warm runs of the other."""
+        cold_stats: dict = {}
+        cold = _suite(
+            pipeline="two-phase", engine="reference", stats=cold_stats,
+        )
+        warm_stats: dict = {}
+        warm = _suite(
+            pipeline="two-phase", engine="batched", stats=warm_stats,
+        )
+        assert cold_stats["artifact_misses"] == len(BENCHES)
+        assert warm_stats["artifact_hits"] == len(BENCHES)
+        assert warm_stats["artifact_misses"] == 0
+        for key in cold:
+            assert cold[key] == warm[key], key
+
+    def test_run_comparison_engine_reaches_prefix(self):
+        ref = run_comparison(
+            "gs", kinds=KINDS, n_accesses=N, seed=SEED,
+            engine="reference", use_artifact_cache=False,
+        )
+        bat = run_comparison(
+            "gs", kinds=KINDS, n_accesses=N, seed=SEED,
+            engine="auto", use_artifact_cache=False,
+        )
+        for kind in KINDS:
+            assert ref[kind] == bat[kind]
+
+
 class TestParameterParity:
     """run_suite / run_suite_parallel must forward every run_benchmark
     knob (enumerated by inspection, so a knob added to run_benchmark

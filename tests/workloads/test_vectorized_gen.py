@@ -1,0 +1,83 @@
+"""Bit-identity gates for the vectorized trace generators.
+
+GS and BFS keep their original scalar implementations as
+``_core_stream_reference``; these tests pin the vectorized
+``_core_stream`` to the exact same output — addresses, sizes, ops, and
+full generated traces (which also covers RNG bit-stream consumption:
+any divergence in draw order desynchronizes every later column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng
+from repro.workloads.base import get_workload, reference_trace_gen
+
+
+def _columns(gen, core_id, count, which):
+    rng = make_rng(gen.seed, gen.name, f"core{core_id}")
+    fn = gen._core_stream if which == "fast" else gen._core_stream_reference
+    addrs, sizes, ops = fn(core_id, count, rng)
+    return (
+        np.asarray(addrs, dtype=np.int64),
+        np.asarray(sizes, dtype=np.int64),
+        np.asarray(ops, dtype=np.int64),
+    )
+
+
+@pytest.mark.parametrize("name", ["gs", "bfs"])
+@pytest.mark.parametrize("seed", [0, 1, 12345])
+@pytest.mark.parametrize("count", [1, 7, 13, 100, 2048])
+def test_core_stream_matches_reference(name, seed, count):
+    gen = get_workload(name, seed=seed)
+    for core_id in (0, 3):
+        fa, fs, fo = _columns(gen, core_id, count, "fast")
+        ra, rs, ro = _columns(gen, core_id, count, "reference")
+        np.testing.assert_array_equal(fa, ra)
+        np.testing.assert_array_equal(fs, rs)
+        np.testing.assert_array_equal(fo, ro)
+
+
+@pytest.mark.parametrize("name", ["gs", "bfs"])
+@pytest.mark.parametrize("scale", [0.125, 1.0, 2.0])
+def test_core_stream_matches_reference_across_scales(name, scale):
+    gen = get_workload(name, seed=7, scale=scale)
+    fa, fs, fo = _columns(gen, 0, 999, "fast")
+    ra, rs, ro = _columns(gen, 0, 999, "reference")
+    np.testing.assert_array_equal(fa, ra)
+    np.testing.assert_array_equal(fs, rs)
+    np.testing.assert_array_equal(fo, ro)
+
+
+@pytest.mark.parametrize("name", ["gs", "bfs"])
+def test_generated_trace_matches_reference(name):
+    """End-to-end: full multi-core traces are identical under the flag."""
+    fast = get_workload(name, seed=3).generate(4000, n_cores=8)
+    with reference_trace_gen():
+        ref = get_workload(name, seed=3).generate(4000, n_cores=8)
+    np.testing.assert_array_equal(fast.addrs, ref.addrs)
+    np.testing.assert_array_equal(fast.sizes, ref.sizes)
+    np.testing.assert_array_equal(fast.ops, ref.ops)
+    np.testing.assert_array_equal(fast.cores, ref.cores)
+    np.testing.assert_array_equal(fast.cycles, ref.cycles)
+
+
+def test_reference_flag_is_restored_on_exit():
+    from repro.workloads import base
+
+    assert base._REFERENCE_STREAMS is False
+    with pytest.raises(RuntimeError):
+        with reference_trace_gen():
+            assert base._REFERENCE_STREAMS is True
+            raise RuntimeError("boom")
+    assert base._REFERENCE_STREAMS is False
+
+
+def test_workloads_without_reference_variant_are_unaffected():
+    """The flag must be a no-op for generators with a single implementation."""
+    base_trace = get_workload("stream", seed=5).generate(1000, n_cores=4)
+    with reference_trace_gen():
+        flagged = get_workload("stream", seed=5).generate(1000, n_cores=4)
+    np.testing.assert_array_equal(base_trace.addrs, flagged.addrs)
