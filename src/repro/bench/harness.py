@@ -21,7 +21,10 @@ Methodology (pyperf-style):
   per-request object pipeline), and the two front-end stages likewise
   (``trace_gen``/``cache`` on the batched front-end,
   ``trace_gen_reference``/``cache_reference`` on the scalar reference),
-  so both engine speedups are first-class harness outputs;
+  and the device stage completes the set (``device`` = the batched
+  back-end's ``submit_window`` replay, ``device_reference`` = the
+  scalar per-packet ``submit`` loop), so all three engine speedups are
+  first-class harness outputs;
 * peak RSS comes from ``resource.getrusage`` (kilobytes on Linux).
 
 **Best vs median.** Every :class:`Timing` retains all samples, and
@@ -140,7 +143,10 @@ class StageTimes:
     The coalescer stage appears once per execution engine:
     ``coalescer`` is the batched kernel (what ``engine='auto'`` runs on
     a clean PAC configuration) and ``coalescer_reference`` the
-    per-request object pipeline it must stay bit-identical to.
+    per-request object pipeline it must stay bit-identical to. The
+    front-end (``trace_gen``/``cache``) and back-end (``device``)
+    stages follow the same convention with their own ``_reference``
+    legs.
     """
 
     timings: Dict[str, Timing] = field(default_factory=dict)
@@ -170,12 +176,24 @@ class StageTimes:
             return 0.0
         return (tg_ref.seconds + ca_ref.seconds) / fast
 
+    @property
+    def device_speedup(self) -> float:
+        """Reference-over-batched device-stage ratio (min over min, per
+        the harness selection rule); 0.0 when either leg is absent."""
+        bat = self.timings.get("device")
+        ref = self.timings.get("device_reference")
+        if bat is None or ref is None or bat.seconds <= 0:
+            return 0.0
+        return ref.seconds / bat.seconds
+
     def as_dict(self) -> Dict:
         doc = {name: t.as_dict() for name, t in self.timings.items()}
         if self.coalescer_speedup:
             doc["coalescer_speedup"] = self.coalescer_speedup
         if self.frontend_speedup:
             doc["frontend_speedup"] = self.frontend_speedup
+        if self.device_speedup:
+            doc["device_speedup"] = self.device_speedup
         return doc
 
 
@@ -354,6 +372,21 @@ class BenchReport:
             ref += legs[2].seconds + legs[3].seconds
         return ref / bat if bat > 0 else 0.0
 
+    @property
+    def device_stage_speedup(self) -> float:
+        """Suite-aggregate batched back-end speedup on the isolated
+        device stage: summed reference seconds over summed batched
+        seconds (min-of-N each). Same-host ratio — the machine-relative
+        stage gate compares it across runs, like the other two."""
+        ref = bat = 0.0
+        for stages in self.stages.values():
+            b = stages.timings.get("device")
+            r = stages.timings.get("device_reference")
+            if b is not None and r is not None:
+                bat += b.seconds
+                ref += r.seconds
+        return ref / bat if bat > 0 else 0.0
+
     def as_dict(self) -> Dict:
         return {
             "schema": "repro-bench/3",
@@ -372,6 +405,7 @@ class BenchReport:
                 "fraction_of_end_to_end": self.phase_fractions,
                 "coalescer_stage_speedup": self.coalescer_stage_speedup,
                 "frontend_stage_speedup": self.frontend_stage_speedup,
+                "device_stage_speedup": self.device_stage_speedup,
             },
         }
 
@@ -640,30 +674,34 @@ def _measure_stages(bench: str, cfg: BenchConfig) -> StageTimes:
         seconds=min(ref_samples), samples=ref_samples, items=n_items
     )
 
-    def device() -> int:
-        # Replay the PAC arm's issued packets straight into a fresh
-        # device — pure memory-model cost.
-        system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
-        outcome = system.coalescer.process(raw.requests, system.device)
-        replay_system = System(config=TABLE1, coalescer=CoalescerKind.PAC)
-        dev = replay_system.device
-        t0 = time.perf_counter()
-        for packet in outcome.issued:
-            dev.submit(packet, packet.issue_cycle)
-        device.inner_seconds = time.perf_counter() - t0
-        return len(outcome.issued)
+    setup = System(config=TABLE1, coalescer=CoalescerKind.PAC)
+    issued = setup.coalescer.process(raw.requests, setup.device).issued
 
-    device.inner_seconds = 0.0
-    # Time only the replay loop, not the setup run.
-    samples: List[float] = []
-    items = 0
-    for _ in range(cfg.warmup):
-        items = device()
-    for _ in range(cfg.repeats):
-        items = device()
-        samples.append(device.inner_seconds)
-    out.timings["device"] = Timing(
-        seconds=min(samples), samples=samples, items=items
+    def device_once(engine: str) -> float:
+        # Replay the PAC arm's issued packets straight into a fresh
+        # device — pure memory-model cost, once per back-end engine:
+        # the batched leg drives the window-at-a-time surface
+        # (``submit_window``), the reference leg the per-packet
+        # ``submit`` loop it must stay bit-identical to. Setup (the
+        # issuing run, device construction) stays outside the timer.
+        replay_system = System(
+            config=TABLE1, coalescer=CoalescerKind.PAC, engine=engine
+        )
+        dev = replay_system.device
+        if engine == "reference":
+            submit = dev.submit
+            t0 = time.perf_counter()
+            for packet in issued:
+                submit(packet, packet.issue_cycle)
+            return time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dev.submit_window(issued)
+        return time.perf_counter() - t0
+
+    out.timings["device"], out.timings["device_reference"] = (
+        _interleaved_engine_pair(
+            device_once, len(issued), cfg.repeats, cfg.warmup
+        )
     )
     return out
 

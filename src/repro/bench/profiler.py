@@ -3,7 +3,8 @@
 Where the harness (:mod:`repro.bench.harness`) answers *how fast*, this
 module answers *where the time goes*: each pipeline stage — both
 front-end engines of trace_gen and cache, both coalescer engines,
-device — runs once under :mod:`cProfile`, and the top functions by
+both device engines — runs once under :mod:`cProfile`, and the top
+functions by
 **cumulative time** are extracted per stage. Profiling adds interpreter overhead, so these
 numbers are for ranking hotspots, never for speedup claims; the
 harness's unprofiled timings remain the only quotable seconds.
@@ -41,7 +42,7 @@ PROFILE_STAGES = (
     "trace_gen", "trace_gen_reference",
     "cache", "cache_reference",
     "coalescer", "coalescer_reference",
-    "device",
+    "device", "device_reference",
 )
 
 
@@ -188,15 +189,23 @@ def profile_benchmark(bench: str, cfg: BenchConfig) -> Dict[str, StageProfile]:
     out["coalescer_reference"] = _profile_once(coalescer_for("reference"))
 
     setup = System(config=TABLE1, coalescer=CoalescerKind.PAC)
-    outcome = setup.coalescer.process(raw.requests, setup.device)
-    replay = System(config=TABLE1, coalescer=CoalescerKind.PAC)
+    issued = setup.coalescer.process(raw.requests, setup.device).issued
 
-    def device():
-        dev = replay.device
-        for packet in outcome.issued:
-            dev.submit(packet, packet.issue_cycle)
+    def device_for(engine: str) -> Callable[[], object]:
+        def run():
+            replay = System(
+                config=TABLE1, coalescer=CoalescerKind.PAC, engine=engine
+            )
+            dev = replay.device
+            if engine == "reference":
+                for packet in issued:
+                    dev.submit(packet, packet.issue_cycle)
+                return None
+            return dev.submit_window(issued)
+        return run
 
-    out["device"] = _profile_once(device)
+    out["device"] = _profile_once(device_for("auto"))
+    out["device_reference"] = _profile_once(device_for("reference"))
 
     for stage, prof in out.items():
         prof.stage = stage

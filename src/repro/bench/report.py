@@ -33,7 +33,9 @@ def write_report(report: BenchReport, path: Union[str, Path]) -> Path:
 #: ``totals.coalescer_stage_speedup``, later extended in place with the
 #: per-engine front-end stage timings
 #: (``trace_gen_reference``/``cache_reference``) and
-#: ``totals.frontend_stage_speedup``. The totals/end_to_end shape the
+#: ``totals.frontend_stage_speedup``, and again with the per-engine
+#: device stage timings (``device_reference``) and
+#: ``totals.device_stage_speedup``. The totals/end_to_end shape the
 #: throughput gate reads is unchanged, so older baselines still load
 #: (each stage gate simply skips baselines that predate its field).
 _SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
@@ -104,6 +106,8 @@ def render_report(report: BenchReport) -> str:
             parts += f" — engine {stages.coalescer_speedup:.2f}x"
         if stages.frontend_speedup:
             parts += f", frontend {stages.frontend_speedup:.2f}x"
+        if stages.device_speedup:
+            parts += f", device {stages.device_speedup:.2f}x"
         lines.append(f"  [{bench} stages] {parts}")
     if report.coalescer_stage_speedup:
         lines.append(
@@ -116,6 +120,12 @@ def render_report(report: BenchReport) -> str:
             f"  [engine] batched front-end (trace-gen + cache): "
             f"{report.frontend_stage_speedup:.2f}x aggregate over the "
             f"scalar reference (isolated stages, min-of-N)"
+        )
+    if report.device_stage_speedup:
+        lines.append(
+            f"  [engine] batched back-end (device): "
+            f"{report.device_stage_speedup:.2f}x aggregate over the "
+            f"scalar reference (isolated stage, min-of-N)"
         )
     suite = report.suite
     if suite is not None and suite.legacy is not None:
@@ -174,6 +184,11 @@ def compare_reports(
     if cur_fe and base_fe:
         out["current_frontend_speedup"] = cur_fe
         out["baseline_frontend_speedup"] = base_fe
+    cur_dev = current["totals"].get("device_stage_speedup", 0.0)
+    base_dev = baseline["totals"].get("device_stage_speedup", 0.0)
+    if cur_dev and base_dev:
+        out["current_device_speedup"] = cur_dev
+        out["baseline_device_speedup"] = base_dev
     return out
 
 
@@ -198,10 +213,40 @@ def check_regression(
     * **front-end-stage engine speedup** — the same machine-relative
       gate over ``totals.frontend_stage_speedup`` (the batched
       trace-gen + cache front-end vs the scalar reference), skipped for
-      baselines that predate the field.
+      baselines that predate the field;
+    * **back-end-stage engine speedup** — the same machine-relative
+      gate over ``totals.device_stage_speedup`` (the batched device
+      twin vs the scalar per-packet reference).
+
+    Non-positive timings are rejected **loudly** before any ratio is
+    formed: ``Timing.items_per_second`` returns ``0.0`` for a
+    zero-duration sample (a rendering safety), which would otherwise
+    flow into these gates as a vacuously-passing or infinite ratio. A
+    current report with a non-positive gated timing, or a baseline with
+    non-positive throughput, is a broken measurement, not a pass.
     """
     baseline = load_report_dict(baseline_path)
-    cmp = compare_reports(current, baseline)
+    cur_doc = current.as_dict() if isinstance(current, BenchReport) else current
+    for bench, timing in cur_doc.get("end_to_end", {}).items():
+        if timing.get("seconds", 0.0) <= 0:
+            raise RegressionError(
+                f"non-positive end-to-end timing for {bench!r} "
+                f"(seconds={timing.get('seconds')!r}): a zero-duration "
+                "measurement gates vacuously — refusing to compare"
+            )
+    cmp = compare_reports(cur_doc, baseline)
+    if cmp["current_rps"] <= 0:
+        raise RegressionError(
+            "current report has non-positive aggregate throughput "
+            f"({cmp['current_rps']!r} req/s) — broken measurement, "
+            "not a pass"
+        )
+    if cmp["baseline_rps"] <= 0:
+        raise RegressionError(
+            f"baseline {baseline_path} has non-positive aggregate "
+            f"throughput ({cmp['baseline_rps']!r} req/s) — regenerate "
+            "the baseline instead of gating against it"
+        )
     floor = 1.0 - max_regression
     if cmp["speedup"] < floor:
         raise RegressionError(
@@ -228,6 +273,15 @@ def check_regression(
                 f"front-end-stage engine speedup regressed: "
                 f"{cmp['current_frontend_speedup']:.2f}x vs baseline "
                 f"{cmp['baseline_frontend_speedup']:.2f}x "
+                f"({ratio:.2f}x, floor {floor:.2f}x of {baseline_path})"
+            )
+    if "current_device_speedup" in cmp:
+        ratio = cmp["current_device_speedup"] / cmp["baseline_device_speedup"]
+        if ratio < floor:
+            raise RegressionError(
+                f"back-end-stage engine speedup regressed: "
+                f"{cmp['current_device_speedup']:.2f}x vs baseline "
+                f"{cmp['baseline_device_speedup']:.2f}x "
                 f"({ratio:.2f}x, floor {floor:.2f}x of {baseline_path})"
             )
     return cmp

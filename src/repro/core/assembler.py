@@ -7,7 +7,7 @@ per request): "a coalesced request can be issued every 2 cycles".
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.stats import StatsRegistry
 from repro.common.types import CoalescedRequest, PAGE_BYTES, new_packet
@@ -27,7 +27,7 @@ class RequestAssembler:
     def __init__(
         self,
         protocol: MemoryProtocol,
-        table: CoalescingTable = None,
+        table: Optional[CoalescingTable] = None,
         probes=NULL_TELEMETRY,
     ) -> None:
         self.protocol = protocol

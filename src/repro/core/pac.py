@@ -49,8 +49,8 @@ class PagedAdaptiveCoalescer(Coalescer):
 
     def __init__(
         self,
-        config: PACConfig = None,
-        protocol: MemoryProtocol = None,
+        config: Optional[PACConfig] = None,
+        protocol: Optional[MemoryProtocol] = None,
         probes=NULL_TELEMETRY,
         spans=NULL_SPANS,
     ) -> None:

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.common.types import (
     CACHE_LINE_BYTES,
@@ -104,8 +104,8 @@ class BatchedPagedAdaptiveCoalescer(PagedAdaptiveCoalescer):
 
     def __init__(
         self,
-        config: PACConfig = None,
-        protocol: MemoryProtocol = None,
+        config: Optional[PACConfig] = None,
+        protocol: Optional[MemoryProtocol] = None,
         probes=NULL_TELEMETRY,
         spans=NULL_SPANS,
     ) -> None:

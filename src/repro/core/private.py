@@ -13,7 +13,7 @@ traces.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.common.types import MemoryRequest
 from repro.config import PACConfig
@@ -28,8 +28,8 @@ class PrivateCoalescerArray(Coalescer):
     def __init__(
         self,
         n_cores: int = 8,
-        config: PACConfig = None,
-        protocol: MemoryProtocol = None,
+        config: Optional[PACConfig] = None,
+        protocol: Optional[MemoryProtocol] = None,
     ) -> None:
         super().__init__("private-pac")
         if n_cores <= 0:

@@ -11,7 +11,7 @@ tags so one comparison covers page number and request type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common import bitops
 from repro.common.types import PAGE_BYTES, MemOp, MemoryRequest
@@ -119,7 +119,7 @@ def new_stream(
     req: MemoryRequest,
     protocol: MemoryProtocol,
     now: int,
-    tag: int = None,
+    tag: Optional[int] = None,
 ) -> CoalescingStream:
     """Allocate a stream for ``req``'s page and record the request.
 

@@ -21,12 +21,11 @@ engine can swap it in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.common.stats import StatsRegistry
 from repro.common.types import CoalescedRequest
 from repro.hmc.power import EnergyModel
-from repro.telemetry import NULL_SPANS, NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -71,10 +70,20 @@ class DDRDevice:
     """Open-page DDR4 behind per-channel shared data buses."""
 
     def __init__(
-        self, config: DDRConfig = None, probes=NULL_TELEMETRY,
-        spans=NULL_SPANS,
+        self, config: Optional[DDRConfig] = None, probes=None, spans=None,
     ) -> None:
         self.config = config if config is not None else DDRConfig()
+        # None-resolve convention (matches HMCDevice): the module-level
+        # null singletons are bound here, never as evaluated-at-import
+        # default arguments.
+        if probes is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            probes = NULL_TELEMETRY
+        if spans is None:
+            from repro.telemetry import NULL_SPANS
+
+            spans = NULL_SPANS
         self._spans = spans
         self._spans_on = spans.enabled
         cfg = self.config

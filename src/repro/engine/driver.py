@@ -76,12 +76,16 @@ def run_benchmark(
     structured event log (:mod:`repro.telemetry.events`): ``None``
     keeps whatever is active (including a ``$REPRO_EVENTS`` sink), a
     path or :class:`~repro.telemetry.events.EventLog` installs one for
-    the call, ``False`` force-disables. ``engine`` selects the coalescer
-    execution path: ``"reference"`` (the per-request object pipeline),
-    ``"batched"`` (the bit-identical array-backed kernel, PAC-only), or
-    ``"auto"`` (default; batched when applicable, demoting to reference
-    — with a ``demote`` event — when telemetry, spans, a non-PAC arm,
-    or active fault injection make the batched path inapplicable).
+    the call, ``False`` force-disables. ``engine`` selects the
+    execution path per component — the coalescer kernel (``"batched"``
+    is the bit-identical array-backed kernel, PAC-only), the cache
+    front-end, and the memory-device back-end (every protocol has a
+    batched twin): ``"reference"`` pins all three to the per-request
+    object pipelines, ``"auto"`` (default) resolves each component to
+    its batched engine when applicable, demoting to reference — with
+    one ``demote`` event per component — when telemetry, spans, a
+    non-PAC arm (coalescer only), or active fault injection make the
+    batched path inapplicable.
     """
     with ev.installed(ev.resolve_events(events)) as log, _fault_scope(faults):
         if log.enabled:
@@ -150,7 +154,9 @@ def run_comparison(
     The shared trace+cache prefix resolves the same knob for its
     front-end (``"reference"`` forces the scalar generators and
     hierarchy; the default takes the batched front-end — bit-identical
-    either way, so cached artifacts are engine-invariant).
+    either way, so cached artifacts are engine-invariant). Each arm's
+    back-end resolves likewise: the default runs the batched device
+    twin, bit-identical by the same contract.
     """
     out: Dict[CoalescerKind, RunResult] = {}
     with ev.installed(ev.resolve_events(events)) as log, _fault_scope(faults):

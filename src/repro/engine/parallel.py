@@ -374,7 +374,10 @@ def run_suite_parallel(
     the default runs the batched front-end, ``engine="reference"``
     forces the scalar generators and hierarchy — bit-identical by the
     front-end contract, so artifact keys and cached passes are shared
-    across engines.
+    across engines. The back-end resolves per worker too: each phase-2
+    job constructs its own ``System``, so its device twin (batched by
+    default, reference under blockers) is chosen inside the worker
+    process, never inherited from the parent.
     """
     if pipeline not in ("auto", "two-phase", "per-job"):
         raise ValueError(f"unknown pipeline {pipeline!r}")

@@ -98,13 +98,32 @@ class System:
         else:
             self.spans = spans
         span_rec = self.spans if self.spans is not None else NULL_SPANS
+        # Engines resolve before the device is constructed — the device
+        # build below dispatches on ``backend_engine`` — in demotion-rung
+        # order: coalescer first (the historical event), then front-end,
+        # then back-end. The resolvers read only the arm and the
+        # telemetry/span/fault blockers, never the probe scopes, so
+        # probe registration order (device, cache, coalescer) is
+        # unchanged from the historical wiring.
+        self.engine = self._resolve_engine(engine)
+        self.frontend_engine = self._resolve_frontend_engine(engine)
+        self.backend_engine = self._resolve_backend_engine(engine)
+        batched_device = self.backend_engine == "batched"
         if device == "hmc":
-            self.device = HMCDevice(
+            if batched_device:
+                from repro.hmc.batched import BatchedHMCDevice as _hmc_cls
+            else:
+                _hmc_cls = HMCDevice
+            self.device = _hmc_cls(
                 config.hmc, probes=probes.scope("device"), spans=span_rec
             )
             default_protocol = HMC2_FINE if fine_grain else HMC2
         elif device == "hbm":
-            self.device = HBMDevice(
+            if batched_device:
+                from repro.hmc.batched import BatchedHBMDevice as _hbm_cls
+            else:
+                _hbm_cls = HBMDevice
+            self.device = _hbm_cls(
                 hbm_config(), probes=probes.scope("device"), spans=span_rec
             )
             from repro.core.protocols import HBM as HBM_PROTO
@@ -113,9 +132,12 @@ class System:
         elif device == "ddr":
             # Conventional DDR4 foil (Section 2): open-page, fixed 64B
             # bursts. Coalesced packets transfer as consecutive bursts.
-            from repro.ddr.device import DDRDevice
+            if batched_device:
+                from repro.ddr.batched import BatchedDDRDevice as _ddr_cls
+            else:
+                from repro.ddr.device import DDRDevice as _ddr_cls
 
-            self.device = DDRDevice(
+            self.device = _ddr_cls(
                 probes=probes.scope("device"), spans=span_rec
             )
             default_protocol = HMC2_FINE if fine_grain else HMC2
@@ -138,15 +160,11 @@ class System:
         # touch the caches, so they skip constructing per-core L1s + LLC
         # entirely. Probe runs build it eagerly to keep the probe
         # registration order (cache before coalescer) identical to the
-        # historical wiring. Engines resolve first — the eager build
-        # dispatches on ``frontend_engine`` — and the coalescer engine
-        # resolves before the front-end so a doubly-demoted ``auto``
-        # run logs the coalescer rung first (the historical event).
+        # historical wiring; the eager build dispatches on the
+        # ``frontend_engine`` resolved above.
         self._probes = probes
         self._span_rec = span_rec
         self._hierarchy: Optional[CacheHierarchy] = None
-        self.engine = self._resolve_engine(engine)
-        self.frontend_engine = self._resolve_frontend_engine(engine)
         if self.telemetry is not None or self.spans is not None:
             _ = self.hierarchy
         self.coalescer = self._build_coalescer(probes, span_rec)
@@ -256,6 +274,52 @@ class System:
             ))
         return "reference"
 
+    def _resolve_backend_engine(self, engine: str) -> str:
+        """Resolve the back-end (memory device) engine.
+
+        Every protocol has a batched twin
+        (:class:`repro.hmc.batched.BatchedHMCDevice` /
+        ``BatchedHBMDevice`` / :class:`repro.ddr.batched.
+        BatchedDDRDevice`), so like the front-end this resolution is
+        arm-independent. The blockers match the other two components' —
+        the batched device defers every observable side effect past the
+        per-packet probe/span windows, and active fault injection
+        targets the reference path — and ``auto`` demotes per
+        component, logging its own ``demote`` event under the
+        ``engine:backend`` rung (ordered after the front-end's).
+        """
+        if engine == "reference":
+            return "reference"
+        from repro.faults import active as faults_active
+
+        blockers = []
+        if self.telemetry is not None:
+            blockers.append("telemetry")
+        if self.spans is not None:
+            blockers.append("spans")
+        if faults_active().enabled:
+            blockers.append("faults")
+        if not blockers:
+            return "batched"
+        if engine == "batched":
+            # Unreachable today: _resolve_engine already raised for
+            # every explicit-batched blocker combination. Kept so the
+            # back-end resolver stands on its own.
+            raise ValueError(
+                "engine='batched' is incompatible with "
+                f"{'+'.join(blockers)} — use engine='reference' (or "
+                "'auto' to demote automatically)"
+            )
+        from repro.telemetry import events as ev
+
+        log = ev.active()
+        if log.enabled:
+            log.emit(ev.Demoted(
+                rung="engine:backend:batched->reference",
+                label="+".join(blockers),
+            ))
+        return "reference"
+
     @property
     def hierarchy(self) -> CacheHierarchy:
         if self._hierarchy is None:
@@ -325,7 +389,7 @@ class System:
         self,
         benchmarks: Sequence[str],
         n_accesses: int,
-        seed: int = None,
+        seed: Optional[int] = None,
         scale=1.0,
     ) -> AccessTrace:
         """Generate and translate the physical-address trace.
@@ -353,7 +417,7 @@ class System:
         self,
         benchmarks: Sequence[str],
         n_accesses: int,
-        seed: int,
+        seed: Optional[int],
         scale,
     ) -> AccessTrace:
         seed = self.config.seed if seed is None else seed
@@ -403,6 +467,10 @@ class System:
         cache_metrics = self.hierarchy.summary_metrics(len(raw.requests))
         trace_end = int(trace.cycles[-1]) if len(trace) else 0
         outcome = self.coalescer.process(raw.requests, self.device)
+        if self.backend_engine == "batched":
+            # Merge the device's deferred window accounting before
+            # build_result reads its stats/energy surfaces.
+            self.device.sync()
         span_trace = None
         if self.spans is not None:
             span_trace = self.spans.finalize(
@@ -449,6 +517,8 @@ class System:
                 "probes must observe — use run_trace/run for probe runs"
             )
         outcome = self.coalescer.process(requests, self.device)
+        if self.backend_engine == "batched":
+            self.device.sync()
         return build_result(
             benchmark=benchmark,
             coalescer_name=self.kind.value,
@@ -480,7 +550,7 @@ class System:
         self,
         benchmark: str,
         n_accesses: int,
-        seed: int = None,
+        seed: Optional[int] = None,
         extra_benchmarks: Sequence[str] = (),
         scale=1.0,
     ) -> RunResult:

@@ -11,7 +11,7 @@ PAC removes the four-activations-per-row pathology of raw 64B requests
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.common.stats import StatsRegistry
 from repro.mem.address import AddressMap
@@ -42,7 +42,8 @@ class BankArray:
         self._c_activations = self.stats.counter("activations")
 
     def access(
-        self, addr: int, size: int, cycle: int, vb0: Tuple[int, int] = None
+        self, addr: int, size: int, cycle: int,
+        vb0: Optional[Tuple[int, int]] = None,
     ) -> Tuple[int, int]:
         """Perform a (possibly multi-row) access beginning at ``cycle``.
 

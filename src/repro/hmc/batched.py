@@ -1,0 +1,503 @@
+"""Array-backed back-end engine: the batched HMC/HBM device twins.
+
+:class:`BatchedHMCDevice` re-implements the :class:`repro.hmc.device.
+HMCDevice` ``submit`` path with **deferred accounting**: the queueing
+arithmetic (link serialization, crossbar routing, vault admission, bank
+busy-until) is unchanged — it is the feedback loop the coalescer's MSHR
+release heap depends on, so each packet's completion cycle must be
+available immediately — but every observable side effect (StatsRegistry
+counters, the latency accumulator, EnergyModel charges) lands in a flat
+window accumulator and is merged into the shared registries once per
+:meth:`sync`, not once per packet.
+
+Two call surfaces share that accumulator:
+
+* :meth:`submit` — the :class:`repro.mshr.dmc.MemoryDevice` protocol
+  method, used inside coalescer runs. Identical timing maths to the
+  reference, with the per-packet counter/energy/accumulator writes
+  replaced by indexed increments on one local list.
+* :meth:`submit_window` — a window-at-a-time entry point for replaying
+  a pre-issued packet stream (the bench harness's isolated device
+  stage). The whole loop runs on hoisted locals — busy-horizon lists,
+  bank dicts, flit memos, plain-int window counters — and merges once
+  at the end.
+
+**Bit-identity.** The merged totals equal the reference's per-packet
+accumulation bitwise: six of the seven energy categories carry
+integer-valued pJ constants, so summing integer quantities and
+multiplying once is exact below 2**53. DRAM-TRANSFER (1.2 pJ/byte is
+not exactly representable) is the one category that cannot defer — a
+window-merged partial sum rounds differently from the reference's
+running total once that total is nonzero — so it alone is charged live
+per packet, in packet order, exactly as the reference charges it.
+Latency samples are integral floats, covered by the same exactness
+argument ``Accumulator.add_repeat`` documents (counts and sums stay
+exact integers until the merge). Structural state (link/vault/bank
+busy horizons, bank
+access counts, the round-robin cursor) is shared live with the parent,
+so residual state matches the reference after every packet.
+
+The engine refuses configurations it cannot uphold bit-identity for:
+enabled telemetry probes, span tracing, or a per-packet ``Telemetry``
+instance raise ``ValueError`` at construction (mirroring
+:class:`repro.core.pac_batched.BatchedPagedAdaptiveCoalescer`), and
+``System`` demotes ``engine="auto"`` to the reference device in those
+cases under the ``engine:backend:batched->reference`` rung.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import List, Optional
+
+from repro.common.types import HMC_CONTROL_OVERHEAD_BYTES, MemOp
+from repro.config import HMCConfig
+from repro.hmc.device import (
+    LOCAL_ROUTE_CYCLES,
+    REMOTE_ROUTE_CYCLES,
+    HMCDevice,
+)
+from repro.hmc.hbm import hbm_config
+from repro.hmc.link import CYCLES_PER_FLIT
+from repro.hmc.vault import VAULT_CTRL_CYCLES
+
+#: Window-accumulator slots — all integer counts. DRAM-TRANSFER is
+#: deliberately absent: its pJ constant (1.2) is not exactly
+#: representable, so it charges live per packet (see module docstring).
+(
+    _W_PACKETS,
+    _W_PAYLOAD,
+    _W_REQ_FLITS,
+    _W_RSP_FLITS,
+    _W_LOCAL,
+    _W_REMOTE,
+    _W_LOCAL_FLITS,
+    _W_REMOTE_FLITS,
+    _W_ADMITTED,
+    _W_QWAIT,
+    _W_RQST_SLOT,
+    _W_RSP_SLOT,
+    _W_CONFLICTS,
+    _W_ACTIVATIONS,
+    _W_ACT_ROWS,
+) = range(15)
+
+_W_SLOTS = 15
+
+
+def _fresh_window() -> List[int]:
+    return [0] * _W_SLOTS
+
+
+class BatchedHMCDevice(HMCDevice):
+    """HMCDevice with deferred window accounting (the back-end engine)."""
+
+    def __init__(
+        self,
+        config: Optional[HMCConfig] = None,
+        telemetry=False,
+        probes=None,
+        spans=None,
+    ) -> None:
+        if telemetry is not False and telemetry is not None:
+            raise ValueError(
+                "BatchedHMCDevice records no per-packet telemetry; "
+                "use HMCDevice (engine='reference') for telemetry runs"
+            )
+        if probes is not None and probes.enabled:
+            raise ValueError(
+                "BatchedHMCDevice defers all accounting past the probe "
+                "windows; use HMCDevice (engine='reference') for probe runs"
+            )
+        if spans is not None and spans.enabled:
+            raise ValueError(
+                "BatchedHMCDevice materializes no per-packet segments; "
+                "use HMCDevice (engine='reference') for span runs"
+            )
+        super().__init__(config, telemetry=False, probes=probes, spans=spans)
+        self._w = _fresh_window()
+        # Deferred latency accumulator: [count, total, min, max, sumsq].
+        self._w_lat: List = [0, 0, inf, -inf, 0]
+
+    # -- MemoryDevice protocol --------------------------------------------- #
+
+    def submit(self, packet, cycle: int) -> int:
+        """Reference timing maths, deferred accounting.
+
+        The returned completion cycle (and all busy-horizon state) is
+        bit-identical to :meth:`HMCDevice.submit`; the counter /
+        energy / latency effects sit in the window until :meth:`sync`.
+        """
+        size = packet.size
+        if size > self._max_packet_bytes:
+            raise ValueError(
+                f"packet of {size}B exceeds device maximum "
+                f"{self._max_packet_bytes}B"
+            )
+        is_store = packet.op == MemOp.STORE
+        flit_cache = self._flits_store if is_store else self._flits_load
+        flits = flit_cache.get(size)
+        if flits is None:
+            flits = self._flits_for(size, is_store)
+            flit_cache[size] = flits
+        req_flits = flits.request
+        rsp_flits = flits.response
+        addr = packet.addr
+        single_row = False
+        if self._am_vault_first and addr >= 0:
+            row_shift = self._am_row_shift
+            row_index = addr >> row_shift
+            vault = row_index & self._am_vault_mask
+            vb = (
+                vault,
+                (row_index >> self._am_vault_shift) & self._am_bank_mask,
+            )
+            single_row = (addr + size - 1) >> row_shift == row_index
+        else:
+            vb = self._vault_bank(addr)
+            vault = vb[0]
+        w = self._w
+
+        # 1. Link serialization (request direction).
+        if self.route_by_address:
+            link = vault % self._n_links
+        else:
+            links = self.links
+            link = links._rr
+            links._rr = (link + 1) % self._n_links
+        req_busy = self._req_busy
+        start = req_busy[link]
+        if cycle > start:
+            start = cycle
+        t = start + req_flits * CYCLES_PER_FLIT
+        req_busy[link] = t
+        w[_W_REQ_FLITS] += req_flits
+
+        # 2. Crossbar routing (energy deferred as FLIT counts).
+        local = vault // self._vaults_per_link == link
+        if local:
+            t += LOCAL_ROUTE_CYCLES
+            w[_W_LOCAL] += 1
+            w[_W_LOCAL_FLITS] += req_flits + rsp_flits
+        else:
+            t += REMOTE_ROUTE_CYCLES
+            w[_W_REMOTE] += 1
+            w[_W_REMOTE_FLITS] += req_flits + rsp_flits
+
+        # 3. Vault admission (slot cycles deferred as an int sum).
+        arrival_at_vault = t
+        vault_busy = self._vault_busy
+        start = vault_busy[vault]
+        if t > start:
+            start = t
+        t = start + VAULT_CTRL_CYCLES
+        vault_busy[vault] = t
+        w[_W_ADMITTED] += 1
+        wait = start - arrival_at_vault
+        if wait > 0:
+            w[_W_QWAIT] += wait
+        w[_W_RQST_SLOT] += t - arrival_at_vault + 1
+
+        # 4. DRAM access. The multi-row fallback writes its counters
+        # straight through BankArray.access — counter addition commutes,
+        # so the post-sync totals still match the reference exactly.
+        if single_row:
+            busy_until = self._bank_busy_until
+            busy = busy_until.get(vb, 0)
+            if busy > t:
+                w[_W_CONFLICTS] += 1
+                start = busy
+            else:
+                start = t
+            end = start + self._bank_cycles
+            busy_until[vb] = end
+            counts = self._bank_counts
+            counts[vb] = counts.get(vb, 0) + 1
+            w[_W_ACTIVATIONS] += 1
+            t = end
+            n_rows = 1
+        else:
+            t, n_rows = self.banks.access(addr, size, t, vb0=vb)
+        w[_W_ACT_ROWS] += n_rows
+        # Charged live, in packet order: see the module docstring.
+        self._pj_store["DRAM-TRANSFER"] += size * self._pj_dram_transfer
+
+        # 5. Response route + serialization.
+        route_back = LOCAL_ROUTE_CYCLES if local else REMOTE_ROUTE_CYCLES
+        response_ready = t + route_back
+        rsp_busy = self._rsp_busy
+        start = rsp_busy[link]
+        if response_ready > start:
+            start = response_ready
+        completion = start + rsp_flits * CYCLES_PER_FLIT
+        rsp_busy[link] = completion
+        w[_W_RSP_FLITS] += rsp_flits
+        w[_W_RSP_SLOT] += completion - t + 1
+
+        # Accounting, deferred.
+        w[_W_PACKETS] += 1
+        w[_W_PAYLOAD] += size
+        latency = completion - cycle
+        lat = self._w_lat
+        lat[0] += 1
+        lat[1] += latency
+        lat[4] += latency * latency
+        if latency < lat[2]:
+            lat[2] = latency
+        if latency > lat[3]:
+            lat[3] = latency
+        return completion
+
+    def submit_window(self, packets) -> List[int]:
+        """Replay ``packets`` (each carrying ``issue_cycle``) in one
+        hoisted-local sweep; merge accounting once; return completions.
+
+        This is the array-processing surface the bench harness's
+        isolated device stage drives: window counters live in plain
+        local ints, busy horizons and bank maps in pre-bound locals,
+        and the single :meth:`sync` at the end performs the only
+        registry/energy writes of the whole window.
+        """
+        # Flush any scalar-submit residue first so the merge below owns
+        # the window exclusively.
+        self.sync()
+        completions: List[int] = []
+        out = completions.append
+
+        max_packet = self._max_packet_bytes
+        flits_load = self._flits_load
+        flits_store = self._flits_store
+        flits_for = self._flits_for
+        store_op = MemOp.STORE
+        am_vault_first = self._am_vault_first
+        am_row_shift = self._am_row_shift
+        am_vault_mask = self._am_vault_mask
+        am_vault_shift = self._am_vault_shift
+        am_bank_mask = self._am_bank_mask
+        vault_bank = self._vault_bank
+        route_by_address = self.route_by_address
+        n_links = self._n_links
+        vaults_per_link = self._vaults_per_link
+        links = self.links
+        rr = links._rr
+        req_busy = self._req_busy
+        rsp_busy = self._rsp_busy
+        vault_busy = self._vault_busy
+        bank_busy = self._bank_busy_until
+        bank_counts = self._bank_counts
+        bank_cycles = self._bank_cycles
+        banks_access = self.banks.access
+        pj_store = self._pj_store
+        pj_transfer = self._pj_dram_transfer
+        local_route = LOCAL_ROUTE_CYCLES
+        remote_route = REMOTE_ROUTE_CYCLES
+        ctrl_cycles = VAULT_CTRL_CYCLES
+        per_flit = CYCLES_PER_FLIT
+
+        w_packets = w_payload = 0
+        w_req_flits = w_rsp_flits = 0
+        w_local = w_remote = 0
+        w_local_flits = w_remote_flits = 0
+        w_qwait = w_rqst_slot = w_rsp_slot = 0
+        w_conflicts = w_activations = w_act_rows = 0
+        lat_n = lat_total = lat_sumsq = 0
+        lat_min = inf
+        lat_max = -inf
+
+        for packet in packets:
+            cycle = packet.issue_cycle
+            size = packet.size
+            if size > max_packet:
+                raise ValueError(
+                    f"packet of {size}B exceeds device maximum "
+                    f"{max_packet}B"
+                )
+            is_store = packet.op == store_op
+            flit_cache = flits_store if is_store else flits_load
+            flits = flit_cache.get(size)
+            if flits is None:
+                flits = flits_for(size, is_store)
+                flit_cache[size] = flits
+            req_flits = flits.request
+            rsp_flits = flits.response
+            addr = packet.addr
+            single_row = False
+            if am_vault_first and addr >= 0:
+                row_index = addr >> am_row_shift
+                vault = row_index & am_vault_mask
+                vb = (
+                    vault,
+                    (row_index >> am_vault_shift) & am_bank_mask,
+                )
+                single_row = (addr + size - 1) >> am_row_shift == row_index
+            else:
+                vb = vault_bank(addr)
+                vault = vb[0]
+
+            if route_by_address:
+                link = vault % n_links
+            else:
+                link = rr
+                rr = (link + 1) % n_links
+            start = req_busy[link]
+            if cycle > start:
+                start = cycle
+            t = start + req_flits * per_flit
+            req_busy[link] = t
+            w_req_flits += req_flits
+
+            local = vault // vaults_per_link == link
+            if local:
+                t += local_route
+                w_local += 1
+                w_local_flits += req_flits + rsp_flits
+            else:
+                t += remote_route
+                w_remote += 1
+                w_remote_flits += req_flits + rsp_flits
+
+            arrival_at_vault = t
+            start = vault_busy[vault]
+            if t > start:
+                start = t
+            t = start + ctrl_cycles
+            vault_busy[vault] = t
+            wait = start - arrival_at_vault
+            if wait > 0:
+                w_qwait += wait
+            w_rqst_slot += t - arrival_at_vault + 1
+
+            if single_row:
+                busy = bank_busy.get(vb, 0)
+                if busy > t:
+                    w_conflicts += 1
+                    start = busy
+                else:
+                    start = t
+                end = start + bank_cycles
+                bank_busy[vb] = end
+                bank_counts[vb] = bank_counts.get(vb, 0) + 1
+                w_activations += 1
+                t = end
+                n_rows = 1
+            else:
+                t, n_rows = banks_access(addr, size, t, vb0=vb)
+            w_act_rows += n_rows
+            pj_store["DRAM-TRANSFER"] += size * pj_transfer
+
+            route_back = local_route if local else remote_route
+            response_ready = t + route_back
+            start = rsp_busy[link]
+            if response_ready > start:
+                start = response_ready
+            completion = start + rsp_flits * per_flit
+            rsp_busy[link] = completion
+            w_rsp_flits += rsp_flits
+            w_rsp_slot += completion - t + 1
+
+            w_packets += 1
+            w_payload += size
+            latency = completion - cycle
+            lat_n += 1
+            lat_total += latency
+            lat_sumsq += latency * latency
+            if latency < lat_min:
+                lat_min = latency
+            if latency > lat_max:
+                lat_max = latency
+            out(completion)
+
+        links._rr = rr
+        w = self._w
+        w[_W_PACKETS] = w_packets
+        w[_W_PAYLOAD] = w_payload
+        w[_W_REQ_FLITS] = w_req_flits
+        w[_W_RSP_FLITS] = w_rsp_flits
+        w[_W_LOCAL] = w_local
+        w[_W_REMOTE] = w_remote
+        w[_W_LOCAL_FLITS] = w_local_flits
+        w[_W_REMOTE_FLITS] = w_remote_flits
+        w[_W_ADMITTED] = w_packets
+        w[_W_QWAIT] = w_qwait
+        w[_W_RQST_SLOT] = w_rqst_slot
+        w[_W_RSP_SLOT] = w_rsp_slot
+        w[_W_CONFLICTS] = w_conflicts
+        w[_W_ACTIVATIONS] = w_activations
+        w[_W_ACT_ROWS] = w_act_rows
+        lat = self._w_lat
+        lat[0] = lat_n
+        lat[1] = lat_total
+        lat[2] = lat_min
+        lat[3] = lat_max
+        lat[4] = lat_sumsq
+        self.sync()
+        return completions
+
+    # -- merge point -------------------------------------------------------- #
+
+    def sync(self) -> None:
+        """Merge the window accumulator into the shared registries.
+
+        Counter merges are integer sums (order-free, exact); integer-pJ
+        energy categories multiply their deferred quantity once (exact
+        below 2**53); the latency accumulator merges exact-integer
+        window sums. DRAM-TRANSFER never appears here — it charged
+        live, per packet (see module docstring). Idempotent when the
+        window is empty.
+        """
+        w = self._w
+        self._c_packets.value += w[_W_PACKETS]
+        self._c_payload.value += w[_W_PAYLOAD]
+        self._c_txbytes.value += (
+            w[_W_PAYLOAD] + HMC_CONTROL_OVERHEAD_BYTES * w[_W_PACKETS]
+        )
+        self._c_local_routes.value += w[_W_LOCAL]
+        self._c_remote_routes.value += w[_W_REMOTE]
+        self._lc_req_flits.value += w[_W_REQ_FLITS]
+        self._lc_rsp_flits.value += w[_W_RSP_FLITS]
+        self._vc_admitted.value += w[_W_ADMITTED]
+        self._vc_queue_wait.value += w[_W_QWAIT]
+        self._bc_conflicts.value += w[_W_CONFLICTS]
+        self._bc_activations.value += w[_W_ACTIVATIONS]
+        pj_store = self._pj_store
+        pj_store["VAULT-RQST-SLOT"] += w[_W_RQST_SLOT] * self._pj_rqst_slot
+        pj_store["VAULT-RSP-SLOT"] += w[_W_RSP_SLOT] * self._pj_rsp_slot
+        pj_store["VAULT-CTRL"] += w[_W_PACKETS] * self._pj_vault_ctrl
+        pj_store["LINK-LOCAL-ROUTE"] += (
+            w[_W_LOCAL_FLITS] * self._pj_link_local
+        )
+        pj_store["LINK-REMOTE-ROUTE"] += (
+            w[_W_REMOTE_FLITS] * self._pj_link_remote
+        )
+        pj_store["DRAM-ACTIVATE"] += w[_W_ACT_ROWS] * self._pj_dram_activate
+        lat = self._w_lat
+        if lat[0]:
+            acc = self._acc_latency
+            acc.count += lat[0]
+            acc.total += lat[1]
+            acc._sumsq += lat[4]
+            if lat[2] < acc.min:
+                acc.min = lat[2]
+            if lat[3] > acc.max:
+                acc.max = lat[3]
+        self._w = _fresh_window()
+        self._w_lat = [0, 0, inf, -inf, 0]
+
+
+class BatchedHBMDevice(BatchedHMCDevice):
+    """HBM twin: batched engine on the HBM-shaped geometry, with the
+    address-routed (per-channel) link selection of
+    :class:`repro.hmc.hbm.HBMDevice`."""
+
+    def __init__(
+        self,
+        config: Optional[HMCConfig] = None,
+        probes=None,
+        spans=None,
+    ) -> None:
+        super().__init__(
+            config if config is not None else hbm_config(),
+            probes=probes,
+            spans=spans,
+        )
+        self.route_by_address = True

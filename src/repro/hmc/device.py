@@ -18,6 +18,8 @@ Implements the :class:`repro.mshr.dmc.MemoryDevice` protocol —
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.stats import StatsRegistry
 from repro.common.types import (
     HMC_CONTROL_OVERHEAD_BYTES,
@@ -44,7 +46,7 @@ class HMCDevice:
     """
 
     def __init__(
-        self, config: HMCConfig = None, telemetry=False, probes=None,
+        self, config: Optional[HMCConfig] = None, telemetry=False, probes=None,
         spans=None,
     ) -> None:
         self.config = config if config is not None else HMCConfig()

@@ -11,6 +11,8 @@ results preserve.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.config import HMCConfig
 from repro.hmc.device import HMCDevice
 
@@ -36,7 +38,7 @@ class HBMDevice(HMCDevice):
     """High Bandwidth Memory stack: HMC machinery, HBM geometry."""
 
     def __init__(
-        self, config: HMCConfig = None, probes=None, spans=None
+        self, config: Optional[HMCConfig] = None, probes=None, spans=None
     ) -> None:
         super().__init__(
             config if config is not None else hbm_config(), probes=probes,

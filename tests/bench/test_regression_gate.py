@@ -1,0 +1,87 @@
+"""The regression gate must fail loudly, never vacuously.
+
+``Timing.items_per_second`` returns 0.0 for a non-positive duration as
+a rendering safety; if that ever reached :func:`check_regression`, the
+throughput gate would divide by (or compare against) a zero and either
+pass vacuously or crash with an unrelated error. These tests pin the
+explicit :class:`RegressionError` rejections, plus the three
+machine-relative stage gates (coalescer / front-end / back-end).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.report import RegressionError, check_regression
+
+
+def _doc(rps=100_000.0, seconds=1.0, **totals):
+    return {
+        "schema": "repro-bench/3",
+        "name": "t",
+        "end_to_end": {
+            "gs": {"seconds": seconds, "items": 100, "samples": [seconds]}
+        },
+        "totals": {"requests_per_second": rps, **totals},
+    }
+
+
+def _baseline(tmp_path, doc):
+    path = tmp_path / "BENCH_base.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestLoudRejection:
+    def test_zero_duration_timing_rejected(self, tmp_path):
+        base = _baseline(tmp_path, _doc())
+        with pytest.raises(RegressionError, match="zero-duration"):
+            check_regression(_doc(seconds=0.0), base)
+
+    def test_negative_duration_timing_rejected(self, tmp_path):
+        base = _baseline(tmp_path, _doc())
+        with pytest.raises(RegressionError, match="refusing to compare"):
+            check_regression(_doc(seconds=-1.0), base)
+
+    def test_nonpositive_current_throughput_rejected(self, tmp_path):
+        base = _baseline(tmp_path, _doc())
+        with pytest.raises(RegressionError, match="broken measurement"):
+            check_regression(_doc(rps=0.0), base)
+
+    def test_nonpositive_baseline_throughput_rejected(self, tmp_path):
+        base = _baseline(tmp_path, _doc(rps=0.0))
+        with pytest.raises(RegressionError, match="regenerate the baseline"):
+            check_regression(_doc(), base)
+
+
+class TestStageGates:
+    def test_matching_reports_pass(self, tmp_path):
+        doc = _doc(
+            coalescer_stage_speedup=2.0,
+            frontend_stage_speedup=1.8,
+            device_stage_speedup=1.7,
+        )
+        cmp = check_regression(doc, _baseline(tmp_path, doc))
+        assert cmp["speedup"] == 1.0
+        assert cmp["current_device_speedup"] == 1.7
+
+    def test_device_speedup_regression_fails(self, tmp_path):
+        base = _baseline(tmp_path, _doc(device_stage_speedup=1.7))
+        with pytest.raises(RegressionError, match="back-end-stage"):
+            check_regression(
+                _doc(device_stage_speedup=1.0), base, max_regression=0.30
+            )
+
+    def test_device_gate_skipped_for_old_baselines(self, tmp_path):
+        # A schema-v3 baseline from before the back-end engine carries
+        # no device_stage_speedup: the gate must skip, not crash.
+        base = _baseline(tmp_path, _doc())
+        cmp = check_regression(_doc(device_stage_speedup=1.7), base)
+        assert "current_device_speedup" not in cmp
+
+    def test_end_to_end_regression_still_fails(self, tmp_path):
+        base = _baseline(tmp_path, _doc(rps=100_000.0))
+        with pytest.raises(RegressionError, match="end-to-end throughput"):
+            check_regression(
+                _doc(rps=50_000.0), base, max_regression=0.30
+            )

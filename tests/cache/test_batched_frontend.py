@@ -170,7 +170,8 @@ class TestFrontendDispatch:
             System(coalescer=CoalescerKind.NONE, engine="auto", spans=True)
         demotes = [r for r in log.records if r["kind"] == "demote"]
         assert [d["rung"] for d in demotes] == [
-            "engine:frontend:batched->reference"
+            "engine:frontend:batched->reference",
+            "engine:backend:batched->reference",
         ]
         assert "spans" in demotes[0]["label"]
 
@@ -182,6 +183,7 @@ class TestFrontendDispatch:
         assert [d["rung"] for d in demotes] == [
             "engine:batched->reference",
             "engine:frontend:batched->reference",
+            "engine:backend:batched->reference",
         ]
 
     def test_faults_demote_frontend_auto(self):
